@@ -1,0 +1,26 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full 26-testcase sweep at 1/24 scale (the EXPERIMENTS.md setting).
+bench-full:
+	REPRO_BENCH_FULL=1 REPRO_BENCH_SCALE=24 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

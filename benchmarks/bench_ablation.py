@@ -1,0 +1,36 @@
+"""Sec. IV.B.4 bench: clustering's impact on ILP runtime and QoR.
+
+Shape check: clustering at s = 0.2 must cut the ILP runtime substantially
+versus the no-clustering ILP (paper: 91.0%), and finer clustering
+(s = 0.5) must cut less runtime with less QoR overhead.
+"""
+
+import os
+
+from repro.experiments import clustering_impact
+
+
+def test_clustering_ablation(benchmark, scale, testcases):
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        ids = tuple(t.testcase_id for t in testcases)
+    else:
+        ids = ("aes_300", "jpeg_400", "des3_210", "fpu_4500")
+    points = benchmark.pedantic(
+        lambda: clustering_impact.run(testcase_ids=ids, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    by_s = {p.s: p for p in points}
+    # Coarse clustering cuts more runtime than fine clustering.
+    assert by_s[0.2].ilp_runtime_cut > by_s[0.5].ilp_runtime_cut
+    assert by_s[0.2].ilp_runtime_cut > 0.3
+    # Fine clustering has lower QoR overhead.
+    assert by_s[0.5].displacement_overhead <= by_s[0.2].displacement_overhead + 0.02
+
+    print()
+    print(f"clustering ablation vs no-clustering ILP @ scale {scale:.4f}:")
+    for p in points:
+        print(f"  s={p.s}: runtime cut {100 * p.ilp_runtime_cut:5.1f}%  "
+              f"disp overhead {100 * p.displacement_overhead:+5.1f}%  "
+              f"hpwl overhead {100 * p.hpwl_overhead:+5.2f}%")
+    print("paper: s=0.2 -> 91.0/5.2/1.0,  s=0.5 -> 69.5/0.4/0.2 (%)")

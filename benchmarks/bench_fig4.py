@@ -1,0 +1,61 @@
+"""Fig. 4 bench: parameter sweeps of s and alpha.
+
+Shape checks: ILP runtime must grow monotonically-ish with s (more clusters
+= more variables), and the s = 0.2 operating point must cut most of the
+no-clustering runtime.  QoR series are printed for comparison with the
+paper's curves.
+"""
+
+import os
+
+from repro.experiments import fig4
+
+
+def _sweep_ids(testcases):
+    # The Fig. 4 sweep multiplies runtime by the number of sweep points;
+    # default to the four most size-diverse quick cases unless FULL is set.
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return fig4.PARAMETER_SUBSET_IDS
+    return ("aes_300", "jpeg_400", "fpu_4500", "des3_210")
+
+
+def test_fig4a_s_sweep(benchmark, scale, testcases):
+    ids = _sweep_ids(testcases)
+    s_values = (0.05, 0.1, 0.2, 0.5, 1.0)
+    points = benchmark.pedantic(
+        lambda: fig4.run_s_sweep(
+            scale=scale, testcase_ids=ids, s_values=s_values
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    runtimes = [p.ilp_runtime for p in points]
+    # Normalized ILP runtime must peak at s = 1 (no clustering).
+    assert runtimes[-1] == max(runtimes)
+    # and be near-minimal at the coarsest clustering.
+    assert runtimes[0] <= 0.5
+    print()
+    print("Fig 4(a) twin (normalized 0-1, averaged):")
+    for p in points:
+        print(f"  s={p.value:4.2f}: disp {p.displacement:.3f}  "
+              f"hpwl {p.hpwl:.3f}  ilp_runtime {p.ilp_runtime:.3f}")
+    print("paper: picks s=0.2 (QoR drop at least runtime)")
+
+
+def test_fig4b_alpha_sweep(benchmark, scale, testcases):
+    ids = _sweep_ids(testcases)
+    points = benchmark.pedantic(
+        lambda: fig4.run_alpha_sweep(scale=scale, testcase_ids=ids),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == len(fig4.ALPHA_VALUES)
+    # Pure-dHPWL (alpha=0) must not give the best displacement.
+    disp = {p.value: p.displacement for p in points}
+    assert disp[0.0] >= min(disp.values())
+    print()
+    print("Fig 4(b) twin (normalized 0-1, averaged):")
+    for p in points:
+        print(f"  alpha={p.value:4.2f}: disp {p.displacement:.3f}  "
+              f"hpwl {p.hpwl:.3f}")
+    print("paper: picks alpha=0.75 (reduces both displacement and HPWL)")

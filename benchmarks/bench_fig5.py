@@ -1,0 +1,25 @@
+"""Fig. 5 bench: ILP runtime versus the number of minority instances.
+
+Shape check: the least-squares fit over the testcases must show a clear
+positive trend (the paper reports a strong linear correlation).
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, scale, testcases):
+    result = benchmark.pedantic(
+        lambda: fig5.run(testcases=testcases, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.slope_s_per_instance > 0.0
+    assert result.r_squared > 0.3  # clear positive correlation
+
+    print()
+    print(f"ILP runtime vs #minority ({len(result.points)} testcases):")
+    for p in sorted(result.points, key=lambda p: p.minority_instances):
+        print(f"  {p.testcase_id:>10s}: n={p.minority_instances:5d}  "
+              f"t={p.ilp_runtime_s:7.2f}s")
+    print(f"fit: slope {result.slope_s_per_instance:.3e} s/instance, "
+          f"R^2 {result.r_squared:.3f} (paper: strong linear correlation)")

@@ -1,0 +1,37 @@
+"""Sec. IV.B.6 bench: row-constraint overhead versus unconstrained Flow (1).
+
+Shape check: the proposed Flow (5) must pay a smaller row-constraint tax
+than the prior-art Flow (2) on post-place HPWL and post-route wirelength
+(paper: 17.2% vs 26.6% HPWL; 17.0% vs 31.9% routed WL).
+"""
+
+import os
+
+from repro.experiments import overhead
+
+
+def test_overhead(benchmark, scale, testcases):
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        ids = tuple(t.testcase_id for t in testcases)
+    else:
+        ids = ("aes_300", "ldpc_350", "des3_210", "vga_290")
+    result = benchmark.pedantic(
+        lambda: overhead.run(testcase_ids=ids, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    # Flow (5) pays less than Flow (2) on every metric (ordering claim).
+    assert result.post_place_hpwl[5] <= result.post_place_hpwl[2] + 0.005
+    assert result.post_route_wirelength[5] <= result.post_route_wirelength[2] + 0.005
+    assert result.post_route_power[5] <= result.post_route_power[2] + 0.005
+    # Row constraints cost something (both overheads non-negative-ish).
+    assert result.post_place_hpwl[2] > 0.0
+
+    print()
+    print(f"overhead vs Flow(1) @ scale {scale:.4f}:")
+    print(f"  post-place HPWL:   F2 {100 * result.post_place_hpwl[2]:+5.1f}%  "
+          f"F5 {100 * result.post_place_hpwl[5]:+5.1f}%  (paper 26.6 / 17.2)")
+    print(f"  post-route WL:     F2 {100 * result.post_route_wirelength[2]:+5.1f}%  "
+          f"F5 {100 * result.post_route_wirelength[5]:+5.1f}%  (paper 31.9 / 17.0)")
+    print(f"  post-route power:  F2 {100 * result.post_route_power[2]:+5.1f}%  "
+          f"F5 {100 * result.post_route_power[5]:+5.1f}%  (paper 7.6 / 3.6)")

@@ -1,0 +1,31 @@
+"""Sec. IV.B.3 bench: Flow (5) stage-runtime profile by size class.
+
+Shape check: the RAP (clustering + ILP) share of flow runtime grows with
+the minority-instance count — the paper's small/medium/large trend
+(5% -> 31% -> 73%).
+"""
+
+from repro.experiments import profile_runtime
+
+
+def test_runtime_profile(benchmark, scale, testcases):
+    result = benchmark.pedantic(
+        lambda: profile_runtime.run(testcases=testcases, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    by_class = result.by_class
+    present = [c for c in ("small", "medium", "large") if c in by_class]
+    assert len(present) >= 2, "need at least two size classes to compare"
+    shares = [by_class[c]["rap"] for c in present]
+    # RAP share grows with size class.
+    assert shares == sorted(shares)
+
+    print()
+    print(f"Flow (5) stage profile @ scale {scale:.4f}:")
+    for cls in present:
+        stats = by_class[cls]
+        print(f"  {cls:>6s}: RAP {100 * stats['rap']:5.1f}%  "
+              f"legalization {100 * stats['legalization']:5.1f}%  "
+              f"({int(stats['count'])} cases)")
+    print("paper: small 4.95/95.04, medium 30.57/69.41, large 72.60/27.37 (%)")

@@ -1,0 +1,44 @@
+"""Supplementary robustness benches: seed sensitivity and row pairing.
+
+Not in the paper — DESIGN.md's additional ablations:
+
+* the flow-(5)-vs-flow-(2) HPWL advantage must be stable across generator
+  seeds (the conclusion is about the method, not one netlist roll);
+* the single-row relaxation of the N-well pairing rule can only improve
+  the RAP objective (sanity) and quantifies what the rule costs.
+"""
+
+from repro.experiments.sensitivity import row_pairing_ablation, seed_sensitivity
+
+
+def test_seed_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: seed_sensitivity(
+            testcase_id="des3_210", scale=scale, seeds=(0, 1, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.ratios) == 3
+    # Flow (5) never loses badly to Flow (2) on any seed, and the spread
+    # is small enough for the averaged tables to be meaningful.
+    assert max(result.ratios) < 1.05
+    assert result.std < 0.05
+    print()
+    print(f"seed sensitivity ({result.testcase_id}): F5/F2 hpwl "
+          f"{[round(r, 3) for r in result.ratios]}  "
+          f"mean {result.mean:.3f} +- {result.std:.3f}")
+
+
+def test_row_pairing_ablation(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: row_pairing_ablation(testcase_id="aes_300", scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    # Relaxing the pairing constraint can only help the objective.
+    assert result.single_row_objective <= result.paired_objective + 1e-6
+    print()
+    print(f"row pairing ablation (aes_300): paired {result.paired_objective:.3e} "
+          f"vs single-row {result.single_row_objective:.3e} "
+          f"-> pairing costs {100 * result.pairing_cost:+.1f}% objective")

@@ -1,0 +1,42 @@
+"""Operating-condition sweep benches (supplementary to the paper).
+
+Checks that the proposed flow's advantage is robust across utilization and
+minority-fraction ranges, not an artifact of the paper's fixed 60% / Table
+II operating point.
+"""
+
+from repro.experiments.sweeps import minority_fraction_sweep, utilization_sweep
+
+
+def test_utilization_sweep(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: utilization_sweep(scale=scale, utilizations=(0.5, 0.6, 0.7)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("utilization sweep (aes_300): row-constraint HPWL overhead vs F1")
+    for r in rows:
+        print(f"  util {r.value:.2f}: F2 {100 * r.flow2_overhead:+5.1f}%  "
+              f"F5 {100 * r.flow5_overhead:+5.1f}%  (N_minR {r.n_minority_rows})")
+    # The proposed flow never pays more than the prior art at any point.
+    assert all(r.f5_beats_f2 for r in rows)
+
+
+def test_minority_fraction_sweep(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: minority_fraction_sweep(
+            scale=scale, fractions=(0.05, 0.15, 0.28)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("minority sweep (des3_250): row-constraint HPWL overhead vs F1")
+    for r in rows:
+        print(f"  7.5T {100 * r.value:4.1f}%: F2 {100 * r.flow2_overhead:+5.1f}%  "
+              f"F5 {100 * r.flow5_overhead:+5.1f}%  (N_minR {r.n_minority_rows})")
+    assert all(r.f5_beats_f2 for r in rows)
+    # More minority cells require at least as many minority rows.
+    n_rows = [r.n_minority_rows for r in rows]
+    assert n_rows == sorted(n_rows)

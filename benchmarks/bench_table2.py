@@ -1,0 +1,25 @@
+"""Table II bench: regenerate the testcase-specification table.
+
+Checks that the synthetic twins hit the paper's cell counts and 7.5T
+percentages (the percentage is exact by construction; cell count within
+rounding).
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, scale, testcases):
+    result = benchmark.pedantic(
+        lambda: table2.run(testcases=testcases, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == len(testcases)
+    for row in result:
+        assert row.pct_75t == pytest.approx(row.paper_pct_75t, abs=1.0)
+        assert row.cells_ratio == pytest.approx(1.0, abs=0.02)
+        assert row.nets > row.cells
+    print()
+    print(table2.format_table_rows(result, scale))

@@ -1,0 +1,46 @@
+"""Table IV bench: post-placement displacement / HPWL / runtime, 5 flows.
+
+Shape checks against the paper's normalized bottom row:
+
+* row-constraint flows cost HPWL versus the unconstrained Flow (1);
+* the fence legalization (flows 3/5) displaces far more than the
+  initial-placement-aware Abacus (flows 2/4);
+* the proposed Flow (5) does not lose HPWL versus the prior art Flow (2);
+* the ILP flows cost runtime versus the k-means baseline.
+"""
+
+from repro.experiments import table4
+from repro.experiments.paper_data import PAPER_TABLE4_NORMALIZED
+
+
+def test_table4(benchmark, scale, testcases):
+    result = benchmark.pedantic(
+        lambda: table4.run(testcases=testcases, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    hpwl = result.normalized_hpwl
+    disp = result.normalized_displacement
+    runtime = result.normalized_runtime
+
+    # Flow (1) has the best HPWL (paper: 0.804).
+    assert hpwl[1] < hpwl[2]
+    # Fence flows displace several times more (paper: 5.3x / 4.7x).
+    assert disp[3] > 1.5 and disp[5] > 1.5
+    # Flow (5) at least matches Flow (2) on HPWL (paper: -6.3%).
+    assert hpwl[5] <= hpwl[2] * 1.01
+    # ILP flows pay runtime (paper: 5.1x / 7.6x).
+    assert runtime[4] > 1.0 and runtime[5] > 1.0
+
+    print()
+    print(f"normalized vs Flow(2) @ scale {scale:.4f} "
+          f"({len(result.rows)} testcases)")
+    print(f"  hpwl: {_fmt(hpwl)}   paper: {_fmt(PAPER_TABLE4_NORMALIZED['hpwl'])}")
+    print(f"  disp: {_fmt(disp)}   paper: "
+          f"{_fmt(PAPER_TABLE4_NORMALIZED['displacement'])}")
+    print(f"  time: {_fmt(runtime)}   paper: "
+          f"{_fmt(PAPER_TABLE4_NORMALIZED['runtime'])}")
+
+
+def _fmt(d):
+    return {k: round(v, 3) for k, v in sorted(d.items())}

@@ -1,0 +1,40 @@
+"""Table V bench: post-route WL / power / WNS / TNS, flows (1),(2),(4),(5).
+
+Shape checks against the paper's normalized bottom row:
+
+* the unconstrained Flow (1) routes shortest (paper 0.785);
+* the proposed Flow (5) beats the prior-art Flow (2) on routed wirelength
+  (paper -8.5%) and power (paper -3.3%);
+* HPWL ordering predicts routed-WL ordering for most flow pairs
+  (paper footnote 5: 147/156).
+"""
+
+from repro.experiments import table5
+from repro.experiments.paper_data import PAPER_TABLE5_NORMALIZED
+
+
+def test_table5(benchmark, scale, testcases):
+    result = benchmark.pedantic(
+        lambda: table5.run(testcases=testcases, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    wl = result.normalized["wirelength"]
+    power = result.normalized["power"]
+
+    assert wl[1] < wl[2]  # unconstrained routes shortest
+    assert wl[5] < wl[2]  # the headline: flow 5 beats flow 2
+    assert power[5] <= power[2] * 1.005  # power follows wirelength
+
+    # Rank correlation between HPWL and routed WL (footnote 5).
+    assert result.rank_matches / result.rank_comparisons > 0.7
+
+    print()
+    print(f"normalized vs Flow(2) @ scale {scale:.4f} "
+          f"({len(result.rows)} testcases)")
+    for metric in ("wirelength", "power", "wns", "tns"):
+        mine = {k: round(v, 3) for k, v in sorted(result.normalized[metric].items())}
+        paper = PAPER_TABLE5_NORMALIZED[metric]
+        print(f"  {metric:>10s}: {mine}   paper: {paper}")
+    print(f"  rank matches: {result.rank_matches}/{result.rank_comparisons} "
+          "(paper: 147/156)")

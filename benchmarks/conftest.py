@@ -1,0 +1,49 @@
+"""Benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — denominator of the cell-count scale (default 48;
+  the paper's sizes correspond to 1).  Smaller denominators = bigger runs.
+* ``REPRO_BENCH_FULL=1`` — run all 26 testcases per table instead of the
+  representative quick subset.
+
+Each paper-table bench runs once (pedantic, 1 round): the measurement of
+interest is the experiment itself, not a microsecond-level distribution.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.testcases import (
+    PAPER_TESTCASES,
+    QUICK_SUBSET_IDS,
+    testcase_subset,
+)
+
+
+def bench_scale() -> float:
+    return 1.0 / float(os.environ.get("REPRO_BENCH_SCALE", "48"))
+
+
+def bench_testcases():
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return PAPER_TESTCASES
+    return tuple(testcase_subset(QUICK_SUBSET_IDS))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def testcases():
+    return bench_testcases()
+
+
+@pytest.fixture(scope="session")
+def library():
+    from repro.techlib.asap7 import make_asap7_library
+
+    return make_asap7_library()

@@ -1,0 +1,52 @@
+"""repro — mixed track-height standard-cell placement via ILP row assignment.
+
+A from-scratch Python reproduction of "Improvement of Mixed Track-Height
+Standard-Cell Placement" (Kahng, Kang, Kweon — DATE 2024), including every
+substrate the evaluation needs: a synthetic ASAP7-like library, netlist
+generation/synthesis, analytic placement, legalization, Steiner global
+routing, STA and power models.
+
+Quickstart::
+
+    from repro import RowConstraintPlacer, make_asap7_library
+    from repro.netlist import GeneratorSpec, generate_netlist
+    from repro.netlist import size_to_minority_fraction
+
+    lib = make_asap7_library()
+    design = generate_netlist(
+        GeneratorSpec(name="demo", n_cells=2000, clock_period_ps=500), lib
+    )
+    size_to_minority_fraction(design, 0.10)   # create the 7.5T minority
+    result = RowConstraintPlacer(lib).place(design)
+    print(result.hpwl, result.assignment.n_minority_rows)
+"""
+
+from repro.core.flows import (
+    FlowKind,
+    FlowResult,
+    FlowRunner,
+    InitialPlacement,
+    prepare_initial_placement,
+    run_flow,
+)
+from repro.core.params import RCPPParams
+from repro.core.rap import RowAssignment
+from repro.core.rcpp import RowConstraintPlacer, RowConstraintResult
+from repro.techlib.asap7 import make_asap7_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowKind",
+    "FlowResult",
+    "FlowRunner",
+    "InitialPlacement",
+    "prepare_initial_placement",
+    "run_flow",
+    "RCPPParams",
+    "RowAssignment",
+    "RowConstraintPlacer",
+    "RowConstraintResult",
+    "make_asap7_library",
+    "__version__",
+]

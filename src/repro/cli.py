@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``place``       — run the full proposed pipeline on a synthetic design
+* ``flows``       — compare the five flows on a Table II testcase
+* ``table2`` ... ``overhead`` — regenerate a paper table/figure
+* ``render``      — run Flow (5) on a testcase and write a Fig. 3-style SVG
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    clustering_impact,
+    fig4,
+    fig5,
+    overhead,
+    profile_runtime,
+    table2,
+    table4,
+    table5,
+)
+
+_EXPERIMENTS = {
+    "table2": table2.main,
+    "table4": table4.main,
+    "table5": table5.main,
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "profile": profile_runtime.main,
+    "ablation": clustering_impact.main,
+    "overhead": overhead.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mixed track-height row-constraint placement (DATE'24 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    place = sub.add_parser("place", help="run the proposed pipeline")
+    place.add_argument("--cells", type=int, default=2000)
+    place.add_argument("--clock-ps", type=float, default=500.0)
+    place.add_argument("--minority", type=float, default=0.12)
+    place.add_argument("--seed", type=int, default=1)
+    place.add_argument("--alpha", type=float, default=0.75)
+    place.add_argument("--s", type=float, default=0.2)
+    place.add_argument("--solver", choices=("highs", "bnb"), default="highs")
+
+    flows = sub.add_parser("flows", help="compare the five flows")
+    flows.add_argument("testcase", nargs="?", default="aes_300")
+    flows.add_argument("--scale-denom", type=float, default=48.0)
+
+    for name in _EXPERIMENTS:
+        exp = sub.add_parser(name, help=f"regenerate {name}")
+        exp.add_argument("--scale-denom", type=float, default=48.0)
+
+    render = sub.add_parser("render", help="write a Fig. 3-style SVG")
+    render.add_argument("output", help="output .svg path")
+    render.add_argument("--testcase", default="aes_360")
+    render.add_argument("--scale-denom", type=float, default=48.0)
+    return parser
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from repro import RCPPParams, RowConstraintPlacer, make_asap7_library
+    from repro.netlist import (
+        GeneratorSpec,
+        generate_netlist,
+        size_to_minority_fraction,
+    )
+
+    library = make_asap7_library()
+    design = generate_netlist(
+        GeneratorSpec(
+            name="cli",
+            n_cells=args.cells,
+            clock_period_ps=args.clock_ps,
+            seed=args.seed,
+        ),
+        library,
+    )
+    size_to_minority_fraction(design, args.minority)
+    params = RCPPParams(alpha=args.alpha, s=args.s, solver_backend=args.solver)
+    result = RowConstraintPlacer(library, params).place(design)
+    print(f"minority rows: {result.assignment.n_minority_rows}")
+    print(f"HPWL: {result.hpwl / 1e6:.3f} mm "
+          f"({100 * result.hpwl_overhead:+.1f}% vs unconstrained)")
+    print(f"displacement: {result.displacement / 1e6:.3f} mm")
+    violations = result.legality_violations()
+    print(f"legality violations: {len(violations)}")
+    return 1 if violations else 0
+
+
+def _cmd_flows(args: argparse.Namespace) -> int:
+    import runpy
+
+    sys.argv = ["flow_comparison", args.testcase, str(args.scale_denom)]
+    from repro import FlowKind, FlowRunner, RCPPParams, prepare_initial_placement
+    from repro.eval.report import format_table
+    from repro.experiments.testcases import build_testcase, testcase_by_id
+    from repro.techlib.asap7 import make_asap7_library
+
+    library = make_asap7_library()
+    design = build_testcase(
+        testcase_by_id(args.testcase), library, scale=1.0 / args.scale_denom
+    )
+    runner = FlowRunner(
+        prepare_initial_placement(design, library), RCPPParams()
+    )
+    rows = []
+    for kind in FlowKind:
+        flow = runner.run(kind)
+        rows.append(
+            [f"({kind.value})", flow.displacement / 1e6, flow.hpwl / 1e6,
+             flow.total_runtime_s]
+        )
+    print(format_table(
+        ["flow", "disp(mm)", "hpwl(mm)", "time(s)"], rows,
+        title=f"{args.testcase} @ 1/{args.scale_denom:g}",
+    ))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro import FlowKind, FlowRunner, RCPPParams, prepare_initial_placement
+    from repro.core.fence import FenceRegions
+    from repro.eval.visualize import save_placement_svg
+    from repro.experiments.testcases import build_testcase, testcase_by_id
+    from repro.techlib.asap7 import make_asap7_library
+
+    library = make_asap7_library()
+    design = build_testcase(
+        testcase_by_id(args.testcase), library, scale=1.0 / args.scale_denom
+    )
+    initial = prepare_initial_placement(design, library)
+    flow = FlowRunner(initial, RCPPParams()).run(FlowKind.FLOW5)
+    fences = FenceRegions.from_floorplan(flow.placed.floorplan, 7.5)
+    save_placement_svg(
+        args.output,
+        flow.placed,
+        minority_indices=initial.minority_indices,
+        fences=fences,
+        title=f"{args.testcase} flow(5): row-constraint placement",
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "place":
+        return _cmd_place(args)
+    if args.command == "flows":
+        return _cmd_flows(args)
+    if args.command == "render":
+        return _cmd_render(args)
+    runner = _EXPERIMENTS[args.command]
+    runner(scale=1.0 / args.scale_denom)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

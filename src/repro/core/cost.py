@@ -1,0 +1,153 @@
+"""RAP cost matrices: Disp(c, r) and dHPWL(c, r) of paper Eq. (2).
+
+For every minority cell and every candidate row pair we compute, fully
+vectorized:
+
+* ``Disp`` — the y-distance between the cell center and the row-pair
+  center (the cell keeps its x);
+* ``dHPWL`` — the exact change of each incident net's y-span if the cell
+  moved vertically to that row pair, holding every other pin fixed.  The
+  per-pin exclusion uses the classic top-2 trick (per-net largest / second
+  largest and smallest / second smallest pin y), so a bound pin's own
+  contribution never pollutes its "other pins" extent.
+
+Cell-level matrices are then aggregated into cluster-level matrices with
+the clustering labels, and combined as ``f = alpha * Disp + (1 - alpha) *
+dHPWL`` by :func:`combine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.db import PlacedDesign
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RapCosts:
+    """Per-cluster cost matrices plus the width bookkeeping the ILP needs."""
+
+    disp: np.ndarray  # (N_C, N_P)
+    dhpwl: np.ndarray  # (N_C, N_P)
+    cluster_width: np.ndarray  # (N_C,) summed *original* cell widths
+    cell_disp: np.ndarray  # (N_minC, N_P) kept for ablations
+    cell_dhpwl: np.ndarray  # (N_minC, N_P)
+
+    def combine(self, alpha: float) -> np.ndarray:
+        """Eq. (2): f_cr = alpha * Disp + (1 - alpha) * dHPWL."""
+        if not (0.0 <= alpha <= 1.0):
+            raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
+        return alpha * self.disp + (1.0 - alpha) * self.dhpwl
+
+
+def _per_pin_other_extents(
+    placed: PlacedDesign, py: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """For every pin: (others_lo, others_hi, old_lo, old_hi) of its net.
+
+    ``others_*`` exclude the pin itself (top-2 trick); ``old_*`` are the
+    full net extents.  Pins on single-pin nets get others == own position,
+    so a move produces a zero-span change, which is correct.
+    """
+    ptr = placed.net_ptr
+    n_nets = len(ptr) - 1
+    net_ids = np.repeat(np.arange(n_nets), np.diff(ptr))
+    order = np.lexsort((py, net_ids))
+
+    first = order[ptr[:-1]]
+    last = order[ptr[1:] - 1]
+    degrees = np.diff(ptr)
+    # Second extreme pins; degenerate to the extreme itself on degree-1 nets.
+    second = order[np.minimum(ptr[:-1] + 1, ptr[1:] - 1)]
+    penultimate = order[np.maximum(ptr[1:] - 2, ptr[:-1])]
+
+    lo1 = py[first][net_ids]
+    lo2 = py[second][net_ids]
+    hi1 = py[last][net_ids]
+    hi2 = py[penultimate][net_ids]
+
+    pin_index = np.arange(len(py))
+    is_min = pin_index == first[net_ids]
+    is_max = pin_index == last[net_ids]
+    others_lo = np.where(is_min, lo2, lo1)
+    others_hi = np.where(is_max, hi2, hi1)
+    return others_lo, others_hi, lo1, hi1
+
+
+def compute_rap_costs(
+    placed: PlacedDesign,
+    minority_indices: np.ndarray,
+    labels: np.ndarray,
+    n_clusters: int,
+    pair_center_y: np.ndarray,
+    original_widths: np.ndarray,
+) -> RapCosts:
+    """Build the (cluster x row-pair) Disp and dHPWL matrices.
+
+    ``placed`` is the unconstrained initial placement (mLEF frame);
+    ``pair_center_y`` holds the candidate row-pair centers in the same
+    frame; ``original_widths`` are the un-mLEF minority cell widths used
+    for capacity (paper Sec. III-C: "the width of a minority cell is
+    treated as the width of the original cell").
+    """
+    minority_indices = np.asarray(minority_indices, dtype=int)
+    n_min = len(minority_indices)
+    if n_min == 0:
+        raise ValidationError("no minority cells")
+    if labels.shape != (n_min,):
+        raise ValidationError("labels must align with minority_indices")
+    n_pairs = len(pair_center_y)
+
+    cy = placed.y[minority_indices] + placed.heights[minority_indices] / 2.0
+    cell_disp = np.abs(pair_center_y[None, :] - cy[:, None])
+
+    # dHPWL: iterate over minority pins, vectorized over row pairs.
+    _, py = placed.pin_positions()
+    others_lo, others_hi, lo1, hi1 = _per_pin_other_extents(placed, py)
+    old_span = hi1 - lo1
+
+    minority_of_inst = np.full(placed.design.num_instances, -1, dtype=int)
+    minority_of_inst[minority_indices] = np.arange(n_min)
+    pin_cell = np.where(
+        placed.pin_inst >= 0, minority_of_inst[np.maximum(placed.pin_inst, 0)], -1
+    )
+    net_ids = np.repeat(
+        np.arange(placed.design.num_nets), np.diff(placed.net_ptr)
+    )
+    pin_mask = (pin_cell >= 0) & (placed.net_weight[net_ids] > 0)
+    pins = np.flatnonzero(pin_mask)
+
+    cell_dhpwl = np.zeros((n_min, n_pairs))
+    if len(pins):
+        cell_of_pin = pin_cell[pins]
+        inst_of_pin = placed.pin_inst[pins]
+        rel_dy = py[pins] - (
+            placed.y[inst_of_pin] + placed.heights[inst_of_pin] / 2.0
+        )
+        # New pin y if the cell center moved to each pair center.
+        new_y = pair_center_y[None, :] + rel_dy[:, None]
+        o_lo = others_lo[pins][:, None]
+        o_hi = others_hi[pins][:, None]
+        new_span = np.maximum(o_hi, new_y) - np.minimum(o_lo, new_y)
+        delta = new_span - old_span[pins][:, None]
+        np.add.at(cell_dhpwl, cell_of_pin, delta)
+
+    if original_widths.shape != (n_min,):
+        raise ValidationError("original_widths must align with minority cells")
+    disp = np.zeros((n_clusters, n_pairs))
+    dhpwl = np.zeros((n_clusters, n_pairs))
+    width = np.zeros(n_clusters)
+    np.add.at(disp, labels, cell_disp)
+    np.add.at(dhpwl, labels, cell_dhpwl)
+    np.add.at(width, labels, original_widths)
+
+    return RapCosts(
+        disp=disp,
+        dhpwl=dhpwl,
+        cluster_width=width,
+        cell_disp=cell_disp,
+        cell_dhpwl=cell_dhpwl,
+    )

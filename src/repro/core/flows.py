@@ -1,0 +1,360 @@
+"""The five placement flows of Table III.
+
+===== ================== =========================
+Flow  Row assignment      Legalization
+===== ================== =========================
+(1)   none (mLEF)         none (unconstrained)
+(2)   Lin & Chang [10]    [10] row-constraint Abacus
+(3)   Lin & Chang [10]    proposed fence-region
+(4)   proposed ILP        [10] row-constraint Abacus
+(5)   proposed ILP        proposed fence-region
+===== ================== =========================
+
+:class:`FlowRunner` owns one shared unconstrained initial placement and
+caches the two row assignments, so flow comparisons are apples-to-apples:
+all flows start from the same placement, and N_minR of the ILP flows is
+forced to the baseline flow's value (the paper's fairness rule).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baseline import baseline_row_assignment
+from repro.core.clustering import cluster_minority_cells
+from repro.core.cost import compute_rap_costs
+from repro.core.legalize_abacus_rc import abacus_rc_legalize
+from repro.core.legalize_rc import fence_region_legalize
+from repro.core.params import RCPPParams
+from repro.core.rap import RowAssignment, required_minority_pairs, solve_rap
+from repro.netlist.db import Design
+from repro.placement.db import Floorplan, PlacedDesign
+from repro.placement.floorplanner import (
+    build_placed_design,
+    make_floorplan,
+    make_mixed_floorplan,
+    map_uniform_to_mixed,
+)
+from repro.placement.global_place import GlobalPlacerParams, global_place
+from repro.placement.hpwl import hpwl_total
+from repro.placement.incremental import refine_detailed
+from repro.placement.legalize import abacus_legalize
+from repro.techlib.cells import StdCellLibrary
+from repro.techlib.mlef import MLefTransform, make_mlef_library
+from repro.utils.errors import ValidationError
+from repro.utils.timer import StageTimes
+
+
+class FlowKind(enum.Enum):
+    """The five flows; value matches the paper's flow number."""
+
+    FLOW1 = 1
+    FLOW2 = 2
+    FLOW3 = 3
+    FLOW4 = 4
+    FLOW5 = 5
+
+    @property
+    def row_assignment(self) -> str | None:
+        return {1: None, 2: "baseline", 3: "baseline", 4: "ilp", 5: "ilp"}[
+            self.value
+        ]
+
+    @property
+    def legalization(self) -> str | None:
+        return {1: None, 2: "abacus_rc", 3: "fence", 4: "abacus_rc", 5: "fence"}[
+            self.value
+        ]
+
+
+@dataclass
+class InitialPlacement:
+    """The shared Flow-(1) artifact every constrained flow starts from."""
+
+    design: Design
+    library: StdCellLibrary
+    mlef: MLefTransform
+    floorplan: Floorplan
+    placed: PlacedDesign  # mLEF-frame geometry snapshot
+    hpwl: float
+    times: StageTimes
+    minority_track: float
+    minority_indices: np.ndarray
+    minority_widths_original: np.ndarray  # un-mLEF widths (capacity rule)
+    pair_center_y: np.ndarray
+    pair_capacity: np.ndarray
+
+
+@dataclass
+class FlowResult:
+    """Post-placement outcome of one flow (Table IV row fragment)."""
+
+    kind: FlowKind
+    hpwl: float
+    displacement: float
+    times: StageTimes
+    placed: PlacedDesign
+    assignment: RowAssignment | None
+    n_minority_rows: int
+    n_clusters: int = 0
+
+    @property
+    def total_runtime_s(self) -> float:
+        return self.times.total
+
+
+def prepare_initial_placement(
+    design: Design,
+    library: StdCellLibrary,
+    minority_track: float = 7.5,
+    utilization: float = 0.60,
+    aspect_ratio: float = 1.0,
+    placer_params: GlobalPlacerParams | None = None,
+) -> InitialPlacement:
+    """mLEF + floorplan + global place + legalize: the Flow-(1) placement.
+
+    On return the design's masters are back to the originals; the returned
+    ``placed`` snapshot retains the mLEF geometry it was placed with.
+    """
+    times = StageTimes()
+    minority_mask = np.array(design.minority_mask(minority_track))
+    if not minority_mask.any():
+        raise ValidationError(
+            f"design has no {minority_track}T cells; nothing to row-constrain"
+        )
+    minority_indices = np.flatnonzero(minority_mask)
+    original_widths = np.array(
+        [design.instances[i].master.width for i in minority_indices], dtype=float
+    )
+
+    with times.measure("mlef"):
+        mlef = make_mlef_library(library, design.area_by_track())
+        design.allow_library(mlef.mlef_library)
+        for inst in design.instances:
+            inst.master = mlef.mlef(inst.master.name)
+
+    with times.measure("initial_place"):
+        floorplan = make_floorplan(
+            design,
+            row_height=mlef.height,
+            site_width=library.site_width,
+            utilization=utilization,
+            aspect_ratio=aspect_ratio,
+        )
+        placed = build_placed_design(design, floorplan)
+        global_place(placed, placer_params)
+        abacus_legalize(placed, floorplan.rows)
+        # Detailed-placement polish: a commercial initial placement (the
+        # paper's Innovus run) ends optimized; without this the constrained
+        # flows would unfairly beat the unconstrained baseline.
+        refine_detailed(placed, rounds=6)
+
+    # Revert to the original masters; the mLEF geometry lives on in the
+    # ``placed`` snapshot arrays.
+    for inst in design.instances:
+        inst.master = mlef.original(inst.master.name)
+
+    pairs = floorplan.row_pairs()
+    return InitialPlacement(
+        design=design,
+        library=library,
+        mlef=mlef,
+        floorplan=floorplan,
+        placed=placed,
+        hpwl=hpwl_total(placed),
+        times=times,
+        minority_track=minority_track,
+        minority_indices=minority_indices,
+        minority_widths_original=original_widths,
+        pair_center_y=np.array([p.center_y for p in pairs]),
+        pair_capacity=np.array([float(p.capacity_width) for p in pairs]),
+    )
+
+
+class FlowRunner:
+    """Runs flows (1)-(5) off one shared initial placement."""
+
+    def __init__(
+        self, initial: InitialPlacement, params: RCPPParams | None = None
+    ) -> None:
+        self.initial = initial
+        self.params = params or RCPPParams()
+        if self.params.minority_track != initial.minority_track:
+            raise ValidationError("params/initial minority track mismatch")
+        tracks = initial.library.track_heights
+        others = [t for t in tracks if t != initial.minority_track]
+        if len(others) != 1:
+            raise ValidationError(
+                f"library must have exactly one majority track, got {tracks}"
+            )
+        self.majority_track = others[0]
+        self._baseline: tuple[RowAssignment, float] | None = None
+        self._ilp: tuple[RowAssignment, float, float, int] | None = None
+
+    # -- row assignments (cached) -----------------------------------------
+
+    @property
+    def n_minority_rows(self) -> int:
+        """N_minR: forced value, else derived from minority area (= Flow 2)."""
+        if self.params.n_minority_rows is not None:
+            return self.params.n_minority_rows
+        return required_minority_pairs(
+            float(self.initial.minority_widths_original.sum()),
+            float(self.initial.pair_capacity.min()),
+            self.params.minority_fill_target,
+        )
+
+    def baseline_assignment(self) -> tuple[RowAssignment, float]:
+        """[10]-style assignment and its runtime (seconds)."""
+        if self._baseline is None:
+            init = self.initial
+            times = StageTimes()
+            with times.measure("row_assign"):
+                centers_y = (
+                    init.placed.y[init.minority_indices]
+                    + init.placed.heights[init.minority_indices] / 2.0
+                )
+                assignment = baseline_row_assignment(
+                    centers_y,
+                    init.minority_widths_original,
+                    init.pair_center_y,
+                    init.pair_capacity,
+                    n_minority_rows=self.n_minority_rows,
+                    majority_track=self.majority_track,
+                    minority_track=init.minority_track,
+                    row_fill=self.params.row_fill,
+                )
+            self._baseline = (assignment, times.total)
+        return self._baseline
+
+    def ilp_assignment(self) -> tuple[RowAssignment, float, float, int]:
+        """ILP assignment: (assignment, cluster_s, ilp_s, n_clusters)."""
+        if self._ilp is None:
+            init = self.initial
+            params = self.params
+            times = StageTimes()
+            with times.measure("clustering"):
+                cx = (
+                    init.placed.x[init.minority_indices]
+                    + init.placed.widths[init.minority_indices] / 2.0
+                )
+                cy = (
+                    init.placed.y[init.minority_indices]
+                    + init.placed.heights[init.minority_indices] / 2.0
+                )
+                clustering = cluster_minority_cells(
+                    cx, cy, params.s, params.kmeans_max_iterations
+                )
+                costs = compute_rap_costs(
+                    init.placed,
+                    init.minority_indices,
+                    clustering.labels,
+                    clustering.n_clusters,
+                    init.pair_center_y,
+                    init.minority_widths_original,
+                )
+            with times.measure("rap_ilp"):
+                assignment = solve_rap(
+                    costs.combine(params.alpha),
+                    costs.cluster_width,
+                    init.pair_capacity * params.row_fill,
+                    self.n_minority_rows,
+                    clustering.labels,
+                    majority_track=self.majority_track,
+                    minority_track=init.minority_track,
+                    backend=params.solver_backend,
+                    time_limit_s=params.solver_time_limit_s,
+                )
+            self._ilp = (
+                assignment,
+                times.stages["clustering"],
+                times.stages["rap_ilp"],
+                clustering.n_clusters,
+            )
+        return self._ilp
+
+    # -- flow execution -----------------------------------------------------
+
+    def _build_mixed_placement(
+        self, assignment: RowAssignment
+    ) -> PlacedDesign:
+        """Original-master placement in the mixed frame, positions mapped."""
+        init = self.initial
+        heights = {
+            t: init.library.row_height(t) for t in init.library.track_heights
+        }
+        mixed_fp, _ = make_mixed_floorplan(
+            init.floorplan, assignment.pair_tracks, heights
+        )
+        placed = build_placed_design(init.design, mixed_fp)
+        # Map positions center-to-center between frames.
+        mlef_cx = init.placed.x + init.placed.widths / 2.0
+        mlef_cy = init.placed.y + init.placed.heights / 2.0
+        new_cy = map_uniform_to_mixed(mlef_cy, init.floorplan, mixed_fp)
+        placed.x = mlef_cx - placed.widths / 2.0
+        placed.y = new_cy - placed.heights / 2.0
+        return placed
+
+    def run(self, kind: FlowKind) -> FlowResult:
+        """Execute one flow and return its post-placement metrics."""
+        init = self.initial
+        if kind is FlowKind.FLOW1:
+            return FlowResult(
+                kind=kind,
+                hpwl=init.hpwl,
+                displacement=0.0,
+                times=StageTimes(dict(init.times.stages)),
+                placed=init.placed,
+                assignment=None,
+                n_minority_rows=0,
+            )
+
+        times = StageTimes()
+        n_clusters = 0
+        if kind.row_assignment == "baseline":
+            assignment, ra_seconds = self.baseline_assignment()
+            times.add("row_assign", ra_seconds)
+        else:
+            assignment, cluster_s, ilp_s, n_clusters = self.ilp_assignment()
+            times.add("clustering", cluster_s)
+            times.add("rap_ilp", ilp_s)
+
+        placed = self._build_mixed_placement(assignment)
+        minority_indices = init.minority_indices
+        if kind.legalization == "abacus_rc":
+            result = abacus_rc_legalize(
+                placed,
+                minority_indices,
+                assignment.cell_to_pair,
+                init.minority_track,
+            )
+        else:
+            result = fence_region_legalize(
+                placed,
+                minority_indices,
+                init.minority_track,
+                refine_iterations=self.params.refine_iterations,
+            )
+        final_times = times.merged(result.times)
+        return FlowResult(
+            kind=kind,
+            hpwl=hpwl_total(placed),
+            displacement=result.displacement,
+            times=final_times,
+            placed=placed,
+            assignment=assignment,
+            n_minority_rows=assignment.n_minority_rows,
+            n_clusters=n_clusters,
+        )
+
+
+def run_flow(
+    kind: FlowKind,
+    initial: InitialPlacement,
+    params: RCPPParams | None = None,
+) -> FlowResult:
+    """One-shot convenience wrapper around :class:`FlowRunner`."""
+    return FlowRunner(initial, params).run(kind)

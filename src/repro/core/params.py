@@ -1,0 +1,62 @@
+"""Parameters of the row-constraint placement method.
+
+Defaults are the paper's chosen operating point: clustering resolution
+``s = 0.2`` and cost weight ``alpha = 0.75`` (Sec. IV.B.1, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RCPPParams:
+    """Knobs of clustering + RAP + legalization.
+
+    * ``alpha`` weights y-displacement against delta-HPWL in the ILP cost
+      (Eq. 2): ``f_cr = alpha * Disp + (1 - alpha) * dHPWL``.
+    * ``s`` is the clustering resolution: ``N_C = ceil(s * N_minC)``
+      clusters of minority cells (0 < s <= 1; s = 1 disables clustering in
+      effect because every cell becomes its own cluster).
+    * ``minority_track`` selects which track height forms row islands
+      (7.5T in the paper; no more than ~30% of instances).
+    * ``row_fill`` is the usable fraction of a row pair's width in the
+      capacity constraint (Eq. 4; the paper uses the full w(r), i.e. 1.0).
+    * ``minority_fill_target`` sets how full minority rows are allowed to
+      be when *deriving* N_minR from minority area; lower values open more
+      minority rows.  Used only when ``n_minority_rows`` is None.
+    * ``n_minority_rows`` forces N_minR (Eq. 5); ``None`` derives it from
+      minority area — the flow runner uses one shared value for all flows
+      (the paper's fairness rule of matching Flow (2)).
+    * ``solver_backend``: "highs" (default) or "bnb" (own branch-and-bound).
+    """
+
+    alpha: float = 0.75
+    s: float = 0.2
+    minority_track: float = 7.5
+    row_fill: float = 0.9
+    minority_fill_target: float = 0.6
+    n_minority_rows: int | None = None
+    solver_backend: str = "highs"
+    solver_time_limit_s: float | None = None
+    kmeans_max_iterations: int = 60
+    refine_iterations: int = 4
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.alpha <= 1.0):
+            raise ValidationError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not (0.0 < self.s <= 1.0):
+            raise ValidationError(f"s must be in (0, 1], got {self.s}")
+        if not (0.0 < self.row_fill <= 1.0):
+            raise ValidationError("row_fill must be in (0, 1]")
+        if not (0.0 < self.minority_fill_target <= 1.0):
+            raise ValidationError("minority_fill_target must be in (0, 1]")
+        if self.n_minority_rows is not None and self.n_minority_rows < 1:
+            raise ValidationError("n_minority_rows must be >= 1 when forced")
+        if self.kmeans_max_iterations < 1:
+            raise ValidationError("kmeans_max_iterations must be >= 1")
+        if self.refine_iterations < 0:
+            raise ValidationError("refine_iterations must be >= 0")

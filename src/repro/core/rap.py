@@ -1,0 +1,285 @@
+"""Row Assignment Problem: ILP formulation (paper Eqs. 1-5) and solving.
+
+Variables: ``x_cr`` (cluster c assigned to row pair r) and the row
+indicators ``y_r`` that linearize Eq. (5)'s ``max_c x_cr``:
+
+* min  sum f_cr x_cr                                   (Eqs. 1-2)
+* sum_r x_cr = 1                  for every cluster    (Eq. 3)
+* sum_c w(c) x_cr <= w(r) y_r     for every row pair   (Eq. 4, linking)
+* y_r <= sum_c x_cr               ("minority row" means hosting a cluster)
+* sum_r y_r = N_minR                                   (Eq. 5)
+
+"Row" everywhere means a *pair* of physical rows (N-well sharing rule).
+A greedy assignment heuristic is included as warm start / ablation
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers.milp import MilpModel, MilpSolution, solve_milp
+from repro.utils.errors import InfeasibleError, ValidationError
+
+
+@dataclass(frozen=True)
+class RowAssignment:
+    """Solution of the RAP.
+
+    ``pair_tracks[p]`` is the track height of pair ``p``;
+    ``cluster_to_pair[c]`` the minority pair hosting cluster ``c``;
+    ``cell_to_pair[i]`` the same per minority cell (via its cluster label).
+    """
+
+    pair_tracks: list[float]
+    minority_pairs: np.ndarray
+    cluster_to_pair: np.ndarray
+    cell_to_pair: np.ndarray
+    objective: float
+    ilp_runtime_s: float
+    num_variables: int
+    solver_nodes: int = 0
+
+    @property
+    def n_minority_rows(self) -> int:
+        return len(self.minority_pairs)
+
+
+def required_minority_pairs(
+    minority_width_total: float, pair_capacity: float, row_fill: float = 1.0
+) -> int:
+    """Minimum N_minR that can physically hold the minority cells."""
+    if pair_capacity <= 0:
+        raise ValidationError("pair capacity must be positive")
+    usable = pair_capacity * row_fill
+    return max(1, int(np.ceil(minority_width_total / usable)))
+
+
+def build_rap_model(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> MilpModel:
+    """Assemble the MILP of Eqs. (1)-(5).
+
+    Variable layout: ``x`` flattened row-major (cluster-major) first, then
+    the ``y_r`` indicators.
+    """
+    n_c, n_p = f.shape
+    if cluster_width.shape != (n_c,):
+        raise ValidationError("cluster_width shape mismatch")
+    if pair_capacity.shape != (n_p,):
+        raise ValidationError("pair_capacity shape mismatch")
+    if not (1 <= n_minority_rows <= n_p):
+        raise InfeasibleError(
+            f"N_minR={n_minority_rows} outside [1, {n_p}]"
+        )
+    if n_minority_rows > n_p:
+        raise InfeasibleError("more minority rows than rows")
+
+    n_x = n_c * n_p
+    n_vars = n_x + n_p
+    c = np.concatenate([f.ravel(), np.zeros(n_p)])
+
+    # Eq. (3): each cluster assigned exactly once.
+    rows = np.repeat(np.arange(n_c), n_p)
+    cols = np.arange(n_x)
+    a_assign = sp.coo_matrix(
+        (np.ones(n_x), (rows, cols)), shape=(n_c, n_vars)
+    )
+    b_assign = np.ones(n_c)
+
+    # Eq. (5): exactly N_minR minority pairs.
+    a_count = sp.coo_matrix(
+        (np.ones(n_p), (np.zeros(n_p), n_x + np.arange(n_p))),
+        shape=(1, n_vars),
+    )
+    b_count = np.array([float(n_minority_rows)])
+
+    # Eq. (4) + linking: sum_c w_c x_cr - cap_r y_r <= 0.
+    x_rows = np.tile(np.arange(n_p), n_c)
+    x_cols = np.arange(n_x)
+    x_vals = np.repeat(cluster_width, n_p)
+    y_rows = np.arange(n_p)
+    y_cols = n_x + np.arange(n_p)
+    y_vals = -pair_capacity
+    a_cap = sp.coo_matrix(
+        (
+            np.concatenate([x_vals, y_vals]),
+            (np.concatenate([x_rows, y_rows]), np.concatenate([x_cols, y_cols])),
+        ),
+        shape=(n_p, n_vars),
+    )
+    b_cap = np.zeros(n_p)
+
+    # Eq. (5) semantics: an open row must host at least one cluster
+    # (y_r <= sum_c x_cr), matching the paper's max_c x_cr definition.
+    host_rows = np.concatenate([x_rows, y_rows])
+    host_cols = np.concatenate([x_cols, y_cols])
+    host_vals = np.concatenate([-np.ones(n_x), np.ones(n_p)])
+    a_host = sp.coo_matrix(
+        (host_vals, (host_rows, host_cols)), shape=(n_p, n_vars)
+    )
+    b_host = np.zeros(n_p)
+
+    a_ub = sp.vstack([a_cap, a_host]).tocsr()
+    b_ub = np.concatenate([b_cap, b_host])
+    a_eq = sp.vstack([a_assign, a_count]).tocsr()
+    b_eq = np.concatenate([b_assign, b_count])
+
+    return MilpModel(
+        c=c,
+        integrality=np.ones(n_vars),
+        lb=np.zeros(n_vars),
+        ub=np.ones(n_vars),
+        a_ub=a_ub,
+        b_ub=b_ub,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        names=[f"x_{k // n_p}_{k % n_p}" for k in range(n_x)]
+        + [f"y_{r}" for r in range(n_p)],
+    )
+
+
+def greedy_rap(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> np.ndarray | None:
+    """Greedy warm start: returns cluster -> pair, or None when stuck.
+
+    Clusters are handled widest-first; each goes to the cheapest feasible
+    already-open pair, opening a new pair (cheapest for this cluster) while
+    fewer than ``n_minority_rows`` are open.
+    """
+    n_c, n_p = f.shape
+    open_pairs: list[int] = []
+    remaining = pair_capacity.astype(float).copy()
+    assignment = np.full(n_c, -1, dtype=int)
+    for cluster in np.argsort(-cluster_width, kind="stable"):
+        width = cluster_width[cluster]
+        feasible_open = [p for p in open_pairs if remaining[p] >= width]
+        best_open = (
+            min(feasible_open, key=lambda p: f[cluster, p])
+            if feasible_open
+            else None
+        )
+        candidate_new = None
+        if len(open_pairs) < n_minority_rows:
+            closed = [
+                p
+                for p in range(n_p)
+                if p not in open_pairs and remaining[p] >= width
+            ]
+            if closed:
+                candidate_new = min(closed, key=lambda p: f[cluster, p])
+        choice = None
+        if best_open is not None and candidate_new is not None:
+            choice = (
+                candidate_new
+                if f[cluster, candidate_new] < f[cluster, best_open]
+                else best_open
+            )
+        else:
+            choice = best_open if best_open is not None else candidate_new
+        if choice is None:
+            return None
+        if choice not in open_pairs:
+            open_pairs.append(choice)
+        assignment[cluster] = choice
+        remaining[choice] -= width
+    if len(open_pairs) != n_minority_rows:
+        # Fewer opened than required: open the cheapest unused pairs so the
+        # row count matches (they stay empty only in the warm start, which
+        # the exact solve then repairs — see solve_rap).
+        return None
+    return assignment
+
+
+def solution_to_assignment(
+    solution: MilpSolution,
+    n_clusters: int,
+    n_pairs: int,
+    labels: np.ndarray,
+    majority_track: float,
+    minority_track: float,
+) -> RowAssignment:
+    """Decode a MILP solution vector into a :class:`RowAssignment`."""
+    if not solution.ok or solution.x is None:
+        raise InfeasibleError(f"RAP solve failed: {solution.status}")
+    x = np.round(solution.x[: n_clusters * n_pairs]).reshape(n_clusters, n_pairs)
+    cluster_to_pair = np.argmax(x, axis=1)
+    if not np.all(x.sum(axis=1) == 1):
+        raise InfeasibleError("RAP solution violates unique assignment")
+    minority_pairs = np.unique(cluster_to_pair)
+    pair_tracks = [
+        minority_track if p in set(minority_pairs.tolist()) else majority_track
+        for p in range(n_pairs)
+    ]
+    cell_to_pair = cluster_to_pair[labels]
+    return RowAssignment(
+        pair_tracks=pair_tracks,
+        minority_pairs=minority_pairs,
+        cluster_to_pair=cluster_to_pair,
+        cell_to_pair=cell_to_pair,
+        objective=solution.objective,
+        ilp_runtime_s=solution.runtime_s,
+        num_variables=n_clusters * n_pairs + n_pairs,
+        solver_nodes=solution.nodes,
+    )
+
+
+def assignment_to_vector(
+    assignment: np.ndarray, n_clusters: int, n_pairs: int
+) -> np.ndarray:
+    """Encode a cluster->pair map as a full (x, y) MILP variable vector."""
+    x = np.zeros(n_clusters * n_pairs)
+    y = np.zeros(n_pairs)
+    for c, p in enumerate(assignment):
+        x[c * n_pairs + int(p)] = 1.0
+        y[int(p)] = 1.0
+    return np.concatenate([x, y])
+
+
+def solve_rap(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    labels: np.ndarray,
+    majority_track: float = 6.0,
+    minority_track: float = 7.5,
+    backend: str = "highs",
+    time_limit_s: float | None = None,
+) -> RowAssignment:
+    """Build and solve the RAP; returns the decoded assignment.
+
+    The own branch-and-bound backend is seeded with the greedy warm start
+    (when it exists and opens exactly N_minR rows), which prunes most of
+    the search tree on typical instances.
+    """
+    model = build_rap_model(f, cluster_width, pair_capacity, n_minority_rows)
+    warm_vector = None
+    if backend == "bnb":
+        warm = greedy_rap(f, cluster_width, pair_capacity, n_minority_rows)
+        if warm is not None:
+            candidate = assignment_to_vector(warm, *f.shape)
+            if model.is_feasible(candidate):
+                warm_vector = candidate
+    solution = solve_milp(
+        model, backend=backend, time_limit_s=time_limit_s,
+        warm_start=warm_vector,
+    )
+    return solution_to_assignment(
+        solution,
+        n_clusters=f.shape[0],
+        n_pairs=f.shape[1],
+        labels=labels,
+        majority_track=majority_track,
+        minority_track=minority_track,
+    )

@@ -1,0 +1,133 @@
+"""Post-placement track-height swapping (paper conclusion, future work).
+
+"A future research direction might be to swap the track-heights of the
+cells" — after row-constraint placement, a cell may be better off at the
+other track height: a minority (7.5T) cell with ample timing slack that
+sits far from any minority row could become 6T (saving wirelength and
+power), and, symmetrically, a critical 6T cell adjacent to a minority row
+could be promoted.
+
+This module implements the demotion direction, the safe one post-route:
+pick minority cells whose slack exceeds a margin *after* accounting for
+the delay increase of the 6T variant, swap them, and re-legalize only the
+affected rows.  Promotion is exposed too but disabled by default since it
+can overfill minority rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.db import PlacedDesign
+from repro.placement.legalize import abacus_legalize
+from repro.timing.delay import TimingParams
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import run_sta
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SwapResult:
+    """Outcome of one swap pass."""
+
+    demoted: int
+    candidates: int
+    wns_before_ps: float
+    wns_after_ps: float
+    minority_indices_after: np.ndarray
+
+
+def swap_track_heights(
+    placed: PlacedDesign,
+    minority_indices: np.ndarray,
+    net_lengths_nm: np.ndarray,
+    slack_margin_ps: float = 30.0,
+    max_swap_fraction: float = 0.25,
+    timing_params: TimingParams | None = None,
+) -> SwapResult:
+    """Demote slack-rich minority cells to their short-track variants.
+
+    ``placed`` must be a legal mixed-frame placement; ``net_lengths_nm``
+    the current length estimates (HPWL or routed).  Swapped cells move to
+    the nearest majority row and both affected row classes are
+    re-legalized.  The design's masters are updated in place.
+    """
+    if not (0.0 <= max_swap_fraction <= 1.0):
+        raise ValidationError("max_swap_fraction must be in [0, 1]")
+    design = placed.design
+    library = design.library
+    minority_indices = np.asarray(minority_indices, dtype=int)
+    if len(minority_indices) == 0:
+        raise ValidationError("no minority cells to consider")
+
+    minority_track = design.instances[int(minority_indices[0])].master.track_height
+    tracks = library.track_heights
+    majority_track = next(t for t in tracks if t != minority_track)
+
+    graph = TimingGraph.build(design)
+    report = run_sta(design, graph, net_lengths_nm, timing_params)
+    slack = report.instance_slack(graph)
+
+    # Delay penalty of the swap, conservatively at the cell's current load.
+    candidates: list[tuple[float, int]] = []
+    from repro.timing.delay import net_capacitance_ff
+
+    loads = net_capacitance_ff(
+        net_lengths_nm, graph.net_sink_cap, timing_params or TimingParams()
+    )
+    for i in minority_indices:
+        master = design.instances[int(i)].master
+        try:
+            twin = library.variant(master, majority_track)
+        except KeyError:
+            continue
+        out = graph.inst_output[int(i)]
+        load = loads[out] if out >= 0 else 0.0
+        penalty = twin.delay_ps(load) - master.delay_ps(load)
+        effective = slack[int(i)] - max(penalty, 0.0)
+        if np.isfinite(effective) and effective > slack_margin_ps:
+            candidates.append((float(effective), int(i)))
+
+    candidates.sort(reverse=True)  # most slack first
+    budget = int(np.floor(max_swap_fraction * len(minority_indices)))
+    chosen = [i for _, i in candidates[:budget]]
+
+    fp = placed.floorplan
+    majority_rows = fp.rows_of_track(majority_track)
+    if chosen and not majority_rows:
+        raise ValidationError("no majority rows to demote into")
+
+    for i in chosen:
+        master = design.instances[i].master
+        design.instances[i].master = library.variant(master, majority_track)
+    if chosen:
+        placed.refresh_masters()
+        # Nudge swapped cells toward the nearest majority row, then
+        # re-legalize the majority class (minority rows only lost cells,
+        # so they stay legal).
+        row_ys = np.array([r.y for r in majority_rows])
+        for i in chosen:
+            target = row_ys[int(np.argmin(np.abs(row_ys - placed.y[i])))]
+            placed.y[i] = target
+        still_minority = np.array(
+            [i for i in minority_indices if i not in set(chosen)], dtype=int
+        )
+        mask = np.zeros(design.num_instances, dtype=bool)
+        mask[still_minority] = True
+        majority_cells = np.flatnonzero(~mask)
+        abacus_legalize(placed, majority_rows, majority_cells)
+    else:
+        still_minority = minority_indices
+
+    report_after = run_sta(
+        design, TimingGraph.build(design), net_lengths_nm, timing_params
+    )
+    return SwapResult(
+        demoted=len(chosen),
+        candidates=len(candidates),
+        wns_before_ps=report.wns_ps,
+        wns_after_ps=report_after.wns_ps,
+        minority_indices_after=still_minority,
+    )

@@ -1,0 +1,20 @@
+"""Evaluation utilities: metrics, normalization and table rendering."""
+
+from repro.eval.metrics import PostRouteMetrics, evaluate_post_route
+from repro.eval.normalize import normalize_01, ratio_to_reference
+from repro.eval.qor import QoRReport, collect_qor
+from repro.eval.report import format_table, rank_correlation_matches
+from repro.eval.visualize import placement_svg, save_placement_svg
+
+__all__ = [
+    "PostRouteMetrics",
+    "evaluate_post_route",
+    "normalize_01",
+    "ratio_to_reference",
+    "QoRReport",
+    "collect_qor",
+    "format_table",
+    "placement_svg",
+    "save_placement_svg",
+    "rank_correlation_matches",
+]

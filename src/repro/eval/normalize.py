@@ -1,0 +1,38 @@
+"""Normalization helpers matching the paper's reporting conventions.
+
+* Fig. 4 uses 0-1 normalization per testcase, then averages over testcases.
+* Tables IV/V report per-metric ratios against Flow (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def normalize_01(values: np.ndarray) -> np.ndarray:
+    """Scale to [0, 1] (constant input maps to zeros, matching a flat line)."""
+    values = np.asarray(values, dtype=float)
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return np.zeros_like(values)
+    return (values - lo) / (hi - lo)
+
+
+def ratio_to_reference(values: dict[int, float], reference: int) -> dict[int, float]:
+    """Per-flow ratios against the reference flow (Flow (2) in the paper)."""
+    if reference not in values:
+        raise ValidationError(f"reference flow {reference} missing")
+    ref = values[reference]
+    if ref == 0:
+        raise ValidationError("reference value is zero")
+    return {flow: value / ref for flow, value in values.items()}
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geomean of positive values (used for cross-testcase aggregation)."""
+    values = np.asarray(values, dtype=float)
+    if np.any(values <= 0):
+        raise ValidationError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark entry points print rows shaped like the paper's tables so a
+reader can compare against the published numbers line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    texts = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in texts)) if texts else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in texts:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def rank_correlation_matches(
+    first: dict[int, float], second: dict[int, float]
+) -> tuple[int, int]:
+    """Count pairwise order agreements between two metric dicts.
+
+    The paper's footnote 5 checks how often the HPWL ordering of two flows
+    matches their routed-wirelength ordering (147/156 there).  Returns
+    (matches, comparisons) over all key pairs present in both dicts.
+    """
+    keys = sorted(set(first) & set(second))
+    matches = 0
+    comparisons = 0
+    for i, a in enumerate(keys):
+        for b in keys[i + 1 :]:
+            da = first[a] - first[b]
+            db = second[a] - second[b]
+            comparisons += 1
+            if da == 0 or db == 0:
+                matches += 1 if da == db else 0
+            elif (da > 0) == (db > 0):
+                matches += 1
+    return matches, comparisons

@@ -1,0 +1,50 @@
+"""Published reference numbers used to check reproduction *shape*.
+
+Absolute values cannot match (the substrate is a simulator, not
+Innovus/ASAP7/CPLEX); these normalized rows and headline claims are what
+EXPERIMENTS.md compares against.
+"""
+
+from __future__ import annotations
+
+#: Table IV bottom row: per-metric normalization against Flow (2).
+PAPER_TABLE4_NORMALIZED: dict[str, dict[int, float]] = {
+    "displacement": {2: 1.000, 3: 5.285, 4: 0.818, 5: 4.731},
+    "hpwl": {1: 0.804, 2: 1.000, 3: 1.014, 4: 0.938, 5: 0.937},
+    "runtime": {2: 1.000, 3: 4.638, 4: 5.109, 5: 7.612},
+}
+
+#: Table V bottom row: per-metric normalization against Flow (2).
+PAPER_TABLE5_NORMALIZED: dict[str, dict[int, float]] = {
+    "wirelength": {1: 0.785, 2: 1.000, 4: 0.924, 5: 0.915},
+    "power": {1: 0.934, 2: 1.000, 4: 0.975, 5: 0.967},
+    "wns": {1: 0.723, 2: 1.000, 4: 0.876, 5: 0.760},
+    "tns": {1: 0.773, 2: 1.000, 4: 0.957, 5: 0.870},
+}
+
+#: Chosen operating point (Sec. IV.B.1 / Fig. 4).
+PAPER_CHOSEN_S = 0.2
+PAPER_CHOSEN_ALPHA = 0.75
+
+#: Sec. IV.B.4 clustering ablation versus the no-clustering ILP flow.
+PAPER_CLUSTERING_IMPACT = {
+    0.2: {"ilp_runtime_cut": 0.910, "disp_overhead": 0.052, "hpwl_overhead": 0.010},
+    0.5: {"ilp_runtime_cut": 0.695, "disp_overhead": 0.004, "hpwl_overhead": 0.002},
+}
+
+#: Sec. IV.B.3 stage-runtime profile of Flow (5) by size class.
+PAPER_RUNTIME_PROFILE = {
+    "small": {"rap": 0.0495, "legalization": 0.9504},
+    "medium": {"rap": 0.3057, "legalization": 0.6941},
+    "large": {"rap": 0.7260, "legalization": 0.2737},
+}
+
+#: Sec. IV.B.6 overheads versus the unconstrained Flow (1).
+PAPER_OVERHEAD_VS_FLOW1 = {
+    "post_place_hpwl": {2: 0.266, 5: 0.172},
+    "post_route_wl": {2: 0.319, 5: 0.170},
+    "post_route_power": {2: 0.076, 5: 0.036},
+}
+
+#: Footnote 5: HPWL vs routed-WL rank correlation (147 of 156 pairs).
+PAPER_RANK_MATCHES = (147, 156)

@@ -1,0 +1,52 @@
+"""Shared experiment runner: build a testcase, run flows, collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.flows import (
+    FlowKind,
+    FlowResult,
+    FlowRunner,
+    InitialPlacement,
+    prepare_initial_placement,
+)
+from repro.core.params import RCPPParams
+from repro.experiments.testcases import DEFAULT_SCALE, TestcaseSpec, build_testcase
+from repro.netlist.db import Design
+from repro.techlib.asap7 import make_asap7_library
+from repro.techlib.cells import StdCellLibrary
+
+
+@dataclass
+class TestcaseRun:
+    """All flow artifacts of one testcase."""
+
+    spec: TestcaseSpec
+    design: Design
+    initial: InitialPlacement
+    runner: FlowRunner
+    results: dict[FlowKind, FlowResult] = field(default_factory=dict)
+
+    def run(self, kind: FlowKind) -> FlowResult:
+        if kind not in self.results:
+            self.results[kind] = self.runner.run(kind)
+        return self.results[kind]
+
+
+def run_testcase(
+    spec: TestcaseSpec,
+    flows: tuple[FlowKind, ...],
+    scale: float = DEFAULT_SCALE,
+    params: RCPPParams | None = None,
+    library: StdCellLibrary | None = None,
+) -> TestcaseRun:
+    """Build the testcase, place it, run the requested flows."""
+    library = library or make_asap7_library()
+    design = build_testcase(spec, library, scale=scale)
+    initial = prepare_initial_placement(design, library)
+    runner = FlowRunner(initial, params)
+    run = TestcaseRun(spec=spec, design=design, initial=initial, runner=runner)
+    for kind in flows:
+        run.run(kind)
+    return run

@@ -1,0 +1,11 @@
+"""Planar geometry primitives shared by every layout-facing module.
+
+Coordinates are integers in database units (DBU); 1 DBU = 1 nm in the
+synthetic ASAP7-like technology (:mod:`repro.techlib.asap7`).
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_box
+
+__all__ = ["Interval", "Point", "Rect", "bounding_box"]

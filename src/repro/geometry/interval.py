@@ -1,0 +1,61 @@
+"""Half-open 1-D interval ``[lo, hi)`` used for row spans and site ranges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """Half-open interval ``[lo, hi)`` on the integer line.
+
+    Degenerate intervals (``lo == hi``) are allowed and have zero length;
+    inverted intervals are rejected.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValidationError(f"inverted interval [{self.lo}, {self.hi})")
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def empty(self) -> bool:
+        return self.hi == self.lo
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value < self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` lies fully inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the open overlap is non-empty (touching is not overlap)."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """Overlap interval; empty (zero-length at the boundary) if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi < lo:
+            return Interval(lo, lo)
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def clamp(self, value: int) -> int:
+        """Clamp ``value`` into ``[lo, hi]`` (closed, so hi is reachable)."""
+        return min(max(value, self.lo), self.hi)
+
+    def shifted(self, delta: int) -> "Interval":
+        return Interval(self.lo + delta, self.hi + delta)

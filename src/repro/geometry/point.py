@@ -1,0 +1,23 @@
+"""Integer lattice point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point on the manufacturing grid, in DBU."""
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan(self, other: "Point") -> int:
+        """Manhattan (L1) distance to ``other`` — the routing metric."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.x, self.y)

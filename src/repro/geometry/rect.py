@@ -1,0 +1,124 @@
+"""Axis-aligned rectangle in DBU, half-open in both axes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Axis-aligned rectangle covering ``[xlo, xhi) x [ylo, yhi)``."""
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValidationError(
+                f"inverted rect ({self.xlo},{self.ylo})-({self.xhi},{self.yhi})"
+            )
+
+    @classmethod
+    def from_size(cls, xlo: int, ylo: int, width: int, height: int) -> "Rect":
+        return cls(xlo, ylo, xlo + width, ylo + height)
+
+    @property
+    def width(self) -> int:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> int:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def empty(self) -> bool:
+        return self.width == 0 or self.height == 0
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) // 2, (self.ylo + self.yhi) // 2)
+
+    @property
+    def x_interval(self) -> Interval:
+        return Interval(self.xlo, self.xhi)
+
+    @property
+    def y_interval(self) -> Interval:
+        return Interval(self.ylo, self.yhi)
+
+    def contains_point(self, point: Point) -> bool:
+        return self.xlo <= point.x < self.xhi and self.ylo <= point.y < self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.xlo <= other.xlo
+            and other.xhi <= self.xhi
+            and self.ylo <= other.ylo
+            and other.yhi <= self.yhi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the open intersection has positive area."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """Overlap rectangle; a degenerate rect when the operands are disjoint."""
+        xlo = max(self.xlo, other.xlo)
+        ylo = max(self.ylo, other.ylo)
+        xhi = min(self.xhi, other.xhi)
+        yhi = min(self.yhi, other.yhi)
+        if xhi < xlo or yhi < ylo:
+            return Rect(xlo, ylo, xlo, ylo)
+        return Rect(xlo, ylo, xhi, yhi)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    def hull(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def half_perimeter(self) -> int:
+        """Half-perimeter of the rect — the HPWL contribution of its corners."""
+        return self.width + self.height
+
+
+def bounding_box(points: Iterable[Point]) -> Rect:
+    """Smallest rect covering ``points``.
+
+    Raises :class:`ValidationError` on an empty iterable, because an empty
+    bounding box has no meaningful HPWL.
+    """
+    iterator = iter(points)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValidationError("bounding_box of zero points") from None
+    xlo = xhi = first.x
+    ylo = yhi = first.y
+    for point in iterator:
+        xlo = min(xlo, point.x)
+        xhi = max(xhi, point.x)
+        ylo = min(ylo, point.y)
+        yhi = max(yhi, point.y)
+    return Rect(xlo, ylo, xhi, yhi)

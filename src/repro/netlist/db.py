@@ -1,0 +1,255 @@
+"""Design database: instances, nets, pins and primary ports.
+
+The database is deliberately index-oriented: instances and nets carry dense
+integer indices so placement, timing and routing can build numpy arrays over
+them without dictionary lookups in inner loops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.techlib.cells import CellMaster, PinDirection, StdCellLibrary
+from repro.utils.errors import ValidationError
+
+
+class PortDirection(enum.Enum):
+    """Direction of a primary port, from the design's point of view."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Instance:
+    """A placed occurrence of a cell master.
+
+    ``master`` is mutable: synthesis swaps drive strengths and track-height
+    variants, and the mLEF step swaps every master for its squashed twin.
+    """
+
+    name: str
+    master: CellMaster
+    index: int
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.master.is_sequential
+
+
+@dataclass(frozen=True, slots=True)
+class NetPin:
+    """One connection point of a net.
+
+    Exactly one of (``instance_index`` + ``pin_name``) or ``port_index`` is
+    set: -1 marks the unused side.
+    """
+
+    instance_index: int
+    pin_name: str
+    port_index: int = -1
+
+    @classmethod
+    def on_instance(cls, instance_index: int, pin_name: str) -> "NetPin":
+        return cls(instance_index, pin_name, -1)
+
+    @classmethod
+    def on_port(cls, port_index: int) -> "NetPin":
+        return cls(-1, "", port_index)
+
+    @property
+    def is_port(self) -> bool:
+        return self.port_index >= 0
+
+
+@dataclass
+class Net:
+    """A signal net: one driver pin plus sink pins.
+
+    ``pins[0]`` is the driver by convention (an instance output pin or an
+    input port).  ``activity`` is the switching activity factor used by the
+    power model.
+    """
+
+    name: str
+    index: int
+    pins: list[NetPin] = field(default_factory=list)
+    activity: float = 0.1
+    is_clock: bool = False
+
+    @property
+    def driver(self) -> NetPin:
+        if not self.pins:
+            raise ValidationError(f"net {self.name} has no pins")
+        return self.pins[0]
+
+    @property
+    def sinks(self) -> list[NetPin]:
+        return self.pins[1:]
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+
+@dataclass
+class Port:
+    """A primary input/output of the design.
+
+    Ports have no area; the floorplanner pins them to the die boundary and
+    they act as fixed pins for placement, timing and routing.
+    """
+
+    name: str
+    direction: PortDirection
+    index: int
+    is_clock: bool = False
+
+
+class Design:
+    """A gate-level design: library + instances + nets + ports + clock.
+
+    Invariants (checked by :meth:`validate`):
+
+    * instance/net/port indices are dense and match list positions;
+    * every net has exactly one driver (instance output pin or input port);
+    * every net pin references an existing instance pin or port;
+    * every instance master belongs to :attr:`library` (mLEF twin libraries
+      are also accepted when registered via :meth:`allow_library`).
+    """
+
+    def __init__(
+        self, name: str, library: StdCellLibrary, clock_period_ps: float
+    ) -> None:
+        if clock_period_ps <= 0:
+            raise ValidationError("clock period must be positive")
+        self.name = name
+        self.library = library
+        self.clock_period_ps = clock_period_ps
+        self.instances: list[Instance] = []
+        self.nets: list[Net] = []
+        self.ports: list[Port] = []
+        self._extra_libraries: list[StdCellLibrary] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_instance(self, name: str, master: CellMaster) -> Instance:
+        inst = Instance(name=name, master=master, index=len(self.instances))
+        self.instances.append(inst)
+        return inst
+
+    def add_net(self, name: str, activity: float = 0.1, is_clock: bool = False) -> Net:
+        net = Net(
+            name=name, index=len(self.nets), activity=activity, is_clock=is_clock
+        )
+        self.nets.append(net)
+        return net
+
+    def add_port(
+        self, name: str, direction: PortDirection, is_clock: bool = False
+    ) -> Port:
+        port = Port(
+            name=name, direction=direction, index=len(self.ports), is_clock=is_clock
+        )
+        self.ports.append(port)
+        return port
+
+    def allow_library(self, library: StdCellLibrary) -> None:
+        """Register an additional library whose masters instances may use."""
+        self._extra_libraries.append(library)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def minority_mask(self, minority_track: float) -> list[bool]:
+        """Per-instance flags: True when the instance is a minority cell."""
+        return [i.master.track_height == minority_track for i in self.instances]
+
+    def minority_fraction(self, minority_track: float) -> float:
+        if not self.instances:
+            return 0.0
+        count = sum(self.minority_mask(minority_track))
+        return count / len(self.instances)
+
+    def area_by_track(self) -> dict[float, float]:
+        """Total cell area per track height (drives the mLEF height)."""
+        out: dict[float, float] = {}
+        for inst in self.instances:
+            track = inst.master.track_height
+            out[track] = out.get(track, 0.0) + inst.master.area
+        return out
+
+    def clock_port(self) -> Port | None:
+        for port in self.ports:
+            if port.is_clock:
+                return port
+        return None
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ValidationError on violation."""
+        known = {id(self.library)} | {id(lib) for lib in self._extra_libraries}
+        names = {lib.name for lib in [self.library, *self._extra_libraries]}
+        for pos, inst in enumerate(self.instances):
+            if inst.index != pos:
+                raise ValidationError(f"instance {inst.name}: index mismatch")
+            owner_ok = any(
+                inst.master.name in lib and lib[inst.master.name] is inst.master
+                for lib in [self.library, *self._extra_libraries]
+            )
+            if not owner_ok:
+                raise ValidationError(
+                    f"instance {inst.name}: master {inst.master.name} not in "
+                    f"libraries {sorted(names)} (known ids {len(known)})"
+                )
+        for pos, port in enumerate(self.ports):
+            if port.index != pos:
+                raise ValidationError(f"port {port.name}: index mismatch")
+        for pos, net in enumerate(self.nets):
+            if net.index != pos:
+                raise ValidationError(f"net {net.name}: index mismatch")
+            self._validate_net(net)
+
+    def _validate_net(self, net: Net) -> None:
+        if not net.pins:
+            raise ValidationError(f"net {net.name}: empty")
+        for k, np_ in enumerate(net.pins):
+            if np_.is_port:
+                if not (0 <= np_.port_index < len(self.ports)):
+                    raise ValidationError(f"net {net.name}: bad port index")
+            else:
+                if not (0 <= np_.instance_index < len(self.instances)):
+                    raise ValidationError(f"net {net.name}: bad instance index")
+                inst = self.instances[np_.instance_index]
+                pin = inst.master.pin(np_.pin_name)  # KeyError -> caller bug
+                is_driver_pin = pin.direction is PinDirection.OUTPUT
+                if (k == 0) != is_driver_pin:
+                    raise ValidationError(
+                        f"net {net.name}: pin {k} ({inst.name}/{np_.pin_name}) "
+                        f"direction inconsistent with driver-first convention"
+                    )
+        if net.driver.is_port:
+            port = self.ports[net.driver.port_index]
+            if port.direction is not PortDirection.INPUT:
+                raise ValidationError(
+                    f"net {net.name}: driven by non-input port {port.name}"
+                )
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics in the shape of the paper's Table II row."""
+        minority = self.minority_fraction(7.5) * 100.0
+        return {
+            "cells": float(self.num_instances),
+            "pct_75t": minority,
+            "nets": float(self.num_nets),
+            "clock_ps": self.clock_period_ps,
+        }

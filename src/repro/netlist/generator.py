@@ -1,0 +1,269 @@
+"""Seeded synthetic gate-level netlist generator.
+
+Stands in for Design Compiler synthesis of the OpenCores RTL (Table II).
+The generator produces a legal combinational-DAG-plus-registers netlist
+with the statistics that matter to placement and timing:
+
+* cell count and register fraction; net count slightly above cell count
+  (one net per cell output plus primary inputs), matching Table II;
+* **module structure**: cells are partitioned into modules (logic cones)
+  with strong intra-module connectivity, giving the Rent-style locality
+  real circuits have — placements form spatial blobs per module;
+* **per-module logic depth**: modules draw different depth multipliers, so
+  some cones are timing-critical and others are not.  The synthesis sizing
+  loop therefore promotes *spatially clumped* groups of cells to 7.5T,
+  reproducing the minority-cell distribution that makes row assignment a
+  non-trivial optimization (uniformly sprinkled minorities would make any
+  row choice equally good);
+* levelized ranks inside each module, so critical-path depth is a
+  controlled parameter;
+* every net driven exactly once, no dangling outputs (leftovers become
+  primary outputs), and a dedicated high-fanout clock net for the DFFs.
+
+All randomness flows through one seed, so a (spec, seed) pair is a stable,
+shareable testcase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.db import Design, Net, NetPin, PortDirection
+from repro.techlib.cells import StdCellLibrary
+from repro.utils.errors import ValidationError
+from repro.utils.rng import make_rng
+
+#: Default combinational function mix (weights need not sum to 1).
+DEFAULT_FUNCTION_WEIGHTS: dict[str, float] = {
+    "INV": 0.12,
+    "BUF": 0.06,
+    "NAND2": 0.18,
+    "NOR2": 0.12,
+    "AND2": 0.10,
+    "OR2": 0.08,
+    "XOR2": 0.08,
+    "AOI21": 0.08,
+    "OAI21": 0.08,
+    "MUX2": 0.06,
+    "MAJ3": 0.04,
+}
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of one synthetic circuit.
+
+    ``logic_depth`` is the nominal number of combinational ranks between
+    register boundaries; each module scales it by a factor drawn from
+    ``depth_spread`` (e.g. 0.45 means factors in [0.55, 1.45]), so module
+    criticality varies.  ``module_affinity`` is the probability a fanin
+    stays inside the cell's own module.  ``prev_rank_probability`` is the
+    chance an intra-module fanin comes from the immediately preceding rank.
+    """
+
+    name: str
+    n_cells: int
+    clock_period_ps: float
+    logic_depth: int = 24
+    reg_fraction: float = 0.12
+    n_primary_inputs: int | None = None
+    n_modules: int | None = None
+    module_affinity: float = 0.95
+    depth_spread: float = 0.45
+    prev_rank_probability: float = 0.75
+    function_weights: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_FUNCTION_WEIGHTS)
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 4:
+            raise ValidationError("n_cells must be at least 4")
+        if self.logic_depth < 1:
+            raise ValidationError("logic_depth must be at least 1")
+        if not (0.0 <= self.reg_fraction < 1.0):
+            raise ValidationError("reg_fraction must be in [0, 1)")
+        if not (0.0 < self.prev_rank_probability <= 1.0):
+            raise ValidationError("prev_rank_probability must be in (0, 1]")
+        if not (0.0 <= self.module_affinity <= 1.0):
+            raise ValidationError("module_affinity must be in [0, 1]")
+        if not (0.0 <= self.depth_spread < 1.0):
+            raise ValidationError("depth_spread must be in [0, 1)")
+        if self.n_modules is not None and self.n_modules < 1:
+            raise ValidationError("n_modules must be >= 1")
+
+
+def _default_pi_count(n_cells: int) -> int:
+    """Primary-input count scaling like Table II's net-vs-cell surplus."""
+    return max(8, int(round(1.9 * n_cells**0.55)))
+
+
+def _default_module_count(n_cells: int) -> int:
+    """A handful of cones for small designs, dozens for large ones."""
+    return max(4, min(40, n_cells // 400))
+
+
+class _ModuleState:
+    """Per-module generation state: ranked source pools."""
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self.ranks: list[list[int]] = [[] for _ in range(depth + 1)]
+        self.unused: list[set[int]] = [set() for _ in range(depth + 1)]
+        self.all_outputs: list[int] = []
+
+    def emit(self, net_index: int, rank: int) -> None:
+        self.ranks[rank].append(net_index)
+        self.unused[rank].add(net_index)
+        self.all_outputs.append(net_index)
+
+
+def generate_netlist(spec: GeneratorSpec, library: StdCellLibrary) -> Design:
+    """Generate a validated :class:`Design` for ``spec``.
+
+    All instances start as RVT drive-1 masters of the library's shortest
+    track height (the synthesis sizing loop assigns fanout-appropriate
+    drives and promotes critical cells to the tall track afterwards).
+    """
+    rng = make_rng(spec.seed)
+    design = Design(spec.name, library, spec.clock_period_ps)
+
+    n_dff = int(round(spec.n_cells * spec.reg_fraction))
+    n_comb = spec.n_cells - n_dff
+    n_pi = (
+        spec.n_primary_inputs
+        if spec.n_primary_inputs is not None
+        else _default_pi_count(spec.n_cells)
+    )
+    n_modules = spec.n_modules or _default_module_count(spec.n_cells)
+    n_modules = min(n_modules, max(1, n_comb // 8))
+
+    functions = list(spec.function_weights)
+    weights = np.array([spec.function_weights[f] for f in functions], dtype=float)
+    if weights.sum() <= 0:
+        raise ValidationError("function weights must have positive sum")
+    weights = weights / weights.sum()
+
+    clock_port = design.add_port("clk", PortDirection.INPUT, is_clock=True)
+    clock_net = design.add_net("clk_net", activity=1.0, is_clock=True)
+    clock_net.pins.append(NetPin.on_port(clock_port.index))
+
+    # Module sizes: roughly equal with +-35% jitter.
+    raw = rng.uniform(0.65, 1.35, n_modules)
+    comb_counts = np.maximum(1, np.round(raw / raw.sum() * n_comb).astype(int))
+    while comb_counts.sum() > n_comb:
+        comb_counts[int(np.argmax(comb_counts))] -= 1
+    while comb_counts.sum() < n_comb:
+        comb_counts[int(np.argmin(comb_counts))] += 1
+
+    # Per-module depth factor: some cones are much deeper (critical).
+    factors = rng.uniform(1.0 - spec.depth_spread, 1.0 + spec.depth_spread, n_modules)
+    depths = np.maximum(2, np.round(spec.logic_depth * factors).astype(int))
+    depths = np.minimum(depths, comb_counts)
+
+    modules = [_ModuleState(int(depth)) for depth in depths]
+
+    # Primary inputs and register outputs are rank-0 sources, dealt to
+    # modules round-robin so every cone has entry points.
+    base_track = min(library.track_heights)
+    base_master = {
+        f: library.find(f, drive=1, vt="RVT", track_height=base_track)[0]
+        for f in functions
+    }
+    dff_master = library.find("DFF", drive=1, vt="RVT", track_height=base_track)[0]
+
+    for k in range(n_pi):
+        port = design.add_port(f"pi_{k}", PortDirection.INPUT)
+        net = design.add_net(f"net_pi_{k}", activity=float(rng.uniform(0.08, 0.2)))
+        net.pins.append(NetPin.on_port(port.index))
+        modules[k % n_modules].emit(net.index, 0)
+
+    dff_of_module: list[list[int]] = [[] for _ in range(n_modules)]
+    for k in range(n_dff):
+        inst = design.add_instance(f"ff_{k}", dff_master)
+        qnet = design.add_net(f"net_ff_{k}", activity=float(rng.uniform(0.05, 0.18)))
+        qnet.pins.append(NetPin.on_instance(inst.index, "Y"))
+        clock_net.pins.append(NetPin.on_instance(inst.index, "CLK"))
+        m = k % n_modules
+        modules[m].emit(qnet.index, 0)
+        dff_of_module[m].append(inst.index)
+
+    # Cross-module pool: outputs of already generated modules (acyclic).
+    finished_outputs: list[int] = []
+
+    def pick_intra(module: _ModuleState, rank: int) -> int:
+        if rng.random() < spec.prev_rank_probability:
+            src_rank = rank - 1
+        else:
+            back = 1 + int(rng.geometric(p=0.5))
+            src_rank = max(0, rank - 1 - back)
+        while not module.ranks[src_rank]:
+            src_rank -= 1
+            if src_rank < 0:
+                raise ValidationError("module has no sources")  # pragma: no cover
+        pool = module.unused[src_rank]
+        if pool and rng.random() < 0.6:
+            net_index = min(pool)
+            pool.discard(net_index)
+            return net_index
+        choices = module.ranks[src_rank]
+        net_index = choices[int(rng.integers(len(choices)))]
+        pool.discard(net_index)
+        return net_index
+
+    def pick_source(module: _ModuleState, rank: int) -> int:
+        if finished_outputs and rng.random() > spec.module_affinity:
+            return finished_outputs[int(rng.integers(len(finished_outputs)))]
+        return pick_intra(module, rank)
+
+    cell_id = 0
+    for m, module in enumerate(modules):
+        depth = module.depth
+        rank_weights = np.linspace(1.25, 0.75, depth)
+        rank_counts = np.maximum(
+            1,
+            np.round(rank_weights / rank_weights.sum() * comb_counts[m]).astype(int),
+        )
+        while rank_counts.sum() > comb_counts[m]:
+            rank_counts[int(np.argmax(rank_counts))] -= 1
+        while rank_counts.sum() < comb_counts[m]:
+            rank_counts[int(np.argmin(rank_counts))] += 1
+
+        for rank in range(1, depth + 1):
+            for _ in range(int(rank_counts[rank - 1])):
+                function = functions[int(rng.choice(len(functions), p=weights))]
+                master = base_master[function]
+                inst = design.add_instance(f"u_{cell_id}", master)
+                cell_id += 1
+                out_net = design.add_net(
+                    f"net_{inst.name}", activity=float(rng.uniform(0.04, 0.16))
+                )
+                out_net.pins.append(NetPin.on_instance(inst.index, "Y"))
+                for pin in master.input_pins:
+                    src = pick_source(module, rank)
+                    design.nets[src].pins.append(
+                        NetPin.on_instance(inst.index, pin.name)
+                    )
+                module.emit(out_net.index, rank)
+
+        # Close the module's pipelines: its DFF D inputs read deep ranks.
+        for inst_index in dff_of_module[m]:
+            src = pick_intra(module, depth + 1 if depth >= 1 else 1)
+            design.nets[src].pins.append(NetPin.on_instance(inst_index, "D"))
+        finished_outputs.extend(module.all_outputs)
+
+    # Any still-unused output becomes a primary output so nothing dangles.
+    leftovers = sorted(
+        net_index
+        for module in modules
+        for pool in module.unused
+        for net_index in pool
+    )
+    for k, net_index in enumerate(leftovers):
+        port = design.add_port(f"po_{k}", PortDirection.OUTPUT)
+        design.nets[net_index].pins.append(NetPin.on_port(port.index))
+
+    design.validate()
+    return design

@@ -1,0 +1,151 @@
+"""Structural-Verilog-style netlist writer/parser.
+
+Flows exchange gate-level netlists as structural Verilog; this module
+round-trips a :class:`~repro.netlist.db.Design` through that format (one
+module, wire declarations, named-port instantiations).  Net activities and
+the clock period are not part of Verilog; the writer stores them in
+magic comments the parser understands, so a full round trip is lossless.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.db import Design, NetPin, PortDirection
+from repro.techlib.cells import PinDirection, StdCellLibrary
+from repro.utils.errors import ValidationError
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def write_verilog(design: Design) -> str:
+    """Serialize ``design`` as structural Verilog."""
+    lines: list[str] = [
+        f"// repro-clock-period-ps: {design.clock_period_ps}",
+        f"module {design.name} (",
+    ]
+    port_decls = [f"  {p.direction.value} {p.name}" for p in design.ports]
+    lines.append(",\n".join(port_decls))
+    lines.append(");")
+
+    port_net: dict[int, str] = {}
+    for net in design.nets:
+        for np_ in net.pins:
+            if np_.is_port:
+                port_net[np_.port_index] = net.name
+
+    for net in design.nets:
+        clock_tag = " // clock" if net.is_clock else ""
+        lines.append(
+            f"  wire {net.name}; // activity={net.activity:.6f}{clock_tag}"
+        )
+    for port in design.ports:
+        if port.index in port_net:
+            net_name = port_net[port.index]
+            if port.direction is PortDirection.INPUT:
+                lines.append(f"  assign {net_name} = {port.name};")
+            else:
+                lines.append(f"  assign {port.name} = {net_name};")
+
+    # instance connections: instance index -> pin -> net name
+    conns: dict[int, dict[str, str]] = {i: {} for i in range(design.num_instances)}
+    for net in design.nets:
+        for np_ in net.pins:
+            if not np_.is_port:
+                conns[np_.instance_index][np_.pin_name] = net.name
+    for inst in design.instances:
+        pin_txt = ", ".join(
+            f".{pin}({net})" for pin, net in sorted(conns[inst.index].items())
+        )
+        lines.append(f"  {inst.master.name} {inst.name} ({pin_txt});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def parse_verilog(text: str, library: StdCellLibrary) -> Design:
+    """Parse the subset emitted by :func:`write_verilog`."""
+    clock_period = 1000.0
+    m = re.search(r"repro-clock-period-ps:\s*([0-9.eE+-]+)", text)
+    if m:
+        clock_period = float(m.group(1))
+
+    mod = re.search(r"module\s+(\w+)\s*\((.*?)\);", text, re.S)
+    if not mod:
+        raise ValidationError("no module declaration found")
+    design = Design(mod.group(1), library, clock_period)
+
+    port_dirs: dict[str, PortDirection] = {}
+    port_order: list[str] = []
+    for decl in mod.group(2).split(","):
+        decl = decl.strip()
+        if not decl:
+            continue
+        direction_txt, name = decl.split()
+        port_dirs[name] = PortDirection(direction_txt)
+        port_order.append(name)
+
+    body = text[mod.end() :]
+
+    net_activity: dict[str, float] = {}
+    clock_nets: set[str] = set()
+    for m_wire in re.finditer(
+        r"wire\s+(\w+);\s*//\s*activity=([0-9.eE+-]+)(\s*//\s*clock)?", body
+    ):
+        net_activity[m_wire.group(1)] = float(m_wire.group(2))
+        if m_wire.group(3):
+            clock_nets.add(m_wire.group(1))
+
+    port_of_net: dict[str, list[str]] = {}
+    for m_assign in re.finditer(r"assign\s+(\w+)\s*=\s*(\w+);", body):
+        lhs, rhs = m_assign.group(1), m_assign.group(2)
+        port_name, net_name = (rhs, lhs) if lhs in net_activity else (lhs, rhs)
+        port_of_net.setdefault(net_name, []).append(port_name)
+
+    ports = {
+        name: design.add_port(name, port_dirs[name], is_clock=(name == "clk"))
+        for name in port_order
+    }
+
+    nets = {
+        name: design.add_net(
+            name, activity=net_activity[name], is_clock=name in clock_nets
+        )
+        for name in net_activity
+    }
+
+    # Instances; collect (net -> [(inst, pin, is_output)]) to order drivers first.
+    inst_re = re.compile(r"(\w+)\s+(\w+)\s*\(([^;]*)\);")
+    pin_re = re.compile(r"\.(\w+)\(\s*(\w+)\s*\)")
+    pending: dict[str, list[NetPin]] = {name: [] for name in net_activity}
+    drivers: dict[str, NetPin] = {}
+
+    for m_inst in inst_re.finditer(body):
+        master_name, inst_name, pin_txt = m_inst.groups()
+        if master_name in ("assign", "wire", "module"):
+            continue
+        if master_name not in library:
+            continue
+        master = library[master_name]
+        inst = design.add_instance(inst_name, master)
+        for m_pin in pin_re.finditer(pin_txt):
+            pin_name, net_name = m_pin.groups()
+            ref = NetPin.on_instance(inst.index, pin_name)
+            if master.pin(pin_name).direction is PinDirection.OUTPUT:
+                drivers[net_name] = ref
+            else:
+                pending[net_name].append(ref)
+
+    for net_name, net in nets.items():
+        for port_name in port_of_net.get(net_name, []):
+            port = ports[port_name]
+            ref = NetPin.on_port(port.index)
+            if port.direction is PortDirection.INPUT:
+                drivers.setdefault(net_name, ref)
+            else:
+                pending[net_name].append(ref)
+        if net_name in drivers:
+            net.pins.append(drivers[net_name])
+        net.pins.extend(pending[net_name])
+
+    design.validate()
+    return design

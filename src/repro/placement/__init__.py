@@ -1,0 +1,53 @@
+"""Placement substrate: floorplan, HPWL engine, placers and legalizers.
+
+Replaces Cadence Innovus in the paper's flow: the analytic global placer
+(:mod:`repro.placement.global_place`) produces the unconstrained initial
+placement on the mLEF floorplan, the legalizers
+(:mod:`repro.placement.legalize`) snap cells to sites/rows, and the
+fence-aware incremental placer (:mod:`repro.placement.incremental`) is the
+"createInstGroup -fence" equivalent used by the proposed row-constraint
+legalization.
+"""
+
+from repro.placement.db import Floorplan, PlacedDesign, Row
+from repro.placement.floorplanner import make_floorplan, make_mixed_floorplan
+from repro.placement.hpwl import hpwl_per_net, hpwl_total, net_spans
+from repro.placement.global_place import GlobalPlacerParams, global_place
+from repro.placement.legalize import abacus_legalize, spread_to_rows, tetris_legalize
+from repro.placement.density import bin_utilization, density_overflow
+from repro.placement.detailed import swap_refine
+from repro.placement.incremental import (
+    fence_aware_refine,
+    median_target_positions,
+    refine_detailed,
+)
+from repro.placement.timing_driven import (
+    apply_timing_weights,
+    criticality_weights,
+    reset_weights,
+)
+
+__all__ = [
+    "Floorplan",
+    "PlacedDesign",
+    "Row",
+    "make_floorplan",
+    "make_mixed_floorplan",
+    "hpwl_per_net",
+    "hpwl_total",
+    "net_spans",
+    "GlobalPlacerParams",
+    "global_place",
+    "abacus_legalize",
+    "spread_to_rows",
+    "tetris_legalize",
+    "bin_utilization",
+    "density_overflow",
+    "swap_refine",
+    "fence_aware_refine",
+    "median_target_positions",
+    "refine_detailed",
+    "apply_timing_weights",
+    "criticality_weights",
+    "reset_weights",
+]

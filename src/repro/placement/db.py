@@ -1,0 +1,314 @@
+"""Placement data model: rows, floorplan and the placed-design container.
+
+Rows are *physical* cell rows.  The paper's manufacturing (N-well sharing)
+rule pairs consecutive rows of equal track height; :meth:`Floorplan.row_pairs`
+exposes that pairing, and the RAP operates on pair indices throughout.
+
+:class:`PlacedDesign` flattens the netlist into numpy-friendly CSR pin
+arrays once, so HPWL / cost-matrix / placer inner loops never touch Python
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.netlist.db import Design
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Row:
+    """One physical cell row spanning the core horizontally.
+
+    ``track_height`` is 6.0 / 7.5 for assigned rows or ``None`` on the
+    uniform mLEF floorplan, where track heights are not yet decided.
+    """
+
+    index: int
+    y: int
+    height: int
+    xlo: int
+    xhi: int
+    site_width: int
+    track_height: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.height <= 0:
+            raise ValidationError(f"row {self.index}: non-positive height")
+        if self.xhi <= self.xlo:
+            raise ValidationError(f"row {self.index}: empty span")
+        if (self.xhi - self.xlo) % self.site_width != 0:
+            raise ValidationError(
+                f"row {self.index}: span not a whole number of sites"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.xhi - self.xlo
+
+    @property
+    def num_sites(self) -> int:
+        return self.width // self.site_width
+
+    @property
+    def center_y(self) -> float:
+        return self.y + self.height / 2.0
+
+    def snap_x(self, x: float) -> int:
+        """Snap ``x`` to the nearest site boundary inside the row."""
+        rel = round((x - self.xlo) / self.site_width)
+        rel = min(max(rel, 0), self.num_sites)
+        return self.xlo + int(rel) * self.site_width
+
+
+@dataclass(frozen=True)
+class RowPair:
+    """A consecutive pair of equal-height rows (the RAP assignment unit)."""
+
+    index: int
+    lower: Row
+    upper: Row
+
+    @property
+    def y(self) -> int:
+        return self.lower.y
+
+    @property
+    def height(self) -> int:
+        return self.lower.height + self.upper.height
+
+    @property
+    def center_y(self) -> float:
+        return self.lower.y + self.height / 2.0
+
+    @property
+    def track_height(self) -> float | None:
+        return self.lower.track_height
+
+    @property
+    def capacity_width(self) -> int:
+        """Total site width available in the pair (both rows)."""
+        return self.lower.width + self.upper.width
+
+
+@dataclass
+class Floorplan:
+    """Die area plus its stack of rows (bottom to top, contiguous)."""
+
+    die: Rect
+    rows: list[Row]
+    site_width: int
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValidationError("floorplan has no rows")
+        if len(self.rows) % 2 != 0:
+            raise ValidationError(
+                "row count must be even (N-well sharing pairs rows)"
+            )
+        y = self.rows[0].y
+        for row in self.rows:
+            if row.y != y:
+                raise ValidationError(f"row {row.index}: gap or overlap at y={y}")
+            y += row.height
+        for k in range(0, len(self.rows), 2):
+            lo, hi = self.rows[k], self.rows[k + 1]
+            if lo.height != hi.height or lo.track_height != hi.track_height:
+                raise ValidationError(
+                    f"rows {k},{k + 1}: pair heights/tracks differ"
+                )
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def row_pairs(self) -> list[RowPair]:
+        return [
+            RowPair(index=k // 2, lower=self.rows[k], upper=self.rows[k + 1])
+            for k in range(0, len(self.rows), 2)
+        ]
+
+    def rows_of_track(self, track_height: float | None) -> list[Row]:
+        return [r for r in self.rows if r.track_height == track_height]
+
+    def row_at_y(self, y: float) -> Row:
+        """The row containing coordinate ``y`` (clamped to the core)."""
+        if y <= self.rows[0].y:
+            return self.rows[0]
+        for row in self.rows:
+            if row.y <= y < row.y + row.height:
+                return row
+        return self.rows[-1]
+
+    def row_y_array(self) -> np.ndarray:
+        return np.array([r.y for r in self.rows], dtype=float)
+
+
+class PlacedDesign:
+    """A design plus a floorplan plus per-instance positions.
+
+    Positions ``x``/``y`` are cell *origins* (lower-left), float during
+    global placement and site-exact after legalization.  Ports are fixed
+    pins on the die boundary with positions in ``port_x`` / ``port_y``.
+
+    CSR connectivity arrays (built once):
+
+    * ``net_ptr`` — shape (num_nets + 1,), prefix offsets into the pin
+      arrays, clock nets excluded from HPWL via ``net_weight == 0``;
+    * ``pin_inst`` — owning instance index per pin, -1 for port pins;
+    * ``pin_dx`` / ``pin_dy`` — pin offset inside the cell, or the absolute
+      port position for port pins.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        floorplan: Floorplan,
+        port_x: np.ndarray,
+        port_y: np.ndarray,
+    ) -> None:
+        n = design.num_instances
+        if port_x.shape != (len(design.ports),) or port_y.shape != (
+            len(design.ports),
+        ):
+            raise ValidationError("port position arrays must match port count")
+        self.design = design
+        self.floorplan = floorplan
+        self.port_x = port_x.astype(float)
+        self.port_y = port_y.astype(float)
+        self.x = np.zeros(n)
+        self.y = np.zeros(n)
+        self.widths = np.array([i.master.width for i in design.instances], float)
+        self.heights = np.array([i.master.height for i in design.instances], float)
+        self._build_csr()
+
+    def _build_csr(self) -> None:
+        design = self.design
+        counts = [net.degree for net in design.nets]
+        self.net_ptr = np.zeros(design.num_nets + 1, dtype=np.int64)
+        self.net_ptr[1:] = np.cumsum(counts)
+        total = int(self.net_ptr[-1])
+        self.pin_inst = np.full(total, -1, dtype=np.int64)
+        self.pin_dx = np.zeros(total)
+        self.pin_dy = np.zeros(total)
+        self.net_weight = np.ones(design.num_nets)
+        k = 0
+        for net in design.nets:
+            if net.is_clock:
+                # Ideal pre-CTS clock: excluded from wirelength objectives.
+                self.net_weight[net.index] = 0.0
+            for np_ in net.pins:
+                if np_.is_port:
+                    self.pin_inst[k] = -1
+                    self.pin_dx[k] = self.port_x[np_.port_index]
+                    self.pin_dy[k] = self.port_y[np_.port_index]
+                else:
+                    inst = design.instances[np_.instance_index]
+                    pin = inst.master.pin(np_.pin_name)
+                    self.pin_inst[k] = np_.instance_index
+                    self.pin_dx[k] = pin.offset.x
+                    self.pin_dy[k] = pin.offset.y
+                k += 1
+        self._port_pin_mask = self.pin_inst < 0
+
+    def refresh_masters(self) -> None:
+        """Re-read widths/heights and pin offsets after master swaps.
+
+        Call after the mLEF revert (or any re-sizing) so geometry arrays
+        track the new masters.
+        """
+        design = self.design
+        self.widths = np.array([i.master.width for i in design.instances], float)
+        self.heights = np.array([i.master.height for i in design.instances], float)
+        k = 0
+        for net in design.nets:
+            for np_ in net.pins:
+                if not np_.is_port:
+                    inst = design.instances[np_.instance_index]
+                    pin = inst.master.pin(np_.pin_name)
+                    self.pin_dx[k] = pin.offset.x
+                    self.pin_dy[k] = pin.offset.y
+                k += 1
+
+    # -- pin positions ------------------------------------------------------
+
+    def pin_positions(
+        self, x: np.ndarray | None = None, y: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Absolute pin coordinates for placement ``x``/``y`` (default own)."""
+        if x is None:
+            x = self.x
+        if y is None:
+            y = self.y
+        mask = self._port_pin_mask
+        inst = np.where(mask, 0, self.pin_inst)
+        px = np.where(mask, self.pin_dx, x[inst] + self.pin_dx)
+        py = np.where(mask, self.pin_dy, y[inst] + self.pin_dy)
+        return px, py
+
+    def centers(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.x + self.widths / 2.0, self.y + self.heights / 2.0
+
+    def clone_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.x.copy(), self.y.copy()
+
+    def with_floorplan(self, floorplan: Floorplan) -> "PlacedDesign":
+        """Shallow re-bind to a different floorplan, keeping positions."""
+        out = PlacedDesign(self.design, floorplan, self.port_x, self.port_y)
+        out.x = self.x.copy()
+        out.y = self.y.copy()
+        return out
+
+    # -- checks ---------------------------------------------------------------
+
+    def check_legal(self, tolerance: int = 0) -> list[str]:
+        """Return a list of legality violations (empty when legal).
+
+        Checks: cells on sites of rows with matching height and compatible
+        track, inside the core, and no overlap within any row.
+        """
+        problems: list[str] = []
+        fp = self.floorplan
+        occupancy: dict[int, list[tuple[float, float, int]]] = {}
+        for i in range(self.design.num_instances):
+            height = self.heights[i]
+            row = fp.row_at_y(self.y[i] + 0.5)
+            if abs(self.y[i] - row.y) > tolerance:
+                problems.append(f"inst {i}: y={self.y[i]} not on a row boundary")
+                continue
+            master = self.design.instances[i].master
+            span = int(round(height / row.height))
+            if span * row.height != int(height):
+                problems.append(
+                    f"inst {i}: height {height} not a multiple of row {row.index}"
+                )
+                continue
+            if row.track_height is not None and (
+                master.track_height != row.track_height
+            ):
+                problems.append(
+                    f"inst {i}: track {master.track_height} in row of "
+                    f"{row.track_height}"
+                )
+            if (self.x[i] - row.xlo) % row.site_width > tolerance:
+                problems.append(f"inst {i}: x={self.x[i]} off site grid")
+            if self.x[i] < row.xlo - tolerance or (
+                self.x[i] + self.widths[i] > row.xhi + tolerance
+            ):
+                problems.append(f"inst {i}: outside row span")
+            for r in range(row.index, min(row.index + span, fp.num_rows)):
+                occupancy.setdefault(r, []).append(
+                    (self.x[i], self.x[i] + self.widths[i], i)
+                )
+        for row_index, spans in occupancy.items():
+            spans.sort()
+            for (alo, ahi, ai), (blo, bhi, bi) in zip(spans, spans[1:]):
+                if blo < ahi - tolerance:
+                    problems.append(
+                        f"row {row_index}: inst {ai} and {bi} overlap"
+                    )
+        return problems

@@ -1,0 +1,167 @@
+"""DEF-subset writer/parser: placement interchange.
+
+Real flows hand placements between tools as DEF; the paper's flow writes
+the row-constraint placement back into Innovus the same way.  This module
+round-trips the parts of DEF a placement needs: DIEAREA, ROW statements
+(with track-height encoded in the site name), COMPONENTS with PLACED
+locations, and PINS for the ports.  Net connectivity stays in the Verilog
+netlist, as in real interchange.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.db import Design
+from repro.placement.db import Floorplan, PlacedDesign, Row
+from repro.placement.floorplanner import place_ports
+from repro.geometry import Rect
+from repro.utils.errors import ValidationError
+
+_DBU = 1000  # DEF distance units per micron; our DBU is nm -> factor 1
+
+
+def write_def(placed: PlacedDesign) -> str:
+    """Serialize floorplan + cell/port placement as DEF text."""
+    design = placed.design
+    die = placed.floorplan.die
+    lines = [
+        "VERSION 5.8 ;",
+        'DIVIDERCHAR "/" ;',
+        'BUSBITCHARS "[]" ;',
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {_DBU} ;",
+        f"DIEAREA ( {die.xlo} {die.ylo} ) ( {die.xhi} {die.yhi} ) ;",
+    ]
+    for row in placed.floorplan.rows:
+        site = _site_name(row)
+        lines.append(
+            f"ROW row_{row.index} {site} {row.xlo} {row.y} N "
+            f"DO {row.num_sites} BY 1 STEP {row.site_width} 0 ;"
+        )
+    lines.append(f"COMPONENTS {design.num_instances} ;")
+    for inst in design.instances:
+        x = int(round(placed.x[inst.index]))
+        y = int(round(placed.y[inst.index]))
+        lines.append(
+            f"- {inst.name} {inst.master.name} + PLACED ( {x} {y} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append(f"PINS {len(design.ports)} ;")
+    for port in design.ports:
+        x = int(round(placed.port_x[port.index]))
+        y = int(round(placed.port_y[port.index]))
+        direction = "INPUT" if port.direction.value == "input" else "OUTPUT"
+        lines.append(
+            f"- {port.name} + NET {port.name} + DIRECTION {direction} "
+            f"+ PLACED ( {x} {y} ) N ;"
+        )
+    lines.append("END PINS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def _site_name(row: Row) -> str:
+    if row.track_height is None:
+        return "coresite_mlef"
+    return "coresite_" + str(row.track_height).replace(".", "p")
+
+
+def _parse_track(site: str) -> float | None:
+    tag = site.removeprefix("coresite_")
+    if tag == "mlef":
+        return None
+    try:
+        return float(tag.replace("p", "."))
+    except ValueError:
+        return None
+
+
+def read_def(text: str, design: Design) -> PlacedDesign:
+    """Parse DEF written by :func:`write_def` against ``design``.
+
+    The design must already carry the masters referenced by the DEF
+    (COMPONENTS lines are checked by name).  Returns a fully positioned
+    :class:`PlacedDesign`.
+    """
+    m = re.search(r"DIEAREA \( (-?\d+) (-?\d+) \) \( (-?\d+) (-?\d+) \)", text)
+    if not m:
+        raise ValidationError("DEF has no DIEAREA")
+    die = Rect(*(int(g) for g in m.groups()))
+
+    raw_rows: list[tuple[int, int, int, int, float | None]] = []
+    for rm in re.finditer(
+        r"ROW (\S+) (\S+) (-?\d+) (-?\d+) N DO (\d+) BY 1 STEP (\d+) 0 ;",
+        text,
+    ):
+        _name, site, x, y, n_sites, step = rm.groups()
+        raw_rows.append(
+            (
+                int(y),
+                int(x),
+                int(x) + int(n_sites) * int(step),
+                int(step),
+                _parse_track(site),
+            )
+        )
+    if not raw_rows:
+        raise ValidationError("DEF has no ROW statements")
+    raw_rows.sort()
+    # Recover heights from consecutive-row spacing (last row from die top).
+    fixed: list[Row] = []
+    for k, (y, xlo, xhi, step, track) in enumerate(raw_rows):
+        height = (raw_rows[k + 1][0] - y) if k + 1 < len(raw_rows) else (
+            die.yhi - y
+        )
+        fixed.append(
+            Row(
+                index=k,
+                y=y,
+                height=int(height),
+                xlo=xlo,
+                xhi=xhi,
+                site_width=step,
+                track_height=track,
+            )
+        )
+    floorplan = Floorplan(die=die, rows=fixed, site_width=fixed[0].site_width)
+
+    port_x, port_y = place_ports(design, die)
+    placed = PlacedDesign(design, floorplan, port_x, port_y)
+
+    by_name = {inst.name: inst for inst in design.instances}
+    placed_count = 0
+    for cm in re.finditer(
+        r"- (\S+) (\S+) \+ PLACED \( (-?\d+) (-?\d+) \) N ;", text
+    ):
+        name, master_name, x, y = cm.groups()
+        if name not in by_name:
+            # PINS section lines share the syntax shape; skip unknowns that
+            # are ports.
+            continue
+        inst = by_name[name]
+        if inst.master.name != master_name:
+            raise ValidationError(
+                f"DEF component {name} has master {master_name}, design has "
+                f"{inst.master.name}"
+            )
+        placed.x[inst.index] = float(x)
+        placed.y[inst.index] = float(y)
+        placed_count += 1
+    if placed_count != design.num_instances:
+        raise ValidationError(
+            f"DEF placed {placed_count} of {design.num_instances} components"
+        )
+
+    for pm in re.finditer(
+        r"- (\S+) \+ NET \S+ \+ DIRECTION \S+ \+ PLACED \( (-?\d+) (-?\d+) \) N ;",
+        text,
+    ):
+        name, x, y = pm.groups()
+        for port in design.ports:
+            if port.name == name:
+                placed.port_x[port.index] = float(x)
+                placed.port_y[port.index] = float(y)
+                break
+    placed._build_csr()  # port positions enter the CSR arrays
+    return placed

@@ -1,0 +1,44 @@
+"""Bin-density utilities used by the global placer and quality reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.db import PlacedDesign
+from repro.utils.errors import ValidationError
+
+
+def bin_utilization(
+    placed: PlacedDesign, nx: int, ny: int
+) -> np.ndarray:
+    """Cell-area utilization per bin on an ``nx`` x ``ny`` grid.
+
+    Cell area is deposited into the bin containing the cell center — the
+    cheap approximation is adequate for overflow tracking because bins are
+    chosen several cells wide.
+    """
+    if nx <= 0 or ny <= 0:
+        raise ValidationError("bin grid must be positive")
+    die = placed.floorplan.die
+    cx, cy = placed.centers()
+    ix = np.clip(((cx - die.xlo) / die.width * nx).astype(int), 0, nx - 1)
+    iy = np.clip(((cy - die.ylo) / die.height * ny).astype(int), 0, ny - 1)
+    areas = placed.widths * placed.heights
+    grid = np.zeros((ny, nx))
+    np.add.at(grid, (iy, ix), areas)
+    bin_area = (die.width / nx) * (die.height / ny)
+    return grid / bin_area
+
+
+def density_overflow(
+    placed: PlacedDesign, nx: int, ny: int, target: float = 1.0
+) -> float:
+    """Total overflowing cell area fraction above ``target`` utilization."""
+    util = bin_utilization(placed, nx, ny)
+    total_area = float((placed.widths * placed.heights).sum())
+    if total_area <= 0:
+        return 0.0
+    die = placed.floorplan.die
+    bin_area = (die.width / nx) * (die.height / ny)
+    overflow = np.maximum(util - target, 0.0) * bin_area
+    return float(overflow.sum()) / total_area

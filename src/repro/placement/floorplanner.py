@@ -1,0 +1,167 @@
+"""Floorplanning: die sizing, row creation and port pinning.
+
+The paper fixes utilization at 60%% and aspect ratio at 1.0 for every
+testcase; :func:`make_floorplan` reproduces that on the uniform mLEF row
+grid, and :func:`make_mixed_floorplan` rebuilds the row stack after the RAP
+decides each pair's track height (majority pairs shrink to 2x216 nm,
+minority pairs grow to 2x270 nm, so the die height shifts slightly while
+the width is preserved).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.netlist.db import Design
+from repro.placement.db import Floorplan, PlacedDesign, Row
+from repro.utils.errors import ValidationError
+
+
+def make_floorplan(
+    design: Design,
+    row_height: int,
+    site_width: int,
+    utilization: float = 0.60,
+    aspect_ratio: float = 1.0,
+) -> Floorplan:
+    """Uniform-row floorplan sized for ``design`` at the given utilization."""
+    if not (0.0 < utilization <= 1.0):
+        raise ValidationError(f"utilization must be in (0, 1], got {utilization}")
+    if aspect_ratio <= 0.0:
+        raise ValidationError("aspect ratio must be positive")
+
+    # Area is taken from the masters as instantiated (mLEF masters when the
+    # caller passes the mLEF design), matching the tool flow.
+    cell_area = sum(i.master.area for i in design.instances)
+    if cell_area <= 0:
+        raise ValidationError("design has zero cell area")
+    die_area = cell_area / utilization
+
+    height = math.sqrt(die_area * aspect_ratio)
+    pair_height = 2 * row_height
+    n_pairs = max(1, int(round(height / pair_height)))
+    core_height = n_pairs * pair_height
+    width_sites = max(1, int(math.ceil(die_area / core_height / site_width)))
+    core_width = width_sites * site_width
+
+    rows = [
+        Row(
+            index=k,
+            y=k * row_height,
+            height=row_height,
+            xlo=0,
+            xhi=core_width,
+            site_width=site_width,
+            track_height=None,
+        )
+        for k in range(2 * n_pairs)
+    ]
+    die = Rect(0, 0, core_width, core_height)
+    return Floorplan(die=die, rows=rows, site_width=site_width)
+
+
+def make_mixed_floorplan(
+    base: Floorplan,
+    pair_tracks: list[float],
+    row_height_by_track: dict[float, int],
+) -> tuple[Floorplan, np.ndarray]:
+    """Rebuild ``base`` with per-pair track heights.
+
+    Returns the new floorplan and a ``(num_pairs,)`` array with the new
+    bottom y of each pair, which callers use to map cell coordinates from
+    the uniform frame into the mixed frame.
+    """
+    pairs = base.row_pairs()
+    if len(pair_tracks) != len(pairs):
+        raise ValidationError(
+            f"{len(pair_tracks)} pair tracks for {len(pairs)} pairs"
+        )
+    rows: list[Row] = []
+    pair_y = np.zeros(len(pairs))
+    y = base.die.ylo
+    for k, track in enumerate(pair_tracks):
+        if track not in row_height_by_track:
+            raise ValidationError(f"pair {k}: unknown track height {track}")
+        height = row_height_by_track[track]
+        pair_y[k] = y
+        for half in range(2):
+            rows.append(
+                Row(
+                    index=2 * k + half,
+                    y=y,
+                    height=height,
+                    xlo=base.die.xlo,
+                    xhi=base.die.xhi,
+                    site_width=base.site_width,
+                    track_height=track,
+                )
+            )
+            y += height
+    die = Rect(base.die.xlo, base.die.ylo, base.die.xhi, int(y))
+    return Floorplan(die=die, rows=rows, site_width=base.site_width), pair_y
+
+
+def map_uniform_to_mixed(
+    y: np.ndarray, base: Floorplan, mixed: Floorplan
+) -> np.ndarray:
+    """Piecewise-linearly map y coordinates between the two row frames.
+
+    Preserves each coordinate's relative position within its (pair-indexed)
+    row band, so cell ordering and approximate neighborhoods survive the
+    frame change.
+    """
+    old_bounds = np.array(
+        [p.y for p in base.row_pairs()] + [base.die.yhi], dtype=float
+    )
+    new_bounds = np.array(
+        [p.y for p in mixed.row_pairs()] + [mixed.die.yhi], dtype=float
+    )
+    yy = np.clip(np.asarray(y, dtype=float), old_bounds[0], old_bounds[-1] - 1e-9)
+    pair_index = np.clip(
+        np.searchsorted(old_bounds, yy, side="right") - 1, 0, len(old_bounds) - 2
+    )
+    frac = (yy - old_bounds[pair_index]) / (
+        old_bounds[pair_index + 1] - old_bounds[pair_index]
+    )
+    return new_bounds[pair_index] + frac * (
+        new_bounds[pair_index + 1] - new_bounds[pair_index]
+    )
+
+
+def place_ports(design: Design, die: Rect, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """Pin ports evenly around the die boundary (deterministic order).
+
+    Ports are interleaved around the perimeter in index order, the usual
+    default when no IO constraints are given.
+    """
+    n = len(design.ports)
+    port_x = np.zeros(n)
+    port_y = np.zeros(n)
+    if n == 0:
+        return port_x, port_y
+    perimeter = 2 * (die.width + die.height)
+    for k in range(n):
+        s = (k + 0.5) / n * perimeter
+        if s < die.width:
+            port_x[k], port_y[k] = die.xlo + s, die.ylo
+        elif s < die.width + die.height:
+            port_x[k], port_y[k] = die.xhi, die.ylo + (s - die.width)
+        elif s < 2 * die.width + die.height:
+            port_x[k] = die.xhi - (s - die.width - die.height)
+            port_y[k] = die.yhi
+        else:
+            port_x[k] = die.xlo
+            port_y[k] = die.yhi - (s - 2 * die.width - die.height)
+    return port_x, port_y
+
+
+def build_placed_design(
+    design: Design,
+    floorplan: Floorplan,
+) -> PlacedDesign:
+    """Convenience constructor: floorplan + boundary ports + zero positions."""
+    port_x, port_y = place_ports(design, floorplan.die)
+    return PlacedDesign(design, floorplan, port_x, port_y)

@@ -1,0 +1,249 @@
+"""Analytic global placement (SimPL-lite).
+
+Stands in for the Innovus placer that produces the paper's unconstrained
+initial placement.  The algorithm alternates:
+
+* a *lower bound*: bound-to-bound (B2B) quadratic wirelength minimization
+  solved per axis as a sparse SPD system (Spindler's B2B net model), with
+  pseudo-net anchors toward the last legalized positions;
+* an *upper bound*: a rough legalization (Tetris) that spreads cells onto
+  rows, eliminating density collapse.
+
+The anchor weight grows each iteration, so the two sequences converge
+toward a spread-out, HPWL-optimized placement — the standard SimPL recipe.
+The returned positions are the final rough-legal ones; callers run a
+quality legalizer (Abacus) afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.placement.db import PlacedDesign
+from repro.placement.hpwl import hpwl_total
+from repro.placement.legalize import spread_to_rows
+from repro.utils.errors import ValidationError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class GlobalPlacerParams:
+    """Knobs of the SimPL-lite loop."""
+
+    max_iterations: int = 25
+    anchor_alpha: float = 0.01
+    anchor_growth: float = 1.35
+    convergence_tol: float = 0.003
+    cg_tol: float = 1e-6
+    cg_maxiter: int = 500
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValidationError("max_iterations must be >= 1")
+        if self.anchor_alpha <= 0 or self.anchor_growth < 1.0:
+            raise ValidationError("anchor schedule must be positive/growing")
+
+
+def _b2b_system(
+    placed: PlacedDesign, coords: np.ndarray, axis_positions: np.ndarray
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Build the B2B quadratic system for one axis.
+
+    ``coords`` are current pin coordinates on this axis (used to pick bound
+    pins and edge lengths); ``axis_positions`` are current cell origins.
+    Returns (A, b) with A SPD over movable cells.
+    """
+    n = placed.design.num_instances
+    ptr = placed.net_ptr
+    n_nets = len(ptr) - 1
+
+    net_ids = np.repeat(np.arange(n_nets), np.diff(ptr))
+    # Sort pins within each net by coordinate: first/last = bound pins.
+    order = np.lexsort((coords, net_ids))
+    first = order[ptr[:-1]]
+    last = order[ptr[1:] - 1]
+
+    degrees = np.diff(ptr)
+    active = (degrees >= 2) & (placed.net_weight > 0)
+
+    rows_a: list[np.ndarray] = []
+    rows_b: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+
+    # Edges: every pin to both bound pins of its net (self-pairs dropped).
+    pin_min = first[net_ids]
+    pin_max = last[net_ids]
+    pin_index = np.arange(len(coords))
+    net_active = active[net_ids]
+    w_net = np.zeros(n_nets)
+    w_net[active] = 2.0 / (degrees[active] - 1)
+
+    for bound in (pin_min, pin_max):
+        mask = net_active & (pin_index != bound)
+        a, b = pin_index[mask], bound[mask]
+        dist = np.abs(coords[a] - coords[b])
+        w = w_net[net_ids[mask]] / np.maximum(dist, 1.0)
+        rows_a.append(a)
+        rows_b.append(b)
+        weights.append(w)
+    # The (min, max) edge was added from both bound loops; subtract one copy.
+    mm_mask = active & (first != last)
+    a, b = first[mm_mask], last[mm_mask]
+    dist = np.abs(coords[a] - coords[b])
+    w = -w_net[mm_mask] / np.maximum(dist, 1.0)
+    rows_a.append(a)
+    rows_b.append(b)
+    weights.append(w)
+
+    pa = np.concatenate(rows_a)
+    pb = np.concatenate(rows_b)
+    ww = np.concatenate(weights)
+
+    inst_a = placed.pin_inst[pa]
+    inst_b = placed.pin_inst[pb]
+    # off_* is the pin offset for movable pins, absolute position for fixed.
+    off_a = coords[pa] - np.where(inst_a >= 0, axis_positions[np.maximum(inst_a, 0)], 0.0)
+    off_b = coords[pb] - np.where(inst_b >= 0, axis_positions[np.maximum(inst_b, 0)], 0.0)
+
+    same = (inst_a == inst_b) & (inst_a >= 0)
+    keep = ~same & ~((inst_a < 0) & (inst_b < 0))
+    inst_a, inst_b = inst_a[keep], inst_b[keep]
+    off_a, off_b, ww = off_a[keep], off_b[keep], ww[keep]
+
+    diag = np.zeros(n)
+    rhs = np.zeros(n)
+    coo_i: list[np.ndarray] = []
+    coo_j: list[np.ndarray] = []
+    coo_w: list[np.ndarray] = []
+
+    both = (inst_a >= 0) & (inst_b >= 0)
+    ia, ib, w2, oa, ob = inst_a[both], inst_b[both], ww[both], off_a[both], off_b[both]
+    np.add.at(diag, ia, w2)
+    np.add.at(diag, ib, w2)
+    coo_i.append(ia)
+    coo_j.append(ib)
+    coo_w.append(-w2)
+    coo_i.append(ib)
+    coo_j.append(ia)
+    coo_w.append(-w2)
+    np.add.at(rhs, ia, w2 * (ob - oa))
+    np.add.at(rhs, ib, w2 * (oa - ob))
+
+    for mov, fix in (((inst_a >= 0) & (inst_b < 0), "b"), ((inst_b >= 0) & (inst_a < 0), "a")):
+        mask = mov
+        if fix == "b":
+            im, om, pf = inst_a[mask], off_a[mask], off_b[mask]
+        else:
+            im, om, pf = inst_b[mask], off_b[mask], off_a[mask]
+        wm = ww[mask]
+        np.add.at(diag, im, wm)
+        np.add.at(rhs, im, wm * (pf - om))
+
+    coo_i.append(np.arange(n))
+    coo_j.append(np.arange(n))
+    coo_w.append(diag)
+    A = sp.coo_matrix(
+        (np.concatenate(coo_w), (np.concatenate(coo_i), np.concatenate(coo_j))),
+        shape=(n, n),
+    ).tocsr()
+    return A, rhs
+
+
+def _solve_axis(
+    A: sp.csr_matrix,
+    b: np.ndarray,
+    x0: np.ndarray,
+    anchor_w: np.ndarray | None,
+    anchor_pos: np.ndarray | None,
+    params: GlobalPlacerParams,
+) -> np.ndarray:
+    if anchor_w is not None:
+        assert anchor_pos is not None
+        A = A + sp.diags(anchor_w)
+        b = b + anchor_w * anchor_pos
+    # Guard against isolated cells (zero row): pin them with unit weight.
+    diag = A.diagonal()
+    lonely = diag <= 0
+    if lonely.any():
+        fix = sp.diags(np.where(lonely, 1.0, 0.0))
+        A = A + fix
+        b = b + np.where(lonely, x0, 0.0)
+    sol, info = spla.cg(
+        A, b, x0=x0, rtol=params.cg_tol, maxiter=params.cg_maxiter,
+        M=sp.diags(1.0 / np.maximum(A.diagonal(), 1e-12)),
+    )
+    if info != 0:  # fall back to a direct solve on CG stagnation
+        sol = spla.spsolve(A.tocsc(), b)
+    return sol
+
+
+def global_place(
+    placed: PlacedDesign, params: GlobalPlacerParams | None = None
+) -> dict[str, float]:
+    """Run global placement in-place; returns convergence statistics.
+
+    On return, ``placed.x/y`` hold the rough-legal (Tetris) positions of
+    the final iteration — spread out, site-aligned, ready for Abacus.
+    """
+    if params is None:
+        params = GlobalPlacerParams()
+    rng = make_rng(params.seed)
+    die = placed.floorplan.die
+    n = placed.design.num_instances
+    if n == 0:
+        raise ValidationError("nothing to place")
+
+    # Initial state: die center with a small deterministic jitter (breaks
+    # the degeneracy of equal positions in the B2B model).
+    placed.x = np.full(n, die.center.x, dtype=float) + rng.uniform(
+        -die.width * 0.05, die.width * 0.05, n
+    )
+    placed.y = np.full(n, die.center.y, dtype=float) + rng.uniform(
+        -die.height * 0.05, die.height * 0.05, n
+    )
+
+    stats = {"iterations": 0.0, "hpwl_lower": 0.0, "hpwl_upper": 0.0}
+    rows = placed.floorplan.rows
+    prev_upper = np.inf
+    anchor_x = anchor_y = None
+    alpha = params.anchor_alpha
+
+    for iteration in range(params.max_iterations):
+        # Lower bound: quadratic solve per axis.
+        px, py = placed.pin_positions()
+        Ax, bx = _b2b_system(placed, px, placed.x)
+        Ay, by = _b2b_system(placed, py, placed.y)
+        if anchor_x is None:
+            aw_x = aw_y = None
+        else:
+            aw_x = alpha * np.maximum(Ax.diagonal(), 1e-6)
+            aw_y = alpha * np.maximum(Ay.diagonal(), 1e-6)
+            alpha *= params.anchor_growth
+        placed.x = _solve_axis(Ax, bx, placed.x, aw_x, anchor_x, params)
+        placed.y = _solve_axis(Ay, by, placed.y, aw_y, anchor_y, params)
+        np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
+        np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+        stats["hpwl_lower"] = hpwl_total(placed)
+
+        # Upper bound: rough legalization spreads the cells.
+        lower_x, lower_y = placed.clone_positions()
+        spread_to_rows(placed, rows)
+        stats["hpwl_upper"] = hpwl_total(placed)
+        anchor_x, anchor_y = placed.clone_positions()
+        stats["iterations"] = float(iteration + 1)
+
+        if prev_upper < np.inf:
+            gain = (prev_upper - stats["hpwl_upper"]) / max(prev_upper, 1.0)
+            if gain < params.convergence_tol and iteration >= 3:
+                break
+        prev_upper = stats["hpwl_upper"]
+        # Restart the next lower bound from the unspread solution.
+        placed.x, placed.y = lower_x, lower_y
+
+    placed.x, placed.y = anchor_x, anchor_y
+    return stats

@@ -1,0 +1,64 @@
+"""Vectorized half-perimeter wirelength (HPWL) over CSR pin arrays.
+
+All functions take an optional (x, y) override so placers can evaluate
+candidate positions without mutating the design.  Clock nets carry zero
+``net_weight`` and are excluded from totals, matching pre-CTS practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.db import PlacedDesign
+
+
+def _reduce_minmax(values: np.ndarray, net_ptr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-net (min, max) of ``values`` segmented by ``net_ptr``."""
+    starts = net_ptr[:-1]
+    lo = np.minimum.reduceat(values, starts)
+    hi = np.maximum.reduceat(values, starts)
+    return lo, hi
+
+
+def net_spans(
+    placed: PlacedDesign,
+    x: np.ndarray | None = None,
+    y: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-net bounding boxes: (xlo, xhi, ylo, yhi) arrays."""
+    px, py = placed.pin_positions(x, y)
+    xlo, xhi = _reduce_minmax(px, placed.net_ptr)
+    ylo, yhi = _reduce_minmax(py, placed.net_ptr)
+    return xlo, xhi, ylo, yhi
+
+
+def hpwl_per_net(
+    placed: PlacedDesign,
+    x: np.ndarray | None = None,
+    y: np.ndarray | None = None,
+    weighted: bool = True,
+) -> np.ndarray:
+    """HPWL of every net; clock nets contribute zero when ``weighted``."""
+    xlo, xhi, ylo, yhi = net_spans(placed, x, y)
+    spans = (xhi - xlo) + (yhi - ylo)
+    if weighted:
+        spans = spans * placed.net_weight
+    return spans
+
+
+def hpwl_total(
+    placed: PlacedDesign,
+    x: np.ndarray | None = None,
+    y: np.ndarray | None = None,
+) -> float:
+    """Total signal HPWL in DBU (clock nets excluded)."""
+    return float(hpwl_per_net(placed, x, y).sum())
+
+
+def net_lengths_from_hpwl(placed: PlacedDesign) -> np.ndarray:
+    """Per-net length estimate for timing/power: HPWL, clock nets included.
+
+    Clock nets need a physical length for load/power even though they are
+    excluded from optimization; their raw HPWL is used.
+    """
+    return hpwl_per_net(placed, weighted=False)

@@ -1,0 +1,174 @@
+"""Fence-aware incremental placement (the Innovus fence-region stand-in).
+
+Given a mixed-height floorplan and a row assignment, this refinement mimics
+what the paper gets from ``createInstGroup -fence`` plus incremental
+placement: cells move to reduce wirelength while minority cells are kept
+inside the fence (the union of minority row pairs).
+
+The optimizer is a median-improvement detailed placement (FastPlace-style
+"global move"): each pass computes, per cell, the optimal x/y — the median
+of its incident nets' other-pin intervals — moves the cell there, and
+projects minority cells onto the nearest fence row.  Because each cell's
+optimal position is computed against the *current* positions of all other
+pins, a few passes converge quickly; the caller runs Abacus afterwards for
+overlap-free, site-exact legality.
+
+Unlike the [10]-style row-constraint Abacus, this step does not try to stay
+near the initial placement — displacement grows, wirelength is recovered —
+which is exactly the trade-off the paper reports for its proposed
+legalization (Table IV flows (3)/(5)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fence import FenceRegions
+from repro.placement.db import PlacedDesign
+from repro.utils.errors import ValidationError
+
+
+def _per_pin_other_extents(
+    placed: PlacedDesign, coords: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(others_lo, others_hi) per pin on one axis, excluding the pin itself."""
+    ptr = placed.net_ptr
+    n_nets = len(ptr) - 1
+    net_ids = np.repeat(np.arange(n_nets), np.diff(ptr))
+    order = np.lexsort((coords, net_ids))
+    first = order[ptr[:-1]]
+    last = order[ptr[1:] - 1]
+    second = order[np.minimum(ptr[:-1] + 1, ptr[1:] - 1)]
+    penultimate = order[np.maximum(ptr[1:] - 2, ptr[:-1])]
+    lo1 = coords[first][net_ids]
+    lo2 = coords[second][net_ids]
+    hi1 = coords[last][net_ids]
+    hi2 = coords[penultimate][net_ids]
+    pin_index = np.arange(len(coords))
+    others_lo = np.where(pin_index == first[net_ids], lo2, lo1)
+    others_hi = np.where(pin_index == last[net_ids], hi2, hi1)
+    return others_lo, others_hi
+
+
+def median_target_positions(
+    placed: PlacedDesign,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cell optimal (x, y) cell centers: median of incident intervals.
+
+    For each cell, collect the [others_lo, others_hi] interval of every
+    incident signal net (computed with the cell's own pins excluded via the
+    top-2 trick) and take the median of the endpoints per axis — the
+    classic optimal-region result for HPWL.  Cells with no signal pins keep
+    their current center.
+    """
+    px, py = placed.pin_positions()
+    xlo, xhi = _per_pin_other_extents(placed, px)
+    ylo, yhi = _per_pin_other_extents(placed, py)
+
+    net_ids = np.repeat(
+        np.arange(placed.design.num_nets), np.diff(placed.net_ptr)
+    )
+    movable = (placed.pin_inst >= 0) & (placed.net_weight[net_ids] > 0)
+    pins = np.flatnonzero(movable)
+    cells = placed.pin_inst[pins]
+
+    cx, cy = placed.centers()
+    tx = cx.copy()
+    ty = cy.copy()
+    if len(pins) == 0:
+        return tx, ty
+
+    # Endpoint medians per cell, per axis: sort (cell, value) pairs and
+    # pick the middle of each cell's run.
+    for values, target in (
+        (np.concatenate([xlo[pins], xhi[pins]]), tx),
+        (np.concatenate([ylo[pins], yhi[pins]]), ty),
+    ):
+        owner = np.concatenate([cells, cells])
+        order = np.lexsort((values, owner))
+        owner_sorted = owner[order]
+        values_sorted = values[order]
+        # Run boundaries per owner.
+        boundaries = np.flatnonzero(
+            np.diff(owner_sorted, prepend=owner_sorted[0] - 1)
+        )
+        counts = np.diff(np.append(boundaries, len(owner_sorted)))
+        mid = boundaries + (counts - 1) // 2
+        mid_hi = boundaries + counts // 2
+        med = 0.5 * (values_sorted[mid] + values_sorted[mid_hi])
+        target[owner_sorted[boundaries]] = med
+    return tx, ty
+
+
+def refine_detailed(
+    placed: PlacedDesign,
+    rounds: int = 3,
+    move_fraction: float = 0.85,
+    legalizer=None,
+) -> None:
+    """Unconstrained detailed placement: median improvement + re-legalize.
+
+    This is the detailed-placement polish a commercial initial placement
+    ends with; the flow runner applies it to the unconstrained (Flow (1))
+    placement so the constrained flows are compared against a properly
+    optimized baseline.  ``legalizer`` is called after every median pass
+    (defaults to Abacus over the floorplan's rows).
+    """
+    from repro.placement.legalize import abacus_legalize
+
+    if legalizer is None:
+        rows = placed.floorplan.rows
+
+        def legalizer() -> None:  # noqa: F811 - intentional default binding
+            abacus_legalize(placed, rows)
+
+    die = placed.floorplan.die
+    for _ in range(rounds):
+        tx, ty = median_target_positions(placed)
+        cx, cy = placed.centers()
+        placed.x = cx + move_fraction * (tx - cx) - placed.widths / 2.0
+        placed.y = cy + move_fraction * (ty - cy) - placed.heights / 2.0
+        np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
+        np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+        legalizer()
+
+
+def fence_aware_refine(
+    placed: PlacedDesign,
+    minority_indices: np.ndarray,
+    fences: FenceRegions,
+    iterations: int = 4,
+    move_fraction: float = 0.85,
+) -> None:
+    """Refine ``placed`` in-place under the fence constraint.
+
+    ``placed`` must live in the mixed floorplan frame with original
+    (mixed-height) masters.  Positions on return are wirelength-improved
+    and fence-respecting but not overlap-free; run Abacus per row class
+    afterwards.
+    """
+    if not (0.0 < move_fraction <= 1.0):
+        raise ValidationError("move_fraction must be in (0, 1]")
+    minority_indices = np.asarray(minority_indices, dtype=int)
+    die = placed.floorplan.die
+
+    def project_minority() -> None:
+        centers = (
+            placed.y[minority_indices] + placed.heights[minority_indices] / 2.0
+        )
+        target = fences.nearest_center_y(centers)
+        placed.y[minority_indices] = (
+            target - placed.heights[minority_indices] / 2.0
+        )
+
+    project_minority()
+    for _ in range(iterations):
+        tx, ty = median_target_positions(placed)
+        cx, cy = placed.centers()
+        new_cx = cx + move_fraction * (tx - cx)
+        new_cy = cy + move_fraction * (ty - cy)
+        placed.x = new_cx - placed.widths / 2.0
+        placed.y = new_cy - placed.heights / 2.0
+        np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
+        np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+        project_minority()

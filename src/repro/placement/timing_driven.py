@@ -1,0 +1,80 @@
+"""Timing-driven net weighting for the analytic placer.
+
+Classic criticality weighting: nets whose slack is near or below zero get
+their quadratic-wirelength weight scaled up, pulling timing-critical cells
+together.  The weights multiply into ``PlacedDesign.net_weight``, which
+both the B2B system builder and the HPWL objective respect (clock nets
+stay at zero).
+
+The paper itself freezes the netlist (``dont_touch``) and relies on the
+placer for timing; this module provides the standard mechanism a
+downstream user would enable on timing-sensitive designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.placement.db import PlacedDesign
+from repro.timing.delay import TimingParams
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import run_sta
+from repro.utils.errors import ValidationError
+
+
+def criticality_weights(
+    slack_ps: np.ndarray,
+    clock_period_ps: float,
+    max_weight: float = 4.0,
+    exponent: float = 2.0,
+) -> np.ndarray:
+    """Per-net weights from slack: 1 for relaxed nets, up to ``max_weight``.
+
+    Criticality ``c = clip(1 - slack / T, 0, 1)`` (slack measured against
+    the clock period), weight ``1 + (max_weight - 1) * c**exponent`` — the
+    standard smooth ramp (e.g. TimberWolf/NTUplace-style).
+    Nets with +inf slack (unconstrained) stay at weight 1.
+    """
+    if max_weight < 1.0:
+        raise ValidationError("max_weight must be >= 1")
+    if clock_period_ps <= 0:
+        raise ValidationError("clock period must be positive")
+    slack = np.asarray(slack_ps, dtype=float)
+    criticality = np.clip(1.0 - slack / clock_period_ps, 0.0, 1.0)
+    criticality[~np.isfinite(slack)] = 0.0
+    return 1.0 + (max_weight - 1.0) * criticality**exponent
+
+
+def apply_timing_weights(
+    placed: PlacedDesign,
+    net_lengths_nm: np.ndarray | None = None,
+    params: TimingParams | None = None,
+    max_weight: float = 4.0,
+) -> np.ndarray:
+    """Run STA on ``placed`` and scale its net weights by criticality.
+
+    Returns the applied weight vector.  Clock nets keep weight zero.
+    Call before :func:`repro.placement.global_place.global_place` or a
+    refinement pass; call :func:`reset_weights` to undo.
+    """
+    from repro.placement.hpwl import net_lengths_from_hpwl
+
+    design = placed.design
+    if net_lengths_nm is None:
+        net_lengths_nm = net_lengths_from_hpwl(placed)
+    graph = TimingGraph.build(design)
+    report = run_sta(design, graph, net_lengths_nm, params)
+    weights = criticality_weights(
+        report.slack_ps, design.clock_period_ps, max_weight=max_weight
+    )
+    clock_mask = placed.net_weight == 0.0
+    placed.net_weight = weights
+    placed.net_weight[clock_mask] = 0.0
+    return placed.net_weight
+
+
+def reset_weights(placed: PlacedDesign) -> None:
+    """Restore uniform signal weights (clock nets stay zero)."""
+    zero = placed.net_weight == 0.0
+    placed.net_weight = np.ones(placed.design.num_nets)
+    placed.net_weight[zero] = 0.0

@@ -1,0 +1,12 @@
+"""Power model substrate (Table V "Total Power" column).
+
+Total power = switching (net capacitance charged at the clock rate scaled by
+activity) + internal (per-transition cell energy) + leakage.  Wirelength
+enters through the net capacitance, which is how the row-constraint flows
+differentiate — exactly the paper's mechanism (shorter routed wires, lower
+power).
+"""
+
+from repro.power.model import PowerParams, PowerReport, compute_power
+
+__all__ = ["PowerParams", "PowerReport", "compute_power"]

@@ -1,0 +1,22 @@
+"""Global-routing substrate (the Innovus routing stand-in for Table V).
+
+Per net: a rectilinear spanning/Steiner topology (:mod:`steiner`), embedded
+on a coarse GCell grid (:mod:`grid`) with L-shape pattern routing plus
+congestion-driven maze rerouting (:mod:`global_router`).  The result is a
+per-net routed length vector — HPWL times a congestion-dependent detour —
+which drives the post-route wirelength, timing and power comparisons
+exactly the way the paper's metrics respond to placement quality.
+"""
+
+from repro.route.steiner import steiner_edges, steiner_length
+from repro.route.grid import RoutingGrid
+from repro.route.global_router import RouterParams, RoutingResult, route_design
+
+__all__ = [
+    "steiner_edges",
+    "steiner_length",
+    "RoutingGrid",
+    "RouterParams",
+    "RoutingResult",
+    "route_design",
+]

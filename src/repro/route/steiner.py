@@ -1,0 +1,72 @@
+"""Rectilinear net topologies: Steiner stars and Prim spanning trees.
+
+For nets of up to three pins the rectilinear Steiner minimum tree length
+equals the HPWL and a median-point star achieves it.  Larger nets use a
+Prim rectilinear minimum spanning tree (RMST), whose length is within 1.5x
+of the RSMT — adequate for the relative flow comparisons the benches make,
+and it yields explicit 2-pin edges the global router can embed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def steiner_edges(
+    xs: np.ndarray, ys: np.ndarray
+) -> list[tuple[int, int]]:
+    """2-pin edges (pin-index pairs) of the net topology.
+
+    Pins at identical positions get zero-length edges, which the router
+    drops.  For <= 3 pins the star through the median point is realized as
+    edges from pin 0 to the others (router L-shapes through the median are
+    equivalent in length); larger nets get the Prim RMST.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValidationError("xs and ys must match")
+    if n < 2:
+        return []
+    if n <= 3:
+        return [(0, k) for k in range(1, n)]
+    return _prim_rmst(np.asarray(xs, float), np.asarray(ys, float))
+
+
+def _prim_rmst(xs: np.ndarray, ys: np.ndarray) -> list[tuple[int, int]]:
+    """O(n^2) Prim on the L1 metric; fine for signal-net degrees."""
+    n = len(xs)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    best_parent = np.zeros(n, dtype=int)
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        candidates = np.where(in_tree, np.inf, best_dist)
+        nxt = int(np.argmin(candidates))
+        edges.append((int(best_parent[nxt]), nxt))
+        in_tree[nxt] = True
+        dist = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
+        closer = dist < best_dist
+        best_dist = np.where(closer, dist, best_dist)
+        best_parent = np.where(closer, nxt, best_parent)
+    return edges
+
+
+def steiner_length(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Topology length in the same units as the inputs.
+
+    HPWL for <= 3 pins (exact RSMT), RMST length above.
+    """
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    if n <= 3:
+        return float(
+            (np.max(xs) - np.min(xs)) + (np.max(ys) - np.min(ys))
+        )
+    total = 0.0
+    for a, b in _prim_rmst(np.asarray(xs, float), np.asarray(ys, float)):
+        total += abs(xs[a] - xs[b]) + abs(ys[a] - ys[b])
+    return float(total)

@@ -1,0 +1,22 @@
+"""Integer-programming substrate (the paper's CPLEX replacement).
+
+:mod:`repro.solvers.milp` defines a solver-independent model container;
+:mod:`repro.solvers.highs` solves it exactly with scipy's HiGHS bindings
+(the production default), and :mod:`repro.solvers.bnb` is a from-scratch
+branch-and-bound over LP relaxations — exact as well, used for
+cross-checking HiGHS on small instances and as a dependency-free fallback.
+"""
+
+from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
+from repro.solvers.bnb import BranchAndBoundSolver
+from repro.solvers.lagrangian import LagrangianResult, solve_rap_lagrangian
+
+__all__ = [
+    "MilpModel",
+    "MilpSolution",
+    "MilpStatus",
+    "solve_milp",
+    "BranchAndBoundSolver",
+    "LagrangianResult",
+    "solve_rap_lagrangian",
+]

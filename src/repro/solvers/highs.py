@@ -1,0 +1,52 @@
+"""HiGHS backend via scipy.optimize.milp (the production default)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
+
+
+def solve_with_highs(
+    model: MilpModel, time_limit_s: float | None = None
+) -> MilpSolution:
+    """Solve the model exactly with HiGHS branch-and-cut."""
+    constraints = []
+    if model.a_ub is not None:
+        constraints.append(
+            LinearConstraint(model.a_ub, -np.inf, model.b_ub)
+        )
+    if model.a_eq is not None:
+        constraints.append(
+            LinearConstraint(model.a_eq, model.b_eq, model.b_eq)
+        )
+    options: dict[str, object] = {}
+    if time_limit_s is not None:
+        options["time_limit"] = float(time_limit_s)
+
+    start = time.perf_counter()
+    result = milp(
+        c=model.c,
+        constraints=constraints,
+        integrality=model.integrality,
+        bounds=Bounds(model.lb, model.ub),
+        options=options,
+    )
+    runtime = time.perf_counter() - start
+
+    if result.status == 0 and result.x is not None:
+        status = MilpStatus.OPTIMAL
+    elif result.x is not None:
+        status = MilpStatus.FEASIBLE
+    elif result.status == 2:
+        status = MilpStatus.INFEASIBLE
+    else:
+        status = MilpStatus.ERROR
+    x = np.asarray(result.x) if result.x is not None else None
+    objective = model.objective(x) if x is not None else np.inf
+    return MilpSolution(
+        status=status, x=x, objective=objective, nodes=0, runtime_s=runtime
+    )

@@ -1,0 +1,24 @@
+"""Technology and standard-cell library substrate.
+
+The paper uses ASAP7 7.5T (v28) and 6T (v26) cells, RVT and LVT flavours.
+Those libraries ship as LEF/Liberty; here we provide an equivalent synthetic
+library (:mod:`repro.techlib.asap7`) with the same structure: two track
+heights, two VT flavours, per-cell geometry, pin capacitance, linear delay
+and power coefficients.  The mLEF transform of Dobre et al. / Lin & Chang —
+squashing all heights to a common one while preserving cell area — is
+implemented in :mod:`repro.techlib.mlef`.
+"""
+
+from repro.techlib.cells import CellMaster, Pin, PinDirection, StdCellLibrary
+from repro.techlib.asap7 import make_asap7_library
+from repro.techlib.mlef import MLefTransform, make_mlef_library
+
+__all__ = [
+    "CellMaster",
+    "Pin",
+    "PinDirection",
+    "StdCellLibrary",
+    "make_asap7_library",
+    "MLefTransform",
+    "make_mlef_library",
+]

@@ -1,0 +1,152 @@
+"""Synthetic ASAP7-like mixed track-height standard-cell library.
+
+The real ASAP7 PDK (Clark et al. 2016) ships 7.5T (v28) and 6T (v26) cell
+libraries in RVT and LVT flavours; those files are not redistributable here,
+so this module builds a library with the same *structure* and representative
+electrical trends:
+
+* 1 DBU = 1 nm.  M2 pitch 36 nm, so a 6T row is 216 nm and a 7.5T row is
+  270 nm tall.  CPP (site width) is 54 nm; manufacturing grid 1 nm.
+* Each logic function exists at several drive strengths, in both track
+  heights and both VT flavours.
+* 7.5T cells are faster (more fins) but taller and leakier; LVT is faster
+  and leakier than RVT.  Delay follows ``d = intrinsic + slope * load``.
+
+The RCPP algorithms consume only widths, heights, pins, caps and the delay /
+power coefficients, so these synthetic values exercise exactly the same code
+paths as the foundry data.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.techlib.cells import CellMaster, Pin, PinDirection, StdCellLibrary
+
+M2_PITCH = 36  # nm
+SITE_WIDTH = 54  # nm (contacted poly pitch)
+MANUFACTURING_GRID = 1  # nm
+ROW_HEIGHT_6T = 6 * M2_PITCH  # 216 nm
+ROW_HEIGHT_75T = 270  # 7.5 * 36 nm
+TRACK_6T = 6.0
+TRACK_75T = 7.5
+
+# function -> (input pin names, base width in sites at x1, base intrinsic
+# delay ps, base delay slope ps/fF, base input cap fF, base internal energy
+# fJ, base leakage nW, is_sequential)
+_FUNCTIONS: dict[str, tuple[tuple[str, ...], int, float, float, float, float, float, bool]] = {
+    "INV": (("A",), 1, 6.0, 2.2, 0.7, 0.35, 0.9, False),
+    "BUF": (("A",), 2, 11.0, 2.0, 0.7, 0.55, 1.2, False),
+    "NAND2": (("A", "B"), 2, 9.0, 2.6, 0.8, 0.50, 1.3, False),
+    "NOR2": (("A", "B"), 2, 10.0, 2.9, 0.8, 0.52, 1.3, False),
+    "AND2": (("A", "B"), 3, 14.0, 2.4, 0.8, 0.65, 1.6, False),
+    "OR2": (("A", "B"), 3, 15.0, 2.5, 0.8, 0.66, 1.6, False),
+    "XOR2": (("A", "B"), 4, 19.0, 3.0, 1.1, 0.95, 2.2, False),
+    "AOI21": (("A1", "A2", "B"), 3, 12.0, 3.1, 0.9, 0.70, 1.8, False),
+    "OAI21": (("A1", "A2", "B"), 3, 12.5, 3.2, 0.9, 0.72, 1.8, False),
+    "MUX2": (("A", "B", "S"), 4, 18.0, 2.8, 1.0, 0.90, 2.4, False),
+    "MAJ3": (("A", "B", "C"), 5, 21.0, 3.0, 1.1, 1.10, 2.8, False),
+    "DFF": (("D", "CLK"), 6, 42.0, 2.7, 1.0, 2.10, 4.5, True),
+}
+
+_DRIVES = (1, 2, 4, 8)
+
+# Electrical scaling knobs.  7.5T cells have ~25% more drive (lower slope)
+# and modestly lower intrinsic delay, at higher leakage/internal power.
+_TALL_SLOPE_FACTOR = 0.74
+_TALL_INTRINSIC_FACTOR = 0.88
+_TALL_CAP_FACTOR = 1.18
+_TALL_ENERGY_FACTOR = 1.22
+_TALL_LEAK_FACTOR = 1.45
+# LVT trades leakage for speed.
+_LVT_DELAY_FACTOR = 0.85
+_LVT_LEAK_FACTOR = 2.4
+
+
+def _master_name(function: str, drive: int, vt: str, track: float) -> str:
+    suffix = "75t" if track == TRACK_75T else "6t"
+    return f"{function}x{drive}_ASAP7_{suffix}_{vt[0]}"
+
+
+def _make_pins(
+    input_names: tuple[str, ...], width: int, height: int, cap_ff: float
+) -> tuple[Pin, ...]:
+    """Spread input pins along x at mid-height; output at the right edge."""
+    pins: list[Pin] = []
+    n_in = len(input_names)
+    for i, name in enumerate(input_names):
+        x = round(width * (i + 1) / (n_in + 2))
+        pins.append(Pin(name, PinDirection.INPUT, Point(x, height // 2), cap_ff))
+    out_x = round(width * (n_in + 1) / (n_in + 2))
+    pins.append(Pin("Y", PinDirection.OUTPUT, Point(out_x, height // 2), 0.0))
+    return tuple(pins)
+
+
+def _build_master(function: str, drive: int, vt: str, track: float) -> CellMaster:
+    (
+        input_names,
+        base_sites,
+        intrinsic,
+        slope,
+        cap,
+        energy,
+        leak,
+        sequential,
+    ) = _FUNCTIONS[function]
+
+    # Width grows sub-linearly with drive (shared diffusion), same trend as
+    # real libraries: x1->base, x2->+40%, x4->+120%, x8->+260%.
+    width_sites = base_sites + round(base_sites * 0.45 * (drive - 1) ** 0.9)
+    width = width_sites * SITE_WIDTH
+    height = ROW_HEIGHT_75T if track == TRACK_75T else ROW_HEIGHT_6T
+
+    # Stronger drive: lower slope, bigger input cap and power.
+    slope_d = slope / drive
+    cap_d = cap * (1.0 + 0.55 * (drive - 1))
+    energy_d = energy * (1.0 + 0.6 * (drive - 1))
+    leak_d = leak * (1.0 + 0.8 * (drive - 1))
+    intrinsic_d = intrinsic * (1.0 + 0.04 * (drive - 1))
+
+    if track == TRACK_75T:
+        intrinsic_d *= _TALL_INTRINSIC_FACTOR
+        slope_d *= _TALL_SLOPE_FACTOR
+        cap_d *= _TALL_CAP_FACTOR
+        energy_d *= _TALL_ENERGY_FACTOR
+        leak_d *= _TALL_LEAK_FACTOR
+    if vt == "LVT":
+        intrinsic_d *= _LVT_DELAY_FACTOR
+        slope_d *= _LVT_DELAY_FACTOR
+        leak_d *= _LVT_LEAK_FACTOR
+
+    return CellMaster(
+        name=_master_name(function, drive, vt, track),
+        function=function,
+        drive=drive,
+        vt=vt,
+        track_height=track,
+        width=width,
+        height=height,
+        pins=_make_pins(input_names, width, height, cap_d),
+        intrinsic_delay_ps=intrinsic_d,
+        delay_slope_ps_per_ff=slope_d,
+        internal_energy_fj=energy_d,
+        leakage_nw=leak_d,
+        is_sequential=sequential,
+    )
+
+
+def make_asap7_library() -> StdCellLibrary:
+    """Build the full synthetic ASAP7-like library.
+
+    12 functions x 4 drives x 2 VTs x 2 track heights = 192 masters.
+    """
+    lib = StdCellLibrary(
+        name="asap7_synthetic",
+        site_width=SITE_WIDTH,
+        manufacturing_grid=MANUFACTURING_GRID,
+    )
+    for function in _FUNCTIONS:
+        for drive in _DRIVES:
+            for vt in ("RVT", "LVT"):
+                for track in (TRACK_6T, TRACK_75T):
+                    lib.add(_build_master(function, drive, vt, track))
+    return lib

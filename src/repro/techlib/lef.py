@@ -1,0 +1,237 @@
+"""Minimal LEF-subset writer/parser for the synthetic libraries.
+
+Real flows exchange cell geometry via LEF; the mLEF technique literally
+rewrites LEF files.  To keep that interface honest, this module can emit the
+synthetic library as LEF text (SITE / MACRO / PIN / PORT RECT) and parse the
+same subset back.  LEF carries geometry only, so electrical data
+(delay/power coefficients) is not round-tripped; parsed masters receive
+neutral electrical defaults and are suitable for placement-only use.
+
+Units: the emitted LEF uses microns with ``DATABASE MICRONS 1000``; the
+in-memory model is DBU = nm, so values are scaled by 1000 on write and
+parsed back exactly.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.techlib.cells import CellMaster, Pin, PinDirection, StdCellLibrary
+from repro.utils.errors import ValidationError
+
+_DBU_PER_MICRON = 1000
+
+
+def _um(dbu: int | float) -> str:
+    return f"{dbu / _DBU_PER_MICRON:.4f}"
+
+
+def write_lef(library: StdCellLibrary) -> str:
+    """Serialize ``library`` geometry as LEF text."""
+    lines: list[str] = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+        "UNITS",
+        f"  DATABASE MICRONS {_DBU_PER_MICRON} ;",
+        "END UNITS",
+        f"MANUFACTURINGGRID {_um(library.manufacturing_grid)} ;",
+    ]
+    for track in library.track_heights:
+        height = library.row_height(track)
+        lines += [
+            f"SITE coresite_{_site_tag(track)}",
+            "  CLASS CORE ;",
+            f"  SIZE {_um(library.site_width)} BY {_um(height)} ;",
+            f"END coresite_{_site_tag(track)}",
+        ]
+    for name in sorted(library.masters):
+        lines += _macro_lines(library.masters[name])
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def _site_tag(track: float) -> str:
+    return str(track).replace(".", "p")
+
+
+def _macro_lines(master: CellMaster) -> list[str]:
+    lines = [
+        f"MACRO {master.name}",
+        "  CLASS CORE ;",
+        "  ORIGIN 0 0 ;",
+        f"  SIZE {_um(master.width)} BY {_um(master.height)} ;",
+        "  SYMMETRY X Y ;",
+        f"  SITE coresite_{_site_tag(master.track_height)} ;",
+    ]
+    half = 8  # nm half-width of the pin landing pad
+    for pin in master.pins:
+        xlo = max(pin.offset.x - half, 0)
+        ylo = max(pin.offset.y - half, 0)
+        xhi = min(pin.offset.x + half, master.width)
+        yhi = min(pin.offset.y + half, master.height)
+        lines += [
+            f"  PIN {pin.name}",
+            f"    DIRECTION {pin.direction.value.upper()} ;",
+            "    USE SIGNAL ;",
+            "    PORT",
+            "      LAYER M1 ;",
+            f"        RECT {_um(xlo)} {_um(ylo)} {_um(xhi)} {_um(yhi)} ;",
+            "    END",
+            f"  END {pin.name}",
+        ]
+    lines.append(f"END {master.name}")
+    return lines
+
+
+def parse_lef(text: str, library_name: str = "parsed") -> StdCellLibrary:
+    """Parse the LEF subset emitted by :func:`write_lef`.
+
+    Returns a geometry-only library: parsed masters carry neutral electrical
+    coefficients (zero delay/power) and ``function``/``drive``/``vt`` decoded
+    from the macro name where possible.
+    """
+    tokens = _tokenize(text)
+    i = 0
+    dbu = _DBU_PER_MICRON
+    grid = 1
+    site_width: int | None = None
+    site_heights: dict[str, int] = {}
+    macros: list[CellMaster] = []
+
+    def to_dbu(word: str) -> int:
+        return int(round(float(word) * dbu))
+
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok == "DATABASE":
+            dbu = int(tokens[i + 2])
+            i += 3
+        elif tok == "MANUFACTURINGGRID":
+            grid = to_dbu(tokens[i + 1])
+            i += 2
+        elif tok == "SITE" and tokens[i + 1].startswith("coresite_"):
+            name = tokens[i + 1]
+            j = i + 2
+            while tokens[j] != "END":
+                if tokens[j] == "SIZE":
+                    site_width = to_dbu(tokens[j + 1])
+                    site_heights[name] = to_dbu(tokens[j + 3])
+                    j += 4
+                else:
+                    j += 1
+            i = j + 2
+        elif tok == "MACRO":
+            master, i = _parse_macro(tokens, i, to_dbu)
+            macros.append(master)
+        else:
+            i += 1
+
+    if site_width is None:
+        raise ValidationError("LEF text contains no SITE definition")
+    lib = StdCellLibrary(
+        name=library_name, site_width=site_width, manufacturing_grid=grid
+    )
+    for master in macros:
+        lib.add(master)
+    return lib
+
+
+def _tokenize(text: str) -> list[str]:
+    out: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        out.extend(line.replace(";", " ").split())
+    return out
+
+
+def _parse_macro(
+    tokens: list[str], start: int, to_dbu
+) -> tuple[CellMaster, int]:
+    name = tokens[start + 1]
+    i = start + 2
+    width = height = 0
+    site_tag = ""
+    pins: list[Pin] = []
+    while not (tokens[i] == "END" and i + 1 < len(tokens) and tokens[i + 1] == name):
+        tok = tokens[i]
+        if tok == "SIZE":
+            width = to_dbu(tokens[i + 1])
+            height = to_dbu(tokens[i + 3])
+            i += 4
+        elif tok == "SITE":
+            site_tag = tokens[i + 1]
+            i += 2
+        elif tok == "PIN":
+            pin, i = _parse_pin(tokens, i, to_dbu, width, height)
+            pins.append(pin)
+        else:
+            i += 1
+    function, drive, vt = _decode_name(name)
+    track = _decode_track(site_tag)
+    master = CellMaster(
+        name=name,
+        function=function,
+        drive=drive,
+        vt=vt,
+        track_height=track,
+        width=width,
+        height=height,
+        pins=tuple(pins),
+        intrinsic_delay_ps=0.0,
+        delay_slope_ps_per_ff=0.0,
+        internal_energy_fj=0.0,
+        leakage_nw=0.0,
+        is_sequential=function == "DFF",
+    )
+    return master, i + 2
+
+
+def _decode_name(name: str) -> tuple[str, int, str]:
+    """Best-effort decode of ``NAND2x4_ASAP7_6t_R``-style names.
+
+    Unrecognized names fall back to (name, drive 1, RVT) — the parser stays
+    usable on third-party LEF where our naming convention does not apply.
+    """
+    head = name.split("_", 1)[0]
+    if "x" in head:
+        func, _, drive_txt = head.rpartition("x")
+        if func and drive_txt.isdigit():
+            vt = "LVT" if name.removesuffix("__mlef").endswith("_L") else "RVT"
+            return func, int(drive_txt), vt
+    return name, 1, "RVT"
+
+
+def _decode_track(site_tag: str) -> float:
+    """Track height from a ``coresite_7p5`` / ``coresite_6p0`` site name."""
+    tag = site_tag.removeprefix("coresite_")
+    try:
+        return float(tag.replace("p", "."))
+    except ValueError:
+        return 0.0
+
+
+def _parse_pin(
+    tokens: list[str], start: int, to_dbu, width: int, height: int
+) -> tuple[Pin, int]:
+    pin_name = tokens[start + 1]
+    i = start + 2
+    direction = PinDirection.INPUT
+    rect: tuple[int, int, int, int] | None = None
+    while not (tokens[i] == "END" and tokens[i + 1] == pin_name):
+        tok = tokens[i]
+        if tok == "DIRECTION":
+            direction = PinDirection(tokens[i + 1].lower())
+            i += 2
+        elif tok == "RECT":
+            rect = tuple(to_dbu(tokens[i + k]) for k in range(1, 5))  # type: ignore[assignment]
+            i += 5
+        else:
+            i += 1
+    if rect is None:
+        raise ValidationError(f"pin {pin_name}: no PORT RECT")
+    # The writer centers an 8 nm pad on the pin; pads clipped at a cell edge
+    # shift the recovered center by at most the pad half-width, which is
+    # negligible at placement scale.
+    cx = min(max((rect[0] + rect[2]) // 2, 0), width)
+    cy = min(max((rect[1] + rect[3]) // 2, 0), height)
+    return Pin(pin_name, direction, Point(cx, cy), 0.0), i + 2

@@ -1,0 +1,137 @@
+"""Modified-LEF (mLEF) transform: unify mixed track-heights for placement.
+
+Following Dobre et al. (TCAD'18) and Lin & Chang (ICCAD'21), the mLEF
+technique rewrites every cell's geometry to one common height while
+*preserving individual cell area*, so an ordinary single-row-height P&R tool
+can produce the unconstrained initial placement of a mixed track-height
+netlist.  Per the DATE'24 paper (Sec. III-A):
+
+* the common mLEF height is chosen from the ratio of different track-height
+  cells in the design and the manufacturing grid — we use the cell-area
+  weighted mean of the row heights, snapped to the manufacturing grid;
+* each master's mLEF width is its original area divided by the common
+  height, rounded *up* to the site grid (so mLEF never under-reserves area);
+* after row-constraint placement, cells are reverted to the original masters
+  (:meth:`MLefTransform.original`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.geometry import Point
+from repro.techlib.cells import CellMaster, Pin, StdCellLibrary
+from repro.utils.errors import ValidationError
+
+
+def _snap_up(value: int, grid: int) -> int:
+    return ((value + grid - 1) // grid) * grid
+
+
+def _snap(value: float, grid: int) -> int:
+    snapped = int(round(value / grid)) * grid
+    return max(snapped, grid)
+
+
+def mlef_height(
+    library: StdCellLibrary, area_by_track: Mapping[float, float]
+) -> int:
+    """Common mLEF cell height for a design with the given area mix.
+
+    ``area_by_track`` maps track height -> total placed cell area of that
+    height in the design (the "ratio of different track-height cells" the
+    paper uses).  The result is the area-weighted mean row height snapped to
+    the manufacturing grid.
+    """
+    total = sum(area_by_track.values())
+    if total <= 0:
+        raise ValidationError("area_by_track must have positive total area")
+    mean = sum(
+        library.row_height(track) * area / total
+        for track, area in area_by_track.items()
+    )
+    return _snap(mean, library.manufacturing_grid)
+
+
+@dataclass(frozen=True)
+class MLefTransform:
+    """Bidirectional mapping between original and mLEF cell masters."""
+
+    height: int
+    mlef_library: StdCellLibrary
+    _to_mlef: Mapping[str, str]
+    _to_original: Mapping[str, CellMaster]
+
+    def mlef(self, original_name: str) -> CellMaster:
+        """mLEF master for an original master name."""
+        return self.mlef_library[self._to_mlef[original_name]]
+
+    def original(self, mlef_name: str) -> CellMaster:
+        """Original master for an mLEF master name (the revert step)."""
+        return self._to_original[mlef_name]
+
+    def is_mlef_name(self, name: str) -> bool:
+        return name in self._to_original
+
+
+def make_mlef_library(
+    library: StdCellLibrary, area_by_track: Mapping[float, float] | None = None
+) -> MLefTransform:
+    """Build the mLEF library for ``library``.
+
+    When ``area_by_track`` is omitted, every track height is weighted
+    equally (useful for tests); flows pass the actual design area mix.
+    """
+    if area_by_track is None:
+        area_by_track = {t: 1.0 for t in library.track_heights}
+    height = mlef_height(library, area_by_track)
+
+    mlef_lib = StdCellLibrary(
+        name=f"{library.name}_mlef_h{height}",
+        site_width=library.site_width,
+        manufacturing_grid=library.manufacturing_grid,
+    )
+    to_mlef: dict[str, str] = {}
+    to_original: dict[str, CellMaster] = {}
+    for master in library.masters.values():
+        width = _snap_up(
+            max(1, -(-master.area // height)), library.site_width
+        )
+        mlef_name = f"{master.name}__mlef"
+        scaled_pins = tuple(
+            Pin(
+                p.name,
+                p.direction,
+                Point(
+                    min(round(p.offset.x * width / master.width), width),
+                    min(round(p.offset.y * height / master.height), height),
+                ),
+                p.cap_ff,
+            )
+            for p in master.pins
+        )
+        mlef_master = CellMaster(
+            name=mlef_name,
+            function=master.function,
+            drive=master.drive,
+            vt=master.vt,
+            track_height=float(height) / 36.0,  # informational only
+            width=width,
+            height=height,
+            pins=scaled_pins,
+            intrinsic_delay_ps=master.intrinsic_delay_ps,
+            delay_slope_ps_per_ff=master.delay_slope_ps_per_ff,
+            internal_energy_fj=master.internal_energy_fj,
+            leakage_nw=master.leakage_nw,
+            is_sequential=master.is_sequential,
+        )
+        mlef_lib.add(mlef_master)
+        to_mlef[master.name] = mlef_name
+        to_original[mlef_name] = master
+    return MLefTransform(
+        height=height,
+        mlef_library=mlef_lib,
+        _to_mlef=to_mlef,
+        _to_original=to_original,
+    )

@@ -1,0 +1,28 @@
+"""Graph-based static timing analysis substrate.
+
+Replaces the Innovus timing reports in the paper's evaluation (Table V WNS /
+TNS columns).  The engine is deliberately NLDM-lite: cell arcs use the
+library's linear ``intrinsic + slope * load`` model and wires use an
+Elmore-style delay from a pluggable net-length model (fanout wireload before
+placement, HPWL after placement, routed length after routing), which is the
+level of fidelity the flow comparisons need.
+"""
+
+from repro.timing.delay import TimingParams, net_capacitance_ff, wire_delay_ps
+from repro.timing.graph import TimingGraph
+from repro.timing.paths import TimingPath, extract_critical_paths, format_path
+from repro.timing.sta import TimingReport, run_sta
+from repro.timing.wireload import fanout_wireload_lengths
+
+__all__ = [
+    "TimingParams",
+    "net_capacitance_ff",
+    "wire_delay_ps",
+    "TimingGraph",
+    "TimingPath",
+    "extract_critical_paths",
+    "format_path",
+    "TimingReport",
+    "run_sta",
+    "fanout_wireload_lengths",
+]

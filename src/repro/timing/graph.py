@@ -1,0 +1,142 @@
+"""Timing-graph construction: connectivity digest + topological order.
+
+The graph is built once per design and reused across STA runs with
+different net-length vectors (wireload -> HPWL -> routed), which is how the
+synthesis sizing loop and the flow evaluator amortize the cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.db import Design, PortDirection
+from repro.techlib.cells import PinDirection
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class TimingGraph:
+    """Connectivity digest of a design for STA.
+
+    All lists are indexed by the design's dense instance / net indices.
+    Clock nets are excluded from signal propagation (ideal clock).
+    """
+
+    design: Design
+    #: per-net driving instance index, -1 when port-driven
+    net_driver: list[int] = field(default_factory=list)
+    #: per-net summed sink input-pin capacitance (fF)
+    net_sink_cap: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: per-instance list of signal input net indices (CLK excluded)
+    inst_inputs: list[list[int]] = field(default_factory=list)
+    #: per-instance output net index, -1 when the output is unconnected
+    inst_output: list[int] = field(default_factory=list)
+    #: combinational instances in topological order
+    topo_comb: list[int] = field(default_factory=list)
+    #: endpoint list: (net_index, kind) with kind "ff_d" or "po"
+    endpoints: list[tuple[int, str]] = field(default_factory=list)
+    #: source nets: (net_index, kind) with kind "pi" or "ff_q"
+    sources: list[tuple[int, str]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, design: Design) -> "TimingGraph":
+        graph = cls(design=design)
+        n_inst = design.num_instances
+        n_net = design.num_nets
+        graph.net_driver = [-1] * n_net
+        graph.net_sink_cap = np.zeros(n_net)
+        graph.inst_inputs = [[] for _ in range(n_inst)]
+        graph.inst_output = [-1] * n_inst
+
+        for net in design.nets:
+            if net.is_clock:
+                # Ideal clock: contributes load/power but not signal arcs.
+                for np_ in net.pins:
+                    if not np_.is_port:
+                        inst = design.instances[np_.instance_index]
+                        pin = inst.master.pin(np_.pin_name)
+                        graph.net_sink_cap[net.index] += pin.cap_ff
+                continue
+            for k, np_ in enumerate(net.pins):
+                if np_.is_port:
+                    port = design.ports[np_.port_index]
+                    if k == 0:
+                        graph.sources.append((net.index, "pi"))
+                    elif port.direction is PortDirection.OUTPUT:
+                        graph.endpoints.append((net.index, "po"))
+                    continue
+                inst = design.instances[np_.instance_index]
+                pin = inst.master.pin(np_.pin_name)
+                if pin.direction is PinDirection.OUTPUT:
+                    if k != 0:
+                        raise ValidationError(
+                            f"net {net.name}: output pin not in driver slot"
+                        )
+                    graph.net_driver[net.index] = inst.index
+                    graph.inst_output[inst.index] = net.index
+                    if inst.is_sequential:
+                        graph.sources.append((net.index, "ff_q"))
+                else:
+                    graph.net_sink_cap[net.index] += pin.cap_ff
+                    if inst.is_sequential:
+                        if np_.pin_name == "D":
+                            graph.endpoints.append((net.index, "ff_d"))
+                        # CLK pins of DFFs are handled by the clock branch.
+                    else:
+                        graph.inst_inputs[inst.index].append(net.index)
+
+        graph._levelize()
+        return graph
+
+    def _levelize(self) -> None:
+        """Kahn's algorithm over combinational instances."""
+        design = self.design
+        ready_nets = np.zeros(design.num_nets, dtype=bool)
+        for net in design.nets:
+            driver = self.net_driver[net.index]
+            if net.is_clock:
+                ready_nets[net.index] = True
+            elif driver < 0 or design.instances[driver].is_sequential:
+                ready_nets[net.index] = True
+
+        pending: dict[int, int] = {}
+        queue: deque[int] = deque()
+        for inst in design.instances:
+            if inst.is_sequential:
+                continue
+            missing = sum(
+                1 for n in self.inst_inputs[inst.index] if not ready_nets[n]
+            )
+            if missing == 0:
+                queue.append(inst.index)
+            else:
+                pending[inst.index] = missing
+
+        consumers: dict[int, list[int]] = {}
+        for inst in design.instances:
+            if inst.is_sequential:
+                continue
+            for n in self.inst_inputs[inst.index]:
+                consumers.setdefault(n, []).append(inst.index)
+
+        self.topo_comb = []
+        while queue:
+            inst_index = queue.popleft()
+            self.topo_comb.append(inst_index)
+            out = self.inst_output[inst_index]
+            if out < 0 or ready_nets[out]:
+                continue
+            ready_nets[out] = True
+            for consumer in consumers.get(out, ()):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    del pending[consumer]
+                    queue.append(consumer)
+
+        if pending:
+            raise ValidationError(
+                f"combinational loop involving {len(pending)} instances"
+            )

@@ -1,0 +1,110 @@
+"""Critical-path extraction: trace the worst paths through the timing graph.
+
+STA gives per-endpoint slack; flows and reports also want the actual
+*paths* (which cells, in order) — e.g. to explain why a flow's WNS moved,
+or to drive the track-height swap pass with path-level information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.db import Design
+from repro.timing.delay import TimingParams, net_capacitance_ff, wire_delay_ps
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import TimingReport
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One register-to-register / IO path, driver to endpoint."""
+
+    slack_ps: float
+    endpoint_net: int
+    endpoint_kind: str  # "ff_d" | "po"
+    #: net indices from the path's launching net to the endpoint net
+    nets: tuple[int, ...]
+    #: instance indices traversed (combinational cells on the path)
+    instances: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.instances)
+
+
+def extract_critical_paths(
+    design: Design,
+    graph: TimingGraph,
+    report: TimingReport,
+    net_lengths_nm: np.ndarray,
+    k: int = 5,
+    params: TimingParams | None = None,
+) -> list[TimingPath]:
+    """The ``k`` worst endpoint paths, worst first.
+
+    Each path is traced backward greedily along the worst-arrival fanin at
+    every combinational stage — the standard single-worst-path traceback.
+    """
+    if params is None:
+        params = TimingParams()
+    lengths = np.asarray(net_lengths_nm, dtype=float)
+    wire_delays = wire_delay_ps(lengths, graph.net_sink_cap, params)
+    arrival = report.arrival_ps
+
+    endpoint_slack: list[tuple[float, int, str]] = []
+    period = design.clock_period_ps
+    for net_index, kind in graph.endpoints:
+        if arrival[net_index] == -np.inf:
+            continue
+        deadline = period - wire_delays[net_index]
+        deadline -= params.setup_ps if kind == "ff_d" else params.output_delay_ps
+        endpoint_slack.append(
+            (float(deadline - arrival[net_index]), net_index, kind)
+        )
+    endpoint_slack.sort()
+
+    paths: list[TimingPath] = []
+    for slack, net_index, kind in endpoint_slack[:k]:
+        nets: list[int] = [net_index]
+        instances: list[int] = []
+        current = net_index
+        while True:
+            driver = graph.net_driver[current]
+            if driver < 0 or design.instances[driver].is_sequential:
+                break
+            instances.append(driver)
+            fanins = graph.inst_inputs[driver]
+            if not fanins:
+                break
+            # Worst fanin: max arrival + wire delay.
+            worst = max(fanins, key=lambda n: arrival[n] + wire_delays[n])
+            if arrival[worst] == -np.inf:
+                break
+            nets.append(worst)
+            current = worst
+        nets.reverse()
+        instances.reverse()
+        paths.append(
+            TimingPath(
+                slack_ps=slack,
+                endpoint_net=net_index,
+                endpoint_kind=kind,
+                nets=tuple(nets),
+                instances=tuple(instances),
+            )
+        )
+    return paths
+
+
+def format_path(design: Design, path: TimingPath) -> str:
+    """Human-readable one-liner for a path."""
+    stages = " -> ".join(
+        f"{design.instances[i].name}({design.instances[i].master.function})"
+        for i in path.instances
+    )
+    return (
+        f"slack {path.slack_ps:8.1f} ps  depth {path.depth:3d}  "
+        f"[{path.endpoint_kind}] {stages or '(direct)'}"
+    )

@@ -1,0 +1,128 @@
+"""Static timing analysis: arrival / required / slack, WNS and TNS.
+
+Semantics follow the paper's reporting: WNS is the worst endpoint slack
+(negative when violating) and TNS is the sum of negative endpoint slacks.
+Endpoints are DFF D pins (with setup) and primary outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.db import Design
+from repro.timing.delay import TimingParams, net_capacitance_ff, wire_delay_ps
+from repro.timing.graph import TimingGraph
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run."""
+
+    wns_ps: float
+    tns_ps: float
+    num_endpoints: int
+    num_violations: int
+    #: per-net arrival at the driver output (ps); -inf for nets with no arcs
+    arrival_ps: np.ndarray
+    #: per-net slack (ps); +inf for nets off any constrained path
+    slack_ps: np.ndarray
+
+    @property
+    def wns_ns(self) -> float:
+        return self.wns_ps / 1000.0
+
+    @property
+    def tns_ns(self) -> float:
+        return self.tns_ps / 1000.0
+
+    def instance_slack(self, graph: TimingGraph) -> np.ndarray:
+        """Per-instance slack: the slack of the instance's output net."""
+        out = np.full(graph.design.num_instances, np.inf)
+        for inst_index, net_index in enumerate(graph.inst_output):
+            if net_index >= 0:
+                out[inst_index] = self.slack_ps[net_index]
+        return out
+
+
+def run_sta(
+    design: Design,
+    graph: TimingGraph,
+    net_lengths_nm: np.ndarray,
+    params: TimingParams | None = None,
+) -> TimingReport:
+    """Run STA with the given per-net length estimates.
+
+    ``net_lengths_nm`` must align with the design's net indices; it comes
+    from the wireload model, HPWL, or the router depending on flow stage.
+    """
+    if params is None:
+        params = TimingParams()
+    lengths = np.asarray(net_lengths_nm, dtype=float)
+    if lengths.shape != (design.num_nets,):
+        raise ValueError(
+            f"net_lengths has shape {lengths.shape}, expected ({design.num_nets},)"
+        )
+
+    loads = net_capacitance_ff(lengths, graph.net_sink_cap, params)
+    wire_delays = wire_delay_ps(lengths, graph.net_sink_cap, params)
+    period = design.clock_period_ps
+
+    arrival = np.full(design.num_nets, -np.inf)
+
+    for net_index, kind in graph.sources:
+        if kind == "pi":
+            arrival[net_index] = params.input_delay_ps
+        else:  # ff_q: clock-to-q of the driving register under its load
+            driver = graph.net_driver[net_index]
+            master = design.instances[driver].master
+            arrival[net_index] = master.delay_ps(loads[net_index])
+
+    for inst_index in graph.topo_comb:
+        out = graph.inst_output[inst_index]
+        if out < 0:
+            continue
+        inputs = graph.inst_inputs[inst_index]
+        if inputs:
+            worst_in = max(arrival[n] + wire_delays[n] for n in inputs)
+            if worst_in == -np.inf:
+                continue
+        else:
+            worst_in = 0.0  # constant-like cell: starts at the clock edge
+        master = design.instances[inst_index].master
+        arrival[out] = worst_in + master.delay_ps(loads[out])
+
+    # Required times, backward over the same order.
+    required = np.full(design.num_nets, np.inf)
+    endpoint_slacks: list[float] = []
+    for net_index, kind in graph.endpoints:
+        deadline = period - wire_delays[net_index]
+        deadline -= params.setup_ps if kind == "ff_d" else params.output_delay_ps
+        required[net_index] = min(required[net_index], deadline)
+        if arrival[net_index] > -np.inf:
+            endpoint_slacks.append(float(deadline - arrival[net_index]))
+
+    for inst_index in reversed(graph.topo_comb):
+        out = graph.inst_output[inst_index]
+        if out < 0 or required[out] == np.inf:
+            continue
+        master = design.instances[inst_index].master
+        budget = required[out] - master.delay_ps(loads[out])
+        for n in graph.inst_inputs[inst_index]:
+            required[n] = min(required[n], budget - wire_delays[n])
+
+    slack = required - arrival
+    slack[arrival == -np.inf] = np.inf
+
+    slacks = np.array(endpoint_slacks) if endpoint_slacks else np.zeros(1)
+    wns = float(slacks.min())
+    tns = float(slacks[slacks < 0].sum())
+    return TimingReport(
+        wns_ps=wns,
+        tns_ps=tns,
+        num_endpoints=len(endpoint_slacks),
+        num_violations=int((slacks < 0).sum()),
+        arrival_ps=arrival,
+        slack_ps=slack,
+    )

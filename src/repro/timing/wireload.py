@@ -1,0 +1,22 @@
+"""Pre-placement wireload model.
+
+Before any placement exists (the synthesis sizing loop), net lengths are
+estimated from fanout alone, the same role Design Compiler's wireload tables
+play.  The model is ``L = base * (degree - 1) ** exponent`` — superlinear in
+sinks, zero for single-pin nets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.db import Design
+
+
+def fanout_wireload_lengths(
+    design: Design, base_nm: float = 1500.0, exponent: float = 1.1
+) -> np.ndarray:
+    """Estimated net lengths (nm) for every net of ``design``."""
+    degrees = np.array([net.degree for net in design.nets], dtype=float)
+    sinks = np.maximum(degrees - 1.0, 0.0)
+    return base_nm * sinks**exponent

@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG, timers, errors and validation helpers."""
+
+from repro.utils.errors import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timer import StageTimes, Timer
+
+__all__ = [
+    "CapacityError",
+    "InfeasibleError",
+    "ReproError",
+    "SolverError",
+    "ValidationError",
+    "make_rng",
+    "spawn_rngs",
+    "StageTimes",
+    "Timer",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class at flow boundaries while tests can assert on the precise
+subclass.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError):
+    """An input object violates a structural invariant (bad geometry, dangling
+    pin, cell height not matching any row height, ...)."""
+
+
+class CapacityError(ReproError):
+    """A placement region cannot hold the cells assigned to it."""
+
+
+class InfeasibleError(ReproError):
+    """An optimization model has no feasible solution."""
+
+
+class SolverError(ReproError):
+    """A solver backend failed for a reason other than infeasibility."""

@@ -1,0 +1,33 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (netlist generation, k-means
+seeding, placer jitter) takes an explicit seed or Generator so that runs are
+reproducible; these helpers centralize construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing Generator, or None.
+
+    Passing an existing Generator returns it unchanged, so a caller can thread
+    one stream through several components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child Generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so children are statistically independent and
+    stable across runs for the same seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

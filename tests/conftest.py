@@ -1,0 +1,52 @@
+"""Shared fixtures: the library and small prebuilt designs.
+
+Module-scoped fixtures keep the suite fast: the library and the reference
+designs are immutable from the tests' point of view (tests that mutate a
+design build their own).
+"""
+
+import pytest
+
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.netlist.synthesis import size_to_minority_fraction
+from repro.techlib.asap7 import make_asap7_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return make_asap7_library()
+
+
+def make_design(
+    library,
+    n_cells=600,
+    clock_ps=600.0,
+    minority_fraction=0.15,
+    seed=5,
+    **spec_kw,
+):
+    """Small mixed track-height design for integration-style tests."""
+    spec = GeneratorSpec(
+        name=f"t{n_cells}_{seed}",
+        n_cells=n_cells,
+        clock_period_ps=clock_ps,
+        seed=seed,
+        **spec_kw,
+    )
+    design = generate_netlist(spec, library)
+    if minority_fraction > 0:
+        size_to_minority_fraction(design, minority_fraction)
+    return design
+
+
+@pytest.fixture(scope="session")
+def small_design(library):
+    return make_design(library)
+
+
+@pytest.fixture(scope="session")
+def placed_small(library, small_design):
+    """Initial placement of the shared small design (do not mutate)."""
+    from repro.core.flows import prepare_initial_placement
+
+    return prepare_initial_placement(small_design, library)

@@ -1,0 +1,149 @@
+"""Tests for the 2-D k-means clustering with grid seeding (paper Sec. III-B)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    cluster_minority_cells,
+    grid_seed_centroids,
+    kmeans_2d,
+)
+from repro.utils.errors import ValidationError
+
+
+def blobs(rng, centers, n_per):
+    pts = np.concatenate(
+        [rng.normal(c, 0.5, size=(n_per, 2)) for c in centers]
+    )
+    return pts[:, 0] * 100, pts[:, 1] * 100
+
+
+class TestGridSeeds:
+    def test_count_exact(self):
+        rng = np.random.default_rng(0)
+        xs, ys = rng.uniform(0, 100, 50), rng.uniform(0, 100, 50)
+        for k in (1, 3, 4, 7, 9, 12):
+            assert len(grid_seed_centroids(xs, ys, k)) == k
+
+    def test_perfect_square_uses_full_grid(self):
+        xs = np.array([0.0, 100.0])
+        ys = np.array([0.0, 100.0])
+        seeds = grid_seed_centroids(xs, ys, 9)
+        # 3x3 grid at cell centers of the bbox
+        assert sorted(set(np.round(seeds[:, 0], 6))) == [
+            pytest.approx(100 / 6),
+            pytest.approx(50.0),
+            pytest.approx(500 / 6),
+        ]
+
+    def test_outer_ring_excluded(self):
+        """With p^2 - k exclusions, dropped points are the outermost."""
+        xs = np.array([0.0, 100.0])
+        ys = np.array([0.0, 100.0])
+        seeds = grid_seed_centroids(xs, ys, 5)  # p=3, drop 4 corners
+        center = np.array([50.0, 50.0])
+        radius = np.linalg.norm(seeds - center, axis=1)
+        corner_radius = np.linalg.norm([100 / 3, 100 / 3])
+        assert (radius <= corner_radius + 1e-6).all()
+
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(ValidationError):
+            grid_seed_centroids(np.zeros(3), np.zeros(3), 0)
+
+    def test_degenerate_bbox(self):
+        xs = np.zeros(5)
+        ys = np.zeros(5)
+        seeds = grid_seed_centroids(xs, ys, 4)
+        assert len(seeds) == 4
+
+
+class TestKmeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(2)
+        xs, ys = blobs(rng, [(0, 0), (10, 0), (0, 10), (10, 10)], 30)
+        points = np.column_stack([xs, ys])
+        seeds = grid_seed_centroids(xs, ys, 4)
+        result = kmeans_2d(points, seeds)
+        # Each blob's 30 members share one label.
+        for b in range(4):
+            labels = result.labels[b * 30 : (b + 1) * 30]
+            assert len(set(labels.tolist())) == 1
+
+    def test_all_clusters_nonempty(self):
+        rng = np.random.default_rng(3)
+        points = np.column_stack(
+            [rng.uniform(0, 100, 80), rng.uniform(0, 100, 80)]
+        )
+        seeds = grid_seed_centroids(points[:, 0], points[:, 1], 25)
+        result = kmeans_2d(points, seeds)
+        assert set(result.labels.tolist()) == set(range(25))
+
+    def test_more_clusters_than_points_rejected(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValidationError):
+            kmeans_2d(points, np.zeros((5, 2)))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        points = np.column_stack(
+            [rng.uniform(0, 100, 60), rng.uniform(0, 100, 60)]
+        )
+        seeds = grid_seed_centroids(points[:, 0], points[:, 1], 10)
+        a = kmeans_2d(points, seeds)
+        b = kmeans_2d(points, seeds)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_members(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [100.0, 100.0]])
+        result = kmeans_2d(points, np.array([[0.0, 0.0], [100.0, 100.0]]))
+        assert set(result.members(0).tolist()) == {0, 1}
+        assert set(result.members(1).tolist()) == {2}
+
+
+class TestClusterMinorityCells:
+    def test_cluster_count_from_s(self):
+        rng = np.random.default_rng(5)
+        xs, ys = rng.uniform(0, 100, 100), rng.uniform(0, 100, 100)
+        result = cluster_minority_cells(xs, ys, s=0.2)
+        assert result.n_clusters == math.ceil(0.2 * 100)
+
+    def test_s_one_identity(self):
+        rng = np.random.default_rng(6)
+        xs, ys = rng.uniform(0, 100, 40), rng.uniform(0, 100, 40)
+        result = cluster_minority_cells(xs, ys, s=1.0)
+        assert result.n_clusters == 40
+        assert np.array_equal(result.labels, np.arange(40))
+
+    def test_bad_s_rejected(self):
+        xs = np.zeros(5)
+        with pytest.raises(ValidationError):
+            cluster_minority_cells(xs, xs, s=0.0)
+        with pytest.raises(ValidationError):
+            cluster_minority_cells(xs, xs, s=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            cluster_minority_cells(np.zeros(0), np.zeros(0), s=0.2)
+
+    def test_single_cell(self):
+        result = cluster_minority_cells(np.array([5.0]), np.array([7.0]), s=0.2)
+        assert result.n_clusters == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=120),
+        s=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_partition_property(self, n, s, seed):
+        """Labels always form a full partition into ceil(s*n) clusters."""
+        rng = np.random.default_rng(seed)
+        xs, ys = rng.uniform(0, 1000, n), rng.uniform(0, 1000, n)
+        result = cluster_minority_cells(xs, ys, s=s)
+        expected = min(n, max(1, math.ceil(s * n)))
+        assert result.n_clusters == expected
+        assert set(result.labels.tolist()) == set(range(expected))

@@ -1,0 +1,158 @@
+"""Tests for the RAP cost matrices (Disp, dHPWL) against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import compute_rap_costs
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.netlist.synthesis import size_to_minority_fraction
+from repro.placement.floorplanner import build_placed_design, make_floorplan
+from repro.placement.hpwl import hpwl_per_net
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setup(library):
+    design = generate_netlist(
+        GeneratorSpec(name="c", n_cells=150, clock_period_ps=500.0, seed=21),
+        library,
+    )
+    size_to_minority_fraction(design, 0.2)
+    fp = make_floorplan(design, row_height=216, site_width=54)
+    pd = build_placed_design(design, fp)
+    rng = np.random.default_rng(1)
+    pd.x = rng.uniform(0, fp.die.width * 0.9, design.num_instances)
+    pd.y = rng.uniform(0, fp.die.height * 0.9, design.num_instances)
+    minority = np.flatnonzero(
+        np.array([i.master.track_height == 7.5 for i in design.instances])
+    )
+    pairs = fp.row_pairs()
+    pair_y = np.array([p.center_y for p in pairs])
+    widths = np.array([design.instances[i].master.width for i in minority], float)
+    return pd, minority, pair_y, widths
+
+
+def brute_force_dhpwl(pd, cell, new_center_y):
+    """Move the cell vertically, recompute y-HPWL of its nets exactly."""
+    y = pd.y.copy()
+    height = pd.heights[cell]
+    y[cell] = new_center_y - height / 2.0
+    design = pd.design
+    delta = 0.0
+    for net in design.nets:
+        if net.is_clock:
+            continue
+        touches = any(
+            (not p.is_port) and p.instance_index == cell for p in net.pins
+        )
+        if not touches:
+            continue
+        before = _net_yspan(pd, net, pd.y)
+        after = _net_yspan(pd, net, y)
+        delta += after - before
+    return delta
+
+
+def _net_yspan(pd, net, y):
+    ys = []
+    for p in net.pins:
+        if p.is_port:
+            ys.append(pd.port_y[p.port_index])
+        else:
+            inst = pd.design.instances[p.instance_index]
+            ys.append(y[p.instance_index] + inst.master.pin(p.pin_name).offset.y)
+    return max(ys) - min(ys)
+
+
+class TestDisp:
+    def test_matches_definition(self, setup):
+        pd, minority, pair_y, widths = setup
+        labels = np.arange(len(minority))
+        costs = compute_rap_costs(pd, minority, labels, len(minority), pair_y, widths)
+        cy = pd.y[minority] + pd.heights[minority] / 2.0
+        expected = np.abs(pair_y[None, :] - cy[:, None])
+        assert np.allclose(costs.cell_disp, expected)
+
+    def test_zero_at_own_row(self, setup):
+        pd, minority, pair_y, widths = setup
+        labels = np.arange(len(minority))
+        # Put cell 0's center exactly on pair 2's center.
+        saved = pd.y[minority[0]]
+        pd.y[minority[0]] = pair_y[2] - pd.heights[minority[0]] / 2.0
+        try:
+            costs = compute_rap_costs(
+                pd, minority, labels, len(minority), pair_y, widths
+            )
+            assert costs.cell_disp[0, 2] == pytest.approx(0.0)
+        finally:
+            pd.y[minority[0]] = saved
+
+
+class TestDHpwl:
+    def test_matches_brute_force(self, setup):
+        pd, minority, pair_y, widths = setup
+        labels = np.arange(len(minority))
+        costs = compute_rap_costs(pd, minority, labels, len(minority), pair_y, widths)
+        # Check a handful of (cell, row) combinations exactly.
+        for c in (0, 3, len(minority) - 1):
+            for r in (0, len(pair_y) // 2, len(pair_y) - 1):
+                expected = brute_force_dhpwl(pd, int(minority[c]), pair_y[r])
+                assert costs.cell_dhpwl[c, r] == pytest.approx(
+                    expected, rel=1e-6, abs=1e-6
+                ), (c, r)
+
+    def test_no_move_no_delta(self, setup):
+        """A row at the cell's own y produces (near) zero dHPWL."""
+        pd, minority, pair_y, widths = setup
+        cell = int(minority[1])
+        cy = pd.y[cell] + pd.heights[cell] / 2.0
+        labels = np.arange(len(minority))
+        costs = compute_rap_costs(
+            pd, minority, labels, len(minority), np.array([cy]), widths
+        )
+        assert costs.cell_dhpwl[1, 0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAggregation:
+    def test_cluster_sums(self, setup):
+        pd, minority, pair_y, widths = setup
+        labels = np.zeros(len(minority), dtype=int)
+        labels[len(minority) // 2 :] = 1
+        costs = compute_rap_costs(pd, minority, labels, 2, pair_y, widths)
+        assert np.allclose(
+            costs.disp[0], costs.cell_disp[labels == 0].sum(axis=0)
+        )
+        assert np.allclose(
+            costs.dhpwl[1], costs.cell_dhpwl[labels == 1].sum(axis=0)
+        )
+        assert costs.cluster_width[0] == pytest.approx(widths[labels == 0].sum())
+
+    def test_combine_weights(self, setup):
+        pd, minority, pair_y, widths = setup
+        labels = np.arange(len(minority))
+        costs = compute_rap_costs(pd, minority, labels, len(minority), pair_y, widths)
+        f_disp_only = costs.combine(1.0)
+        f_hpwl_only = costs.combine(0.0)
+        assert np.allclose(f_disp_only, costs.disp)
+        assert np.allclose(f_hpwl_only, costs.dhpwl)
+        mid = costs.combine(0.5)
+        assert np.allclose(mid, 0.5 * costs.disp + 0.5 * costs.dhpwl)
+
+    def test_bad_alpha_rejected(self, setup):
+        pd, minority, pair_y, widths = setup
+        labels = np.arange(len(minority))
+        costs = compute_rap_costs(pd, minority, labels, len(minority), pair_y, widths)
+        with pytest.raises(ValidationError):
+            costs.combine(1.5)
+
+    def test_empty_minority_rejected(self, setup):
+        pd, _minority, pair_y, _widths = setup
+        with pytest.raises(ValidationError):
+            compute_rap_costs(
+                pd, np.array([], int), np.array([], int), 0, pair_y, np.array([])
+            )
+
+    def test_misaligned_labels_rejected(self, setup):
+        pd, minority, pair_y, widths = setup
+        with pytest.raises(ValidationError):
+            compute_rap_costs(pd, minority, np.zeros(3, int), 1, pair_y, widths)

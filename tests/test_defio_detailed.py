@@ -1,0 +1,137 @@
+"""Tests for DEF round trip and the swap-based detailed placer."""
+
+import numpy as np
+import pytest
+
+from repro.core.flows import FlowKind, FlowRunner
+from repro.core.params import RCPPParams
+from repro.placement.defio import read_def, write_def
+from repro.placement.detailed import swap_refine
+from repro.placement.hpwl import hpwl_total
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def flow(placed_small):
+    return FlowRunner(placed_small, RCPPParams()).run(FlowKind.FLOW5)
+
+
+class TestDefRoundTrip:
+    def test_positions_recovered(self, flow):
+        placed = flow.placed
+        text = write_def(placed)
+        recovered = read_def(text, placed.design)
+        assert np.allclose(recovered.x, np.round(placed.x))
+        assert np.allclose(recovered.y, np.round(placed.y))
+
+    def test_floorplan_recovered(self, flow):
+        placed = flow.placed
+        recovered = read_def(write_def(placed), placed.design)
+        assert recovered.floorplan.die == placed.floorplan.die
+        assert recovered.floorplan.num_rows == placed.floorplan.num_rows
+        for a, b in zip(recovered.floorplan.rows, placed.floorplan.rows):
+            assert (a.y, a.height, a.track_height) == (
+                b.y, b.height, b.track_height,
+            )
+
+    def test_ports_recovered(self, flow):
+        placed = flow.placed
+        recovered = read_def(write_def(placed), placed.design)
+        assert np.allclose(recovered.port_x, np.round(placed.port_x))
+        assert np.allclose(recovered.port_y, np.round(placed.port_y))
+
+    def test_hpwl_survives_round_trip(self, flow):
+        placed = flow.placed
+        recovered = read_def(write_def(placed), placed.design)
+        assert hpwl_total(recovered) == pytest.approx(
+            hpwl_total(placed), rel=1e-3
+        )
+
+    def test_legality_survives(self, flow):
+        recovered = read_def(write_def(flow.placed), flow.placed.design)
+        assert recovered.check_legal() == []
+
+    def test_mlef_floorplan_round_trips(self, placed_small):
+        text = write_def(placed_small.placed)
+        recovered = read_def(text, placed_small.design)
+        assert all(
+            r.track_height is None for r in recovered.floorplan.rows
+        )
+
+    def test_master_mismatch_rejected(self, flow):
+        placed = flow.placed
+        text = write_def(placed)
+        first = placed.design.instances[0]
+        wrong = text.replace(
+            f"- {first.name} {first.master.name} ",
+            f"- {first.name} NOT_A_MASTER ",
+            1,
+        )
+        with pytest.raises(ValidationError):
+            read_def(wrong, placed.design)
+
+    def test_missing_diearea_rejected(self, flow):
+        with pytest.raises(ValidationError):
+            read_def("DESIGN x ;\nEND DESIGN\n", flow.placed.design)
+
+    def test_incomplete_components_rejected(self, flow):
+        placed = flow.placed
+        lines = write_def(placed).splitlines()
+        # Drop one PLACED component line.
+        for k, line in enumerate(lines):
+            if "+ PLACED" in line and "+ NET" not in line:
+                del lines[k]
+                break
+        with pytest.raises(ValidationError):
+            read_def("\n".join(lines), placed.design)
+
+
+class TestSwapRefine:
+    def test_improves_or_keeps_hpwl(self, flow):
+        placed = flow.placed
+        x0, y0 = placed.clone_positions()
+        before = hpwl_total(placed)
+        try:
+            swaps = swap_refine(placed, passes=1)
+            after = hpwl_total(placed)
+            assert after <= before + 1e-6
+            assert swaps >= 0
+        finally:
+            placed.x, placed.y = x0, y0
+
+    def test_preserves_legality(self, flow):
+        placed = flow.placed
+        x0, y0 = placed.clone_positions()
+        try:
+            swap_refine(placed, passes=2)
+            assert placed.check_legal() == []
+        finally:
+            placed.x, placed.y = x0, y0
+
+    def test_only_equal_shape_swaps(self, flow):
+        """Multiset of (width, x, y) triples is preserved per shape class."""
+        placed = flow.placed
+        x0, y0 = placed.clone_positions()
+        slots_before = sorted(
+            (placed.widths[i], placed.heights[i], placed.x[i], placed.y[i])
+            for i in range(placed.design.num_instances)
+        )
+        try:
+            swap_refine(placed, passes=1)
+            slots_after = sorted(
+                (placed.widths[i], placed.heights[i], placed.x[i], placed.y[i])
+                for i in range(placed.design.num_instances)
+            )
+            assert slots_before == slots_after
+        finally:
+            placed.x, placed.y = x0, y0
+
+    def test_bad_passes_rejected(self, flow):
+        with pytest.raises(ValidationError):
+            swap_refine(flow.placed, passes=-1)
+
+    def test_zero_passes_noop(self, flow):
+        placed = flow.placed
+        x0, y0 = placed.clone_positions()
+        assert swap_refine(placed, passes=0) == 0
+        assert np.array_equal(placed.x, x0)

@@ -1,0 +1,93 @@
+"""Tests for repro.eval: normalization, reporting, post-route evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.flows import FlowKind, FlowRunner
+from repro.core.params import RCPPParams
+from repro.eval import (
+    evaluate_post_route,
+    format_table,
+    normalize_01,
+    rank_correlation_matches,
+    ratio_to_reference,
+)
+from repro.eval.normalize import geometric_mean
+from repro.utils.errors import ValidationError
+
+
+class TestNormalize:
+    def test_01_range(self):
+        out = normalize_01(np.array([3.0, 7.0, 5.0]))
+        assert out.min() == 0.0 and out.max() == 1.0
+        assert out[2] == pytest.approx(0.5)
+
+    def test_01_constant(self):
+        assert normalize_01(np.array([2.0, 2.0])).tolist() == [0.0, 0.0]
+
+    def test_ratio(self):
+        out = ratio_to_reference({1: 5.0, 2: 10.0, 5: 9.0}, reference=2)
+        assert out == {1: 0.5, 2: 1.0, 5: 0.9}
+
+    def test_ratio_missing_reference(self):
+        with pytest.raises(ValidationError):
+            ratio_to_reference({1: 5.0}, reference=2)
+
+    def test_geomean(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+        with pytest.raises(ValidationError):
+            geometric_mean(np.array([1.0, 0.0]))
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_rank_correlation_perfect(self):
+        a = {1: 1.0, 2: 2.0, 3: 3.0}
+        b = {1: 10.0, 2: 20.0, 3: 30.0}
+        assert rank_correlation_matches(a, b) == (3, 3)
+
+    def test_rank_correlation_inverted(self):
+        a = {1: 1.0, 2: 2.0}
+        b = {1: 2.0, 2: 1.0}
+        assert rank_correlation_matches(a, b) == (0, 1)
+
+    def test_rank_correlation_partial_keys(self):
+        a = {1: 1.0, 2: 2.0, 9: 0.0}
+        b = {1: 1.0, 2: 2.0, 8: 0.0}
+        matches, comparisons = rank_correlation_matches(a, b)
+        assert comparisons == 1 and matches == 1
+
+
+class TestPostRoute:
+    @pytest.fixture(scope="class")
+    def flows(self, placed_small):
+        runner = FlowRunner(placed_small, RCPPParams())
+        return {k: runner.run(k) for k in (FlowKind.FLOW1, FlowKind.FLOW2, FlowKind.FLOW5)}
+
+    def test_metrics_shape(self, flows):
+        metrics, routing, sta, power = evaluate_post_route(flows[FlowKind.FLOW5])
+        assert metrics.flow_value == 5
+        assert metrics.wirelength_nm > 0
+        assert metrics.total_power_mw > 0
+        assert np.isfinite(metrics.wns_ns)
+        assert metrics.wirelength_um == pytest.approx(metrics.wirelength_nm / 1000)
+
+    def test_flow1_wl_is_best(self, flows):
+        wl = {
+            k.value: evaluate_post_route(f)[0].wirelength_nm
+            for k, f in flows.items()
+        }
+        assert wl[1] <= wl[2]
+        assert wl[1] <= wl[5]
+
+    def test_power_tracks_wirelength_direction(self, flows):
+        m1 = evaluate_post_route(flows[FlowKind.FLOW1])[0]
+        m2 = evaluate_post_route(flows[FlowKind.FLOW2])[0]
+        if m2.wirelength_nm > m1.wirelength_nm:
+            assert m2.total_power_mw >= m1.total_power_mw * 0.999

@@ -1,0 +1,174 @@
+"""Tests for repro.netlist.generator: structure, determinism, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.db import PortDirection
+from repro.netlist.generator import (
+    DEFAULT_FUNCTION_WEIGHTS,
+    GeneratorSpec,
+    generate_netlist,
+)
+from repro.timing.graph import TimingGraph
+from repro.utils.errors import ValidationError
+
+
+def spec(**kw):
+    defaults = dict(name="g", n_cells=500, clock_period_ps=500.0, seed=3)
+    defaults.update(kw)
+    return GeneratorSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_too_few_cells(self):
+        with pytest.raises(ValidationError):
+            spec(n_cells=2)
+
+    def test_bad_reg_fraction(self):
+        with pytest.raises(ValidationError):
+            spec(reg_fraction=1.0)
+
+    def test_bad_depth(self):
+        with pytest.raises(ValidationError):
+            spec(logic_depth=0)
+
+    def test_bad_affinity(self):
+        with pytest.raises(ValidationError):
+            spec(module_affinity=1.5)
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def design(self, library):
+        return generate_netlist(spec(n_cells=800), library)
+
+    def test_cell_count_exact(self, design):
+        assert design.num_instances == 800
+
+    def test_validates(self, design):
+        design.validate()
+
+    def test_register_fraction(self, design):
+        n_seq = sum(1 for i in design.instances if i.is_sequential)
+        assert n_seq == pytest.approx(800 * 0.12, abs=1)
+
+    def test_net_count_exceeds_cells(self, design):
+        # one net per cell output + one per PI + clock
+        assert design.num_nets > design.num_instances
+
+    def test_every_net_driven_once(self, design):
+        from repro.netlist.db import NetPin
+        from repro.techlib.cells import PinDirection
+
+        for net in design.nets:
+            drivers = 0
+            for np_ in net.pins:
+                if np_.is_port:
+                    if design.ports[np_.port_index].direction is PortDirection.INPUT:
+                        drivers += 1
+                else:
+                    inst = design.instances[np_.instance_index]
+                    pin = inst.master.pin(np_.pin_name)
+                    if pin.direction is PinDirection.OUTPUT:
+                        drivers += 1
+            assert drivers == 1, net.name
+
+    def test_no_dangling_outputs(self, design):
+        for net in design.nets:
+            if not net.is_clock:
+                assert net.degree >= 2, net.name
+
+    def test_clock_net_reaches_all_dffs(self, design):
+        clock_nets = [n for n in design.nets if n.is_clock]
+        assert len(clock_nets) == 1
+        sinks = {p.instance_index for p in clock_nets[0].pins if not p.is_port}
+        dffs = {i.index for i in design.instances if i.is_sequential}
+        assert sinks == dffs
+
+    def test_acyclic(self, design):
+        # TimingGraph.build raises on combinational loops.
+        TimingGraph.build(design)
+
+    def test_all_inputs_connected(self, design):
+        from repro.techlib.cells import PinDirection
+
+        connected: set[tuple[int, str]] = set()
+        for net in design.nets:
+            for np_ in net.pins:
+                if not np_.is_port:
+                    connected.add((np_.instance_index, np_.pin_name))
+        for inst in design.instances:
+            for pin in inst.master.pins:
+                if pin.direction is PinDirection.INPUT:
+                    assert (inst.index, pin.name) in connected
+
+
+class TestDeterminismAndKnobs:
+    def test_same_seed_identical(self, library):
+        a = generate_netlist(spec(seed=11), library)
+        b = generate_netlist(spec(seed=11), library)
+        assert [i.master.name for i in a.instances] == [
+            i.master.name for i in b.instances
+        ]
+        assert [tuple(p for p in n.pins) for n in a.nets] == [
+            tuple(p for p in n.pins) for n in b.nets
+        ]
+
+    def test_different_seed_differs(self, library):
+        a = generate_netlist(spec(seed=1), library)
+        b = generate_netlist(spec(seed=2), library)
+        assert [n.pins for n in a.nets] != [n.pins for n in b.nets]
+
+    def test_depth_controls_levels(self, library):
+        shallow = generate_netlist(
+            spec(logic_depth=6, depth_spread=0.0, seed=4), library
+        )
+        deep = generate_netlist(
+            spec(logic_depth=30, depth_spread=0.0, seed=4), library
+        )
+        assert _max_level(shallow) < _max_level(deep)
+
+    def test_function_weights_respected(self, library):
+        only_inv = {f: (1.0 if f == "INV" else 0.0) for f in DEFAULT_FUNCTION_WEIGHTS}
+        design = generate_netlist(
+            spec(function_weights=only_inv, reg_fraction=0.0), library
+        )
+        assert {i.master.function for i in design.instances} == {"INV"}
+
+    def test_zero_weights_rejected(self, library):
+        zero = {f: 0.0 for f in DEFAULT_FUNCTION_WEIGHTS}
+        with pytest.raises(ValidationError):
+            generate_netlist(spec(function_weights=zero), library)
+
+    def test_explicit_pi_count(self, library):
+        design = generate_netlist(spec(n_primary_inputs=40), library)
+        pis = [
+            p
+            for p in design.ports
+            if p.direction is PortDirection.INPUT and not p.is_clock
+        ]
+        assert len(pis) == 40
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n_cells=st.integers(min_value=50, max_value=400),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_any_seed_yields_valid_design(self, library, n_cells, seed):
+        design = generate_netlist(spec(n_cells=n_cells, seed=seed), library)
+        design.validate()
+        TimingGraph.build(design)  # acyclic
+        assert design.num_instances == n_cells
+
+
+def _max_level(design) -> int:
+    graph = TimingGraph.build(design)
+    level = np.zeros(design.num_nets, dtype=int)
+    for inst_index in graph.topo_comb:
+        out = graph.inst_output[inst_index]
+        ins = graph.inst_inputs[inst_index]
+        if out >= 0:
+            level[out] = 1 + max((level[n] for n in ins), default=0)
+    return int(level.max())

@@ -1,0 +1,151 @@
+"""Tests for repro.geometry: Point, Interval, Rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, Point, Rect, bounding_box
+from repro.utils.errors import ValidationError
+
+coords = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+class TestPoint:
+    def test_translate(self):
+        assert Point(1, 2).translated(3, -4) == Point(4, -2)
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_as_tuple(self):
+        assert Point(5, 6).as_tuple() == (5, 6)
+
+    @given(coords, coords, coords, coords)
+    def test_manhattan_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_manhattan_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c)
+
+
+class TestInterval:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            Interval(5, 3)
+
+    def test_length_and_empty(self):
+        assert Interval(2, 7).length == 5
+        assert Interval(3, 3).empty
+
+    def test_contains_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+    def test_overlap_touching_is_false(self):
+        assert not Interval(0, 5).overlaps(Interval(5, 9))
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Interval(0, 2).intersection(Interval(5, 8)).empty
+
+    def test_intersection_value(self):
+        assert Interval(0, 6).intersection(Interval(4, 9)) == Interval(4, 6)
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 8)) == Interval(0, 8)
+
+    def test_clamp(self):
+        iv = Interval(2, 5)
+        assert iv.clamp(0) == 2
+        assert iv.clamp(9) == 5
+        assert iv.clamp(4) == 4
+
+    def test_shifted(self):
+        assert Interval(1, 3).shifted(4) == Interval(5, 7)
+
+    @given(coords, coords, coords, coords)
+    def test_intersection_commutes(self, a, b, c, d):
+        lo1, hi1 = sorted((a, b))
+        lo2, hi2 = sorted((c, d))
+        i1, i2 = Interval(lo1, hi1), Interval(lo2, hi2)
+        assert i1.intersection(i2).length == i2.intersection(i1).length
+
+    @given(coords, coords, coords, coords)
+    def test_hull_contains_both(self, a, b, c, d):
+        lo1, hi1 = sorted((a, b))
+        lo2, hi2 = sorted((c, d))
+        i1, i2 = Interval(lo1, hi1), Interval(lo2, hi2)
+        hull = i1.hull(i2)
+        assert hull.contains_interval(i1) and hull.contains_interval(i2)
+
+
+class TestRect:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect(0, 0, -1, 5)
+
+    def test_from_size(self):
+        r = Rect.from_size(2, 3, 10, 20)
+        assert (r.xhi, r.yhi) == (12, 23)
+
+    def test_area_width_height(self):
+        r = Rect(0, 0, 4, 5)
+        assert (r.width, r.height, r.area) == (4, 5, 20)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 6).center == Point(2, 3)
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(4, 0))
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_overlap_touching_is_false(self):
+        assert not Rect(0, 0, 5, 5).overlaps(Rect(5, 0, 9, 5))
+        assert Rect(0, 0, 5, 5).overlaps(Rect(4, 4, 9, 9))
+
+    def test_intersection_disjoint_empty(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 8, 8)).empty
+
+    def test_translated(self):
+        assert Rect(0, 0, 2, 2).translated(3, 4) == Rect(3, 4, 5, 6)
+
+    def test_hull(self):
+        assert Rect(0, 0, 1, 1).hull(Rect(4, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_half_perimeter(self):
+        assert Rect(0, 0, 3, 4).half_perimeter() == 7
+
+    def test_intervals(self):
+        r = Rect(1, 2, 5, 9)
+        assert r.x_interval == Interval(1, 5)
+        assert r.y_interval == Interval(2, 9)
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_bounding_box_covers_all(self, pts):
+        points = [Point(x, y) for x, y in pts]
+        box = bounding_box(points)
+        for p in points:
+            assert box.xlo <= p.x <= box.xhi
+            assert box.ylo <= p.y <= box.yhi
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bounding_box([])
+
+    def test_bounding_box_single_point(self):
+        box = bounding_box([Point(3, 4)])
+        assert box == Rect(3, 4, 3, 4)

@@ -1,0 +1,134 @@
+"""Tests for repro.netlist.db: the design database and its invariants."""
+
+import pytest
+
+from repro.netlist.db import Design, NetPin, PortDirection
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def design(library):
+    d = Design("unit", library, clock_period_ps=500.0)
+    inv = library.find("INV", drive=1, vt="RVT", track_height=6.0)[0]
+    nand = library.find("NAND2", drive=1, vt="RVT", track_height=6.0)[0]
+    u0 = d.add_instance("u0", inv)
+    u1 = d.add_instance("u1", nand)
+    pi = d.add_port("in0", PortDirection.INPUT)
+    po = d.add_port("out0", PortDirection.OUTPUT)
+    n0 = d.add_net("n0")
+    n0.pins = [NetPin.on_port(pi.index), NetPin.on_instance(u0.index, "A"),
+               NetPin.on_instance(u1.index, "A")]
+    n1 = d.add_net("n1")
+    n1.pins = [NetPin.on_instance(u0.index, "Y"), NetPin.on_instance(u1.index, "B")]
+    n2 = d.add_net("n2")
+    n2.pins = [NetPin.on_instance(u1.index, "Y"), NetPin.on_port(po.index)]
+    return d
+
+
+class TestConstruction:
+    def test_validate_passes(self, design):
+        design.validate()
+
+    def test_indices_dense(self, design):
+        assert [i.index for i in design.instances] == [0, 1]
+        assert [n.index for n in design.nets] == [0, 1, 2]
+        assert [p.index for p in design.ports] == [0, 1]
+
+    def test_counts(self, design):
+        assert design.num_instances == 2
+        assert design.num_nets == 3
+
+    def test_bad_clock_rejected(self, library):
+        with pytest.raises(ValidationError):
+            Design("bad", library, clock_period_ps=0.0)
+
+
+class TestNet:
+    def test_driver_and_sinks(self, design):
+        net = design.nets[1]
+        assert net.driver.instance_index == 0
+        assert len(net.sinks) == 1
+
+    def test_empty_net_driver_raises(self, design):
+        net = design.add_net("empty")
+        with pytest.raises(ValidationError):
+            _ = net.driver
+
+    def test_degree(self, design):
+        assert design.nets[0].degree == 3
+
+
+class TestNetPin:
+    def test_port_pin(self):
+        p = NetPin.on_port(3)
+        assert p.is_port and p.port_index == 3
+
+    def test_instance_pin(self):
+        p = NetPin.on_instance(2, "A")
+        assert not p.is_port and p.pin_name == "A"
+
+
+class TestValidation:
+    def test_driver_not_first_rejected(self, design):
+        net = design.nets[1]
+        net.pins = list(reversed(net.pins))
+        with pytest.raises(ValidationError):
+            design.validate()
+
+    def test_output_port_as_driver_rejected(self, design):
+        net = design.add_net("bad")
+        net.pins = [NetPin.on_port(1)]  # out0 is an output port
+        with pytest.raises(ValidationError):
+            design.validate()
+
+    def test_dangling_instance_index_rejected(self, design):
+        net = design.add_net("bad")
+        net.pins = [NetPin.on_instance(99, "Y")]
+        with pytest.raises(ValidationError):
+            design.validate()
+
+    def test_foreign_master_rejected(self, design, library):
+        from repro.techlib.asap7 import make_asap7_library
+
+        other = make_asap7_library()
+        design.instances[0].master = other["INVx1_ASAP7_6t_R"]
+        with pytest.raises(ValidationError):
+            design.validate()
+
+    def test_extra_library_allowed(self, design, library):
+        from repro.techlib.mlef import make_mlef_library
+
+        mt = make_mlef_library(library)
+        design.allow_library(mt.mlef_library)
+        design.instances[0].master = mt.mlef(design.instances[0].master.name)
+        design.validate()
+
+
+class TestQueries:
+    def test_minority_fraction(self, design, library):
+        assert design.minority_fraction(7.5) == 0.0
+        design.instances[0].master = library.variant(
+            design.instances[0].master, 7.5
+        )
+        assert design.minority_fraction(7.5) == pytest.approx(0.5)
+
+    def test_minority_mask(self, design, library):
+        design.instances[1].master = library.variant(
+            design.instances[1].master, 7.5
+        )
+        assert design.minority_mask(7.5) == [False, True]
+
+    def test_area_by_track(self, design):
+        areas = design.area_by_track()
+        assert set(areas) == {6.0}
+        assert areas[6.0] == sum(i.master.area for i in design.instances)
+
+    def test_clock_port(self, design):
+        assert design.clock_port() is None
+        design.add_port("clk", PortDirection.INPUT, is_clock=True)
+        assert design.clock_port().name == "clk"
+
+    def test_stats_shape(self, design):
+        stats = design.stats()
+        assert stats["cells"] == 2.0
+        assert stats["clock_ps"] == 500.0

@@ -1,0 +1,80 @@
+"""Tests for repro.power: the switching + internal + leakage model."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.power import PowerParams, compute_power
+from repro.timing import TimingGraph, fanout_wireload_lengths
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    return generate_netlist(
+        GeneratorSpec(name="p", n_cells=400, clock_period_ps=500.0, seed=4),
+        library,
+    )
+
+
+@pytest.fixture(scope="module")
+def graph(design):
+    return TimingGraph.build(design)
+
+
+class TestPowerModel:
+    def test_breakdown_positive(self, design, graph):
+        report = compute_power(design, graph, fanout_wireload_lengths(design))
+        assert report.switching_mw > 0
+        assert report.internal_mw > 0
+        assert report.leakage_mw > 0
+        assert report.total_mw == pytest.approx(
+            report.switching_mw + report.internal_mw + report.leakage_mw
+        )
+
+    def test_longer_wires_more_switching(self, design, graph):
+        base = fanout_wireload_lengths(design)
+        short = compute_power(design, graph, base)
+        long = compute_power(design, graph, base * 3.0)
+        assert long.switching_mw > short.switching_mw
+        assert long.internal_mw == pytest.approx(short.internal_mw)
+        assert long.leakage_mw == pytest.approx(short.leakage_mw)
+
+    def test_faster_clock_more_dynamic(self, library, graph, design):
+        lengths = fanout_wireload_lengths(design)
+        slow = compute_power(design, graph, lengths)
+        design.clock_period_ps /= 2.0
+        try:
+            fast = compute_power(design, graph, lengths)
+        finally:
+            design.clock_period_ps *= 2.0
+        assert fast.switching_mw == pytest.approx(2.0 * slow.switching_mw)
+        assert fast.leakage_mw == pytest.approx(slow.leakage_mw)
+
+    def test_activity_scale(self, design, graph):
+        lengths = fanout_wireload_lengths(design)
+        full = compute_power(design, graph, lengths)
+        half = compute_power(
+            design, graph, lengths, power_params=PowerParams(activity_scale=0.5)
+        )
+        assert half.switching_mw == pytest.approx(0.5 * full.switching_mw)
+        assert half.leakage_mw == pytest.approx(full.leakage_mw)
+
+    def test_leakage_tracks_library(self, design, graph):
+        expected_nw = sum(i.master.leakage_nw for i in design.instances)
+        report = compute_power(design, graph, fanout_wireload_lengths(design))
+        assert report.leakage_mw == pytest.approx(expected_nw * 1e-6)
+
+    def test_vdd_quadratic(self, design, graph):
+        lengths = fanout_wireload_lengths(design)
+        v1 = compute_power(
+            design, graph, lengths, power_params=PowerParams(vdd_v=0.7)
+        )
+        v2 = compute_power(
+            design, graph, lengths, power_params=PowerParams(vdd_v=1.4)
+        )
+        assert v2.switching_mw == pytest.approx(4.0 * v1.switching_mw)
+
+    def test_magnitude_sane(self, design, graph):
+        """A 400-cell block at 2 GHz should be in the mW regime."""
+        report = compute_power(design, graph, fanout_wireload_lengths(design))
+        assert 0.001 < report.total_mw < 100.0

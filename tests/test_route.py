@@ -1,0 +1,168 @@
+"""Tests for the routing substrate: Steiner topologies, grid, router."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flows import FlowKind, FlowRunner
+from repro.core.params import RCPPParams
+from repro.geometry import Rect
+from repro.route import RouterParams, RoutingGrid, route_design, steiner_edges, steiner_length
+from repro.utils.errors import ValidationError
+
+coords = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestSteiner:
+    def test_two_pin(self):
+        assert steiner_length(np.array([0.0, 30.0]), np.array([0.0, 40.0])) == 70.0
+        assert steiner_edges(np.array([0.0, 30.0]), np.array([0.0, 40.0])) == [(0, 1)]
+
+    def test_three_pin_is_hpwl(self):
+        xs = np.array([0.0, 100.0, 50.0])
+        ys = np.array([0.0, 0.0, 80.0])
+        assert steiner_length(xs, ys) == 180.0  # bbox half-perimeter
+
+    def test_single_pin_zero(self):
+        assert steiner_length(np.array([5.0]), np.array([5.0])) == 0.0
+        assert steiner_edges(np.array([5.0]), np.array([5.0])) == []
+
+    def test_rmst_is_spanning(self):
+        rng = np.random.default_rng(3)
+        xs, ys = rng.uniform(0, 1000, 9), rng.uniform(0, 1000, 9)
+        edges = steiner_edges(xs, ys)
+        assert len(edges) == 8
+        # Union-find connectivity check.
+        parent = list(range(9))
+
+        def find(a):
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        assert len({find(k) for k in range(9)}) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(coords, coords), min_size=2, max_size=10))
+    def test_length_at_least_hpwl(self, pts):
+        """Any spanning topology is bounded below by the net HPWL."""
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        hpwl = (xs.max() - xs.min()) + (ys.max() - ys.min())
+        assert steiner_length(xs, ys) >= hpwl - 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(coords, coords), min_size=4, max_size=10))
+    def test_rmst_within_mst_bound(self, pts):
+        """RMST length <= sum of all-pairs shortest star from any root."""
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        star = sum(
+            abs(xs[0] - xs[k]) + abs(ys[0] - ys[k]) for k in range(1, len(pts))
+        )
+        assert steiner_length(xs, ys) <= star + 1e-6
+
+
+class TestGrid:
+    def make(self, nx=8, ny=8):
+        return RoutingGrid(
+            die=Rect(0, 0, 8000, 8000), nx=nx, ny=ny, h_capacity=5.0, v_capacity=5.0
+        )
+
+    def test_gcell_of_clamps(self):
+        grid = self.make()
+        ix, iy = grid.gcell_of(np.array([-100.0, 9000.0]), np.array([500.0, 500.0]))
+        assert ix.tolist() == [0, 7]
+
+    def test_usage_spans(self):
+        grid = self.make()
+        grid.add_h_span(2, 1, 5)
+        assert grid.h_usage[2, 1:5].tolist() == [1.0] * 4
+        assert grid.h_usage.sum() == 4.0
+        grid.add_h_span(2, 5, 1, amount=-1.0)  # reversed span, removal
+        assert grid.h_usage.sum() == 0.0
+
+    def test_overflow(self):
+        grid = self.make()
+        for _ in range(7):
+            grid.add_v_span(3, 0, 2)
+        assert grid.overflow() == pytest.approx(2 * 2.0)
+        assert grid.max_congestion() == pytest.approx(7 / 5)
+
+    def test_cost_grows_with_overflow(self):
+        grid = self.make()
+        base = grid.h_cost()[0, 0]
+        for _ in range(10):
+            grid.add_h_span(0, 0, 1)
+        assert grid.h_cost()[0, 0] > base
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            RoutingGrid(die=Rect(0, 0, 100, 100), nx=0, ny=1,
+                        h_capacity=1, v_capacity=1)
+
+
+class TestRouter:
+    @pytest.fixture(scope="class")
+    def routed(self, placed_small):
+        runner = FlowRunner(placed_small, RCPPParams())
+        flow = runner.run(FlowKind.FLOW5)
+        return flow, route_design(flow.placed)
+
+    def test_lengths_at_least_topology(self, routed):
+        flow, result = routed
+        assert result.net_lengths_nm.shape == (flow.placed.design.num_nets,)
+        assert (result.net_lengths_nm >= 0).all()
+        assert result.detour_factor >= 1.0
+
+    def test_total_matches_signal_nets(self, routed):
+        flow, result = routed
+        signal = [
+            result.net_lengths_nm[n.index]
+            for n in flow.placed.design.nets
+            if not n.is_clock
+        ]
+        assert result.total_wirelength_nm == pytest.approx(sum(signal), rel=1e-6)
+
+    def test_clock_gets_hpwl_length(self, routed):
+        flow, result = routed
+        clk = next(n.index for n in flow.placed.design.nets if n.is_clock)
+        assert result.net_lengths_nm[clk] > 0
+
+    def test_wl_correlates_with_hpwl(self, routed):
+        """Routed WL must track HPWL (paper footnote 5)."""
+        flow, result = routed
+        from repro.placement.hpwl import hpwl_per_net
+
+        hp = hpwl_per_net(flow.placed, weighted=False)
+        mask = np.array(
+            [not n.is_clock and n.degree >= 2 for n in flow.placed.design.nets]
+        )
+        ratio = result.net_lengths_nm[mask].sum() / hp[mask].sum()
+        assert 0.9 < ratio < 1.6
+
+    def test_reroute_reduces_or_keeps_overflow(self, placed_small):
+        runner = FlowRunner(placed_small, RCPPParams())
+        flow = runner.run(FlowKind.FLOW2)
+        no_reroute = route_design(
+            flow.placed, RouterParams(reroute_rounds=0)
+        )
+        with_reroute = route_design(
+            flow.placed, RouterParams(reroute_rounds=3)
+        )
+        assert with_reroute.overflow <= no_reroute.overflow
+
+    def test_params_validation(self):
+        with pytest.raises(ValidationError):
+            RouterParams(gcell_target=1)
+        with pytest.raises(ValidationError):
+            RouterParams(reroute_fraction=0.0)
+
+    def test_deterministic(self, routed):
+        flow, result = routed
+        again = route_design(flow.placed)
+        assert np.array_equal(result.net_lengths_nm, again.net_lengths_nm)

@@ -1,0 +1,183 @@
+"""Tests for the MILP layer: model validation, HiGHS and own B&B agree."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import (
+    BranchAndBoundSolver,
+    MilpModel,
+    MilpStatus,
+    solve_milp,
+)
+from repro.utils.errors import ValidationError
+
+
+def knapsack(values, weights, capacity):
+    """max v.x s.t. w.x <= cap, x binary  ->  min -v.x."""
+    n = len(values)
+    return MilpModel(
+        c=-np.asarray(values, dtype=float),
+        integrality=np.ones(n),
+        lb=np.zeros(n),
+        ub=np.ones(n),
+        a_ub=sp.csr_matrix(np.asarray(weights, dtype=float)[None, :]),
+        b_ub=np.array([float(capacity)]),
+    )
+
+
+def assignment_model(cost):
+    """Classic assignment problem as equality-constrained binary MILP."""
+    n = cost.shape[0]
+    n_vars = n * n
+    rows_r = np.repeat(np.arange(n), n)
+    rows_c = n + np.tile(np.arange(n), n)
+    cols = np.arange(n_vars)
+    a_eq = sp.coo_matrix(
+        (
+            np.ones(2 * n_vars),
+            (np.concatenate([rows_r, rows_c]), np.concatenate([cols, cols])),
+        ),
+        shape=(2 * n, n_vars),
+    ).tocsr()
+    return MilpModel(
+        c=cost.ravel().astype(float),
+        integrality=np.ones(n_vars),
+        lb=np.zeros(n_vars),
+        ub=np.ones(n_vars),
+        a_eq=a_eq,
+        b_eq=np.ones(2 * n),
+    )
+
+
+class TestModel:
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            MilpModel(
+                c=np.ones(3),
+                integrality=np.ones(2),
+                lb=np.zeros(3),
+                ub=np.ones(3),
+            )
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValidationError):
+            MilpModel(
+                c=np.ones(2),
+                integrality=np.ones(2),
+                lb=np.ones(2),
+                ub=np.zeros(2),
+            )
+
+    def test_mismatched_constraints(self):
+        with pytest.raises(ValidationError):
+            MilpModel(
+                c=np.ones(2),
+                integrality=np.ones(2),
+                lb=np.zeros(2),
+                ub=np.ones(2),
+                a_ub=sp.csr_matrix(np.ones((1, 3))),
+                b_ub=np.ones(1),
+            )
+
+    def test_is_feasible(self):
+        m = knapsack([1, 2], [1, 1], 1)
+        assert m.is_feasible(np.array([1.0, 0.0]))
+        assert not m.is_feasible(np.array([1.0, 1.0]))  # capacity
+        assert not m.is_feasible(np.array([0.5, 0.0]))  # integrality
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            solve_milp(knapsack([1], [1], 1), backend="cplex")
+
+
+class TestHighs:
+    def test_knapsack_optimum(self):
+        model = knapsack([10, 13, 7], [3, 4, 2], 6)
+        result = solve_milp(model, backend="highs")
+        assert result.status is MilpStatus.OPTIMAL
+        # best: items 1+2 (weights 4+2=6, value 20)
+        assert result.objective == pytest.approx(-20.0)
+
+    def test_infeasible_detected(self):
+        model = MilpModel(
+            c=np.ones(1),
+            integrality=np.ones(1),
+            lb=np.zeros(1),
+            ub=np.ones(1),
+            a_eq=sp.csr_matrix(np.ones((1, 1))),
+            b_eq=np.array([5.0]),
+        )
+        result = solve_milp(model, backend="highs")
+        assert result.status is MilpStatus.INFEASIBLE
+        assert not result.ok
+
+    def test_assignment_optimum(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        result = solve_milp(assignment_model(cost), backend="highs")
+        assert result.status is MilpStatus.OPTIMAL
+        assert result.objective == pytest.approx(5.0)  # 1 + 2 + 2
+
+
+class TestBranchAndBound:
+    def test_knapsack_matches_highs(self):
+        model = knapsack([10, 13, 7, 11], [3, 4, 2, 5], 9)
+        ours = solve_milp(model, backend="bnb")
+        highs = solve_milp(model, backend="highs")
+        assert ours.status is MilpStatus.OPTIMAL
+        assert ours.objective == pytest.approx(highs.objective)
+
+    def test_assignment_matches_highs(self):
+        rng = np.random.default_rng(5)
+        cost = rng.uniform(0, 10, size=(4, 4))
+        ours = solve_milp(assignment_model(cost), backend="bnb")
+        highs = solve_milp(assignment_model(cost), backend="highs")
+        assert ours.objective == pytest.approx(highs.objective, rel=1e-6)
+
+    def test_infeasible(self):
+        model = MilpModel(
+            c=np.ones(2),
+            integrality=np.ones(2),
+            lb=np.zeros(2),
+            ub=np.ones(2),
+            a_ub=sp.csr_matrix(np.array([[1.0, 1.0], [-1.0, -1.0]])),
+            b_ub=np.array([0.5, -1.5]),  # x1+x2 <= 0.5 and >= 1.5
+        )
+        result = solve_milp(model, backend="bnb")
+        assert result.status is MilpStatus.INFEASIBLE
+
+    def test_warm_start_used(self):
+        model = knapsack([10, 13, 7], [3, 4, 2], 6)
+        solver = BranchAndBoundSolver(max_nodes=0)
+        warm = np.array([1.0, 0.0, 1.0, 0.0, 0.0, 0.0])[:3]
+        result = solver.solve(model, warm_start=warm)
+        # With no nodes allowed, only the warm start survives.
+        assert result.ok
+        assert result.objective == pytest.approx(-17.0)
+
+    def test_node_limit_reports_feasible(self):
+        rng = np.random.default_rng(11)
+        cost = rng.uniform(0, 10, size=(5, 5))
+        solver = BranchAndBoundSolver(max_nodes=3)
+        result = solver.solve(assignment_model(cost))
+        assert result.status in (MilpStatus.FEASIBLE, MilpStatus.OPTIMAL, MilpStatus.ERROR)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+    )
+    def test_bnb_equals_highs_property(self, seed, n):
+        """Both exact solvers must agree on random knapsacks."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(1, 20, n)
+        weights = rng.integers(1, 10, n)
+        capacity = int(weights.sum() // 2)
+        if capacity == 0:
+            return
+        model = knapsack(values, weights, capacity)
+        ours = solve_milp(model, backend="bnb")
+        highs = solve_milp(model, backend="highs")
+        assert ours.objective == pytest.approx(highs.objective, abs=1e-6)

@@ -1,0 +1,193 @@
+"""Tests for repro.timing: delay models, graph construction, STA."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.db import Design, NetPin, PortDirection
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.timing import (
+    TimingGraph,
+    TimingParams,
+    fanout_wireload_lengths,
+    net_capacitance_ff,
+    run_sta,
+    wire_delay_ps,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestDelayModels:
+    def test_wire_delay_units(self):
+        """100 um of default wire must land in the ~100 ps regime."""
+        params = TimingParams()
+        d = wire_delay_ps(np.array([100_000.0]), np.array([2.0]), params)
+        assert 30.0 < d[0] < 500.0
+
+    def test_zero_length_zero_delay(self):
+        d = wire_delay_ps(np.array([0.0]), np.array([5.0]), TimingParams())
+        assert d[0] == 0.0
+
+    def test_delay_monotone_in_length(self):
+        params = TimingParams()
+        lengths = np.array([1e3, 1e4, 1e5])
+        d = wire_delay_ps(lengths, np.full(3, 1.0), params)
+        assert d[0] < d[1] < d[2]
+
+    def test_net_capacitance(self):
+        params = TimingParams(c_ff_per_nm=0.001)
+        c = net_capacitance_ff(np.array([1000.0]), np.array([2.0]), params)
+        assert c[0] == pytest.approx(3.0)
+
+    def test_negative_parasitics_rejected(self):
+        with pytest.raises(ValidationError):
+            TimingParams(r_ohm_per_nm=-1.0)
+
+
+def _chain_design(library, n_stages=4, clock_ps=200.0):
+    """PI -> INV -> ... -> INV -> DFF.D, with the DFF clocked."""
+    d = Design("chain", library, clock_ps)
+    inv = library.find("INV", drive=1, vt="RVT", track_height=6.0)[0]
+    dff = library.find("DFF", drive=1, vt="RVT", track_height=6.0)[0]
+    clk_port = d.add_port("clk", PortDirection.INPUT, is_clock=True)
+    clk_net = d.add_net("clk_net", is_clock=True, activity=1.0)
+    clk_net.pins.append(NetPin.on_port(clk_port.index))
+    pi = d.add_port("in0", PortDirection.INPUT)
+    prev = d.add_net("n_in")
+    prev.pins.append(NetPin.on_port(pi.index))
+    for k in range(n_stages):
+        u = d.add_instance(f"inv{k}", inv)
+        prev.pins.append(NetPin.on_instance(u.index, "A"))
+        out = d.add_net(f"n{k}")
+        out.pins.append(NetPin.on_instance(u.index, "Y"))
+        prev = out
+    ff = d.add_instance("ff", dff)
+    prev.pins.append(NetPin.on_instance(ff.index, "D"))
+    clk_net.pins.append(NetPin.on_instance(ff.index, "CLK"))
+    qnet = d.add_net("q")
+    qnet.pins.append(NetPin.on_instance(ff.index, "Y"))
+    po = d.add_port("out0", PortDirection.OUTPUT)
+    qnet.pins.append(NetPin.on_port(po.index))
+    d.validate()
+    return d
+
+
+class TestGraph:
+    def test_chain_topology(self, library):
+        d = _chain_design(library)
+        g = TimingGraph.build(d)
+        assert len(g.topo_comb) == 4
+        kinds = {kind for _net, kind in g.endpoints}
+        assert kinds == {"ff_d", "po"}
+        assert ("pi", "ff_q") == tuple(sorted({k for _n, k in g.sources}))[::-1] or {
+            k for _n, k in g.sources
+        } == {"pi", "ff_q"}
+
+    def test_clock_excluded_from_arcs(self, library):
+        d = _chain_design(library)
+        g = TimingGraph.build(d)
+        clk = next(n.index for n in d.nets if n.is_clock)
+        for inst_inputs in g.inst_inputs:
+            assert clk not in inst_inputs
+
+    def test_clock_load_counted(self, library):
+        d = _chain_design(library)
+        g = TimingGraph.build(d)
+        clk = next(n.index for n in d.nets if n.is_clock)
+        assert g.net_sink_cap[clk] > 0.0
+
+    def test_combinational_loop_detected(self, library):
+        d = Design("loop", library, 100.0)
+        inv = library.find("INV", drive=1, vt="RVT", track_height=6.0)[0]
+        a = d.add_instance("a", inv)
+        b = d.add_instance("b", inv)
+        n1 = d.add_net("n1")
+        n1.pins = [NetPin.on_instance(a.index, "Y"), NetPin.on_instance(b.index, "A")]
+        n2 = d.add_net("n2")
+        n2.pins = [NetPin.on_instance(b.index, "Y"), NetPin.on_instance(a.index, "A")]
+        with pytest.raises(ValidationError, match="loop"):
+            TimingGraph.build(d)
+
+
+class TestSta:
+    def test_chain_arrival_accumulates(self, library):
+        d = _chain_design(library, n_stages=6)
+        g = TimingGraph.build(d)
+        lengths = np.zeros(d.num_nets)
+        report = run_sta(d, g, lengths)
+        arr = report.arrival_ps
+        # Arrival grows monotonically along the chain.
+        chain = [n.index for n in d.nets if n.name.startswith("n") and n.name != "n_in"]
+        values = [arr[i] for i in sorted(chain, key=lambda i: d.nets[i].name)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_slack_sign_matches_deadline(self, library):
+        tight = _chain_design(library, n_stages=12, clock_ps=50.0)
+        loose = _chain_design(library, n_stages=2, clock_ps=5000.0)
+        for d, violated in ((tight, True), (loose, False)):
+            g = TimingGraph.build(d)
+            report = run_sta(d, g, np.zeros(d.num_nets))
+            assert (report.wns_ps < 0) == violated
+
+    def test_tns_sums_negative_endpoints(self, library):
+        d = _chain_design(library, n_stages=12, clock_ps=50.0)
+        g = TimingGraph.build(d)
+        report = run_sta(d, g, np.zeros(d.num_nets))
+        assert report.tns_ps <= report.wns_ps < 0
+        assert report.num_violations >= 1
+
+    def test_longer_wires_hurt(self, library):
+        d = _chain_design(library, n_stages=6)
+        g = TimingGraph.build(d)
+        short = run_sta(d, g, np.zeros(d.num_nets))
+        long = run_sta(d, g, np.full(d.num_nets, 50_000.0))
+        assert long.wns_ps < short.wns_ps
+
+    def test_wrong_length_shape_rejected(self, library):
+        d = _chain_design(library)
+        g = TimingGraph.build(d)
+        with pytest.raises(ValueError):
+            run_sta(d, g, np.zeros(3))
+
+    def test_instance_slack_shape(self, library):
+        d = _chain_design(library)
+        g = TimingGraph.build(d)
+        report = run_sta(d, g, np.zeros(d.num_nets))
+        slack = report.instance_slack(g)
+        assert slack.shape == (d.num_instances,)
+        assert np.isfinite(slack[: d.num_instances - 1]).all()
+
+    def test_report_units(self, library):
+        d = _chain_design(library)
+        g = TimingGraph.build(d)
+        report = run_sta(d, g, np.zeros(d.num_nets))
+        assert report.wns_ns == pytest.approx(report.wns_ps / 1000.0)
+        assert report.tns_ns == pytest.approx(report.tns_ps / 1000.0)
+
+    def test_generated_design_sta_runs(self, library):
+        design = generate_netlist(
+            GeneratorSpec(name="s", n_cells=300, clock_period_ps=400.0, seed=1),
+            library,
+        )
+        g = TimingGraph.build(design)
+        report = run_sta(design, g, fanout_wireload_lengths(design))
+        assert report.num_endpoints > 0
+        assert np.isfinite(report.wns_ps)
+
+
+class TestWireload:
+    def test_single_pin_nets_zero(self, library):
+        d = _chain_design(library)
+        lengths = fanout_wireload_lengths(d)
+        assert lengths.shape == (d.num_nets,)
+        assert (lengths >= 0).all()
+
+    def test_superlinear_in_fanout(self, library):
+        d = generate_netlist(
+            GeneratorSpec(name="w", n_cells=200, clock_period_ps=500.0, seed=0),
+            library,
+        )
+        lengths = fanout_wireload_lengths(d)
+        degrees = np.array([n.degree for n in d.nets])
+        big = lengths[degrees >= 4].mean()
+        small = lengths[degrees == 2].mean()
+        assert big > small

@@ -1,0 +1,88 @@
+"""Tests for timing-driven net weighting."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.placement.floorplanner import build_placed_design, make_floorplan
+from repro.placement.global_place import global_place
+from repro.placement.hpwl import hpwl_per_net
+from repro.placement.timing_driven import (
+    apply_timing_weights,
+    criticality_weights,
+    reset_weights,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestCriticalityWeights:
+    def test_relaxed_nets_weight_one(self):
+        w = criticality_weights(np.array([1000.0, 5000.0]), 500.0)
+        assert np.allclose(w, 1.0)
+
+    def test_violating_nets_max_weight(self):
+        w = criticality_weights(np.array([-100.0]), 500.0, max_weight=4.0)
+        assert w[0] > 3.0
+
+    def test_monotone_in_slack(self):
+        slacks = np.array([-200.0, 0.0, 100.0, 300.0, 600.0])
+        w = criticality_weights(slacks, 500.0)
+        assert np.all(np.diff(w) <= 1e-12)
+
+    def test_infinite_slack_neutral(self):
+        w = criticality_weights(np.array([np.inf]), 500.0)
+        assert w[0] == 1.0
+
+    def test_bad_params(self):
+        with pytest.raises(ValidationError):
+            criticality_weights(np.zeros(1), 500.0, max_weight=0.5)
+        with pytest.raises(ValidationError):
+            criticality_weights(np.zeros(1), 0.0)
+
+
+class TestApplyWeights:
+    @pytest.fixture()
+    def placed(self, library):
+        design = generate_netlist(
+            GeneratorSpec(name="td", n_cells=300, clock_period_ps=300.0, seed=23),
+            library,
+        )
+        fp = make_floorplan(design, row_height=216, site_width=54)
+        pd = build_placed_design(design, fp)
+        global_place(pd)
+        return pd
+
+    def test_clock_stays_zero(self, placed):
+        apply_timing_weights(placed)
+        for net in placed.design.nets:
+            if net.is_clock:
+                assert placed.net_weight[net.index] == 0.0
+
+    def test_weights_in_range(self, placed):
+        weights = apply_timing_weights(placed, max_weight=3.0)
+        signal = weights[weights > 0]
+        assert (signal >= 1.0).all() and (signal <= 3.0).all()
+
+    def test_critical_nets_weighted_up(self, placed):
+        """On a violating design, some nets must get real upweighting."""
+        weights = apply_timing_weights(placed)
+        assert weights.max() > 1.5
+
+    def test_reset(self, placed):
+        apply_timing_weights(placed)
+        reset_weights(placed)
+        for net in placed.design.nets:
+            expected = 0.0 if net.is_clock else 1.0
+            assert placed.net_weight[net.index] == expected
+
+    def test_weighted_placement_shortens_critical_nets(self, placed):
+        """Re-placing with weights must shorten the critical nets."""
+        weights = apply_timing_weights(placed)
+        critical = weights > 2.0
+        if not critical.any():
+            pytest.skip("design has no strongly critical nets")
+        before = hpwl_per_net(placed, weighted=False)[critical].sum()
+        global_place(placed)
+        after = hpwl_per_net(placed, weighted=False)[critical].sum()
+        reset_weights(placed)
+        assert after <= before * 1.02  # never materially worse

@@ -1,0 +1,118 @@
+"""Tests for repro.utils: rng, timers, errors."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    CapacityError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    StageTimes,
+    Timer,
+    ValidationError,
+    make_rng,
+    spawn_rngs,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ValidationError, CapacityError, InfeasibleError, SolverError):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise CapacityError("row full")
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).uniform(size=8)
+        b = make_rng(42).uniform(size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).uniform(size=8)
+        b = make_rng(2).uniform(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.array_equal(a.uniform(size=8), b.uniform(size=8))
+
+    def test_stable_across_calls(self):
+        first = [g.uniform() for g in spawn_rngs(9, 3)]
+        second = [g.uniform() for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestStageTimes:
+    def test_add_accumulates(self):
+        st = StageTimes()
+        st.add("a", 1.0)
+        st.add("a", 2.0)
+        assert st.stages["a"] == 3.0
+
+    def test_total(self):
+        st = StageTimes({"a": 1.0, "b": 2.0})
+        assert st.total == 3.0
+
+    def test_fraction(self):
+        st = StageTimes({"a": 1.0, "b": 3.0})
+        assert st.fraction("b") == 0.75
+        assert st.fraction("missing") == 0.0
+
+    def test_fraction_empty(self):
+        assert StageTimes().fraction("a") == 0.0
+
+    def test_measure_context(self):
+        st = StageTimes()
+        with st.measure("work"):
+            time.sleep(0.01)
+        assert st.stages["work"] >= 0.005
+
+    def test_merged_is_nonmutating(self):
+        a = StageTimes({"x": 1.0})
+        b = StageTimes({"x": 2.0, "y": 1.0})
+        merged = a.merged(b)
+        assert merged.stages == {"x": 3.0, "y": 1.0}
+        assert a.stages == {"x": 1.0}
+        assert b.stages == {"x": 2.0, "y": 1.0}

@@ -1,0 +1,77 @@
+"""Tests for repro.netlist.verilog: structural round trip."""
+
+import pytest
+
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.netlist.synthesis import size_to_minority_fraction
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def design(library):
+    d = generate_netlist(
+        GeneratorSpec(name="rt", n_cells=200, clock_period_ps=500.0, seed=2),
+        library,
+    )
+    size_to_minority_fraction(d, 0.1)
+    return d
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def parsed(self, design, library):
+        return parse_verilog(write_verilog(design), library)
+
+    def test_counts(self, design, parsed):
+        assert parsed.num_instances == design.num_instances
+        assert parsed.num_nets == design.num_nets
+        assert len(parsed.ports) == len(design.ports)
+
+    def test_masters_preserved(self, design, parsed):
+        original = {i.name: i.master.name for i in design.instances}
+        recovered = {i.name: i.master.name for i in parsed.instances}
+        assert recovered == original
+
+    def test_connectivity_preserved(self, design, parsed):
+        def digest(d):
+            nets = {}
+            for net in d.nets:
+                pins = set()
+                for p in net.pins:
+                    if p.is_port:
+                        pins.add(("port", d.ports[p.port_index].name))
+                    else:
+                        pins.add((d.instances[p.instance_index].name, p.pin_name))
+                nets[net.name] = frozenset(pins)
+            return nets
+
+        assert digest(parsed) == digest(design)
+
+    def test_driver_first_preserved(self, parsed):
+        parsed.validate()
+
+    def test_activities_preserved(self, design, parsed):
+        original = {n.name: n.activity for n in design.nets}
+        for net in parsed.nets:
+            assert net.activity == pytest.approx(original[net.name], rel=1e-5)
+
+    def test_clock_flag_preserved(self, design, parsed):
+        assert {n.name for n in parsed.nets if n.is_clock} == {
+            n.name for n in design.nets if n.is_clock
+        }
+
+    def test_clock_period_preserved(self, design, parsed):
+        assert parsed.clock_period_ps == design.clock_period_ps
+
+
+class TestParserErrors:
+    def test_no_module(self, library):
+        with pytest.raises(ValidationError):
+            parse_verilog("wire w; // activity=0.1", library)
+
+    def test_writer_output_mentions_module(self, design):
+        text = write_verilog(design)
+        assert text.startswith("// repro-clock-period-ps:")
+        assert f"module {design.name}" in text
+        assert text.rstrip().endswith("endmodule")

@@ -1,0 +1,106 @@
+"""Tests for SVG rendering and the command-line interface."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.fence import FenceRegions
+from repro.core.flows import FlowKind, FlowRunner
+from repro.core.params import RCPPParams
+from repro.eval.visualize import placement_svg, save_placement_svg
+
+
+@pytest.fixture(scope="module")
+def flow(placed_small):
+    return FlowRunner(placed_small, RCPPParams()).run(FlowKind.FLOW5)
+
+
+class TestSvg:
+    def test_well_formed(self, flow, placed_small):
+        fences = FenceRegions.from_floorplan(flow.placed.floorplan, 7.5)
+        text = placement_svg(
+            flow.placed,
+            minority_indices=placed_small.minority_indices,
+            fences=fences,
+            title="test",
+        )
+        xml.dom.minidom.parseString(text)
+
+    def test_one_rect_per_cell(self, flow):
+        text = placement_svg(flow.placed)
+        n_cells = flow.placed.design.num_instances
+        n_rows = flow.placed.floorplan.num_rows
+        # die + rows + cells
+        assert text.count("<rect") == 1 + n_rows + n_cells
+
+    def test_minority_coloring(self, flow, placed_small):
+        text = placement_svg(
+            flow.placed, minority_indices=placed_small.minority_indices
+        )
+        assert text.count('fill="#d43b3b"') == len(placed_small.minority_indices)
+
+    def test_fence_overlay(self, flow):
+        fences = FenceRegions.from_floorplan(flow.placed.floorplan, 7.5)
+        text = placement_svg(flow.placed, fences=fences)
+        assert text.count('fill="#ffe66d"') == len(fences.rects)
+
+    def test_title_optional(self, flow):
+        with_title = placement_svg(flow.placed, title="hello")
+        without = placement_svg(flow.placed)
+        assert "<text" in with_title and "hello" in with_title
+        assert "<text" not in without
+
+    def test_save(self, flow, tmp_path):
+        path = tmp_path / "out.svg"
+        save_placement_svg(str(path), flow.placed)
+        assert path.stat().st_size > 1000
+        xml.dom.minidom.parse(str(path))
+
+    def test_mlef_floorplan_renders(self, placed_small):
+        # Neutral (None-track) rows take the neutral style.
+        text = placement_svg(placed_small.placed)
+        assert 'fill="#f4f4f4"' in text
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["place", "--cells", "500"])
+        assert args.command == "place" and args.cells == 500
+        args = parser.parse_args(["table4", "--scale-denom", "96"])
+        assert args.scale_denom == 96.0
+
+    def test_place_command(self, capsys):
+        code = main(
+            ["place", "--cells", "300", "--minority", "0.15", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minority rows:" in out
+        assert "legality violations: 0" in out
+
+    def test_flows_command(self, capsys):
+        code = main(["flows", "aes_400", "--scale-denom", "96"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(5)" in out
+
+    def test_render_command(self, tmp_path, capsys):
+        out_path = tmp_path / "r.svg"
+        code = main(
+            ["render", str(out_path), "--testcase", "aes_400",
+             "--scale-denom", "96"]
+        )
+        assert code == 0
+        xml.dom.minidom.parse(str(out_path))
+
+    def test_experiment_command(self, capsys):
+        code = main(["table2", "--scale-denom", "384"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table II twin" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-a-command"])
