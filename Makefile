@@ -2,13 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test test-faults bench bench-full examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Failure-injection / resilience suite only (FaultPlan, fallback chains).
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

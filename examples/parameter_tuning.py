@@ -31,7 +31,7 @@ def main() -> None:
     for s in (0.05, 0.1, 0.2, 0.35, 0.5, 1.0):
         runner = FlowRunner(initial, replace(base, s=s))
         flow = runner.run(FlowKind.FLOW4)
-        _, cluster_s, ilp_s, n_clusters = runner.ilp_assignment()
+        _, cluster_s, ilp_s, n_clusters, _ = runner.ilp_assignment()
         rows.append(
             [s, n_clusters, flow.displacement / 1e6, flow.hpwl / 1e6, ilp_s]
         )

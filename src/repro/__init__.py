@@ -33,6 +33,13 @@ from repro.core.params import RCPPParams
 from repro.core.rap import RowAssignment
 from repro.core.rcpp import RowConstraintPlacer, RowConstraintResult
 from repro.techlib.asap7 import make_asap7_library
+from repro.utils.resilience import (
+    Deadline,
+    FaultPlan,
+    FlowProvenance,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -48,5 +55,10 @@ __all__ = [
     "RowConstraintPlacer",
     "RowConstraintResult",
     "make_asap7_library",
+    "Deadline",
+    "FaultPlan",
+    "FlowProvenance",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "__version__",
 ]

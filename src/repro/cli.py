@@ -50,11 +50,29 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--seed", type=int, default=1)
     place.add_argument("--alpha", type=float, default=0.75)
     place.add_argument("--s", type=float, default=0.2)
-    place.add_argument("--solver", choices=("highs", "bnb"), default="highs")
+    place.add_argument(
+        "--solver", choices=("highs", "bnb", "lagrangian"), default="highs"
+    )
+    place.add_argument(
+        "--budget-s", type=float, default=None,
+        help="whole-flow wall-clock budget in seconds (default: unlimited)",
+    )
+    place.add_argument(
+        "--no-fallback", action="store_true",
+        help="disable the solver fallback chain (fail hard instead)",
+    )
+    place.add_argument(
+        "--retries", type=int, default=1,
+        help="attempts per solver rung for transient failures",
+    )
 
     flows = sub.add_parser("flows", help="compare the five flows")
     flows.add_argument("testcase", nargs="?", default="aes_300")
     flows.add_argument("--scale-denom", type=float, default=48.0)
+    flows.add_argument(
+        "--budget-s", type=float, default=None,
+        help="per-flow wall-clock budget in seconds (default: unlimited)",
+    )
 
     for name in _EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
@@ -69,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_place(args: argparse.Namespace) -> int:
     from repro import RCPPParams, RowConstraintPlacer, make_asap7_library
+    from repro.eval.report import format_provenance
     from repro.netlist import (
         GeneratorSpec,
         generate_netlist,
@@ -86,12 +105,20 @@ def _cmd_place(args: argparse.Namespace) -> int:
         library,
     )
     size_to_minority_fraction(design, args.minority)
-    params = RCPPParams(alpha=args.alpha, s=args.s, solver_backend=args.solver)
+    params = RCPPParams(
+        alpha=args.alpha,
+        s=args.s,
+        solver_backend=args.solver,
+        fallback=not args.no_fallback,
+        max_solver_retries=args.retries,
+        time_budget_s=args.budget_s,
+    )
     result = RowConstraintPlacer(library, params).place(design)
     print(f"minority rows: {result.assignment.n_minority_rows}")
     print(f"HPWL: {result.hpwl / 1e6:.3f} mm "
           f"({100 * result.hpwl_overhead:+.1f}% vs unconstrained)")
     print(f"displacement: {result.displacement / 1e6:.3f} mm")
+    print(format_provenance(result.provenance))
     violations = result.legality_violations()
     print(f"legality violations: {len(violations)}")
     return 1 if violations else 0
@@ -102,7 +129,7 @@ def _cmd_flows(args: argparse.Namespace) -> int:
 
     sys.argv = ["flow_comparison", args.testcase, str(args.scale_denom)]
     from repro import FlowKind, FlowRunner, RCPPParams, prepare_initial_placement
-    from repro.eval.report import format_table
+    from repro.eval.report import format_table, provenance_label
     from repro.experiments.testcases import build_testcase, testcase_by_id
     from repro.techlib.asap7 import make_asap7_library
 
@@ -111,17 +138,18 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         testcase_by_id(args.testcase), library, scale=1.0 / args.scale_denom
     )
     runner = FlowRunner(
-        prepare_initial_placement(design, library), RCPPParams()
+        prepare_initial_placement(design, library),
+        RCPPParams(time_budget_s=args.budget_s),
     )
     rows = []
     for kind in FlowKind:
         flow = runner.run(kind)
         rows.append(
             [f"({kind.value})", flow.displacement / 1e6, flow.hpwl / 1e6,
-             flow.total_runtime_s]
+             flow.total_runtime_s, provenance_label(flow.provenance)]
         )
     print(format_table(
-        ["flow", "disp(mm)", "hpwl(mm)", "time(s)"], rows,
+        ["flow", "disp(mm)", "hpwl(mm)", "time(s)", "mode"], rows,
         title=f"{args.testcase} @ 1/{args.scale_denom:g}",
     ))
     return 0

@@ -18,7 +18,9 @@ forced to the baseline flow's value (the paper's fairness rule).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,7 +31,12 @@ from repro.core.cost import compute_rap_costs
 from repro.core.legalize_abacus_rc import abacus_rc_legalize
 from repro.core.legalize_rc import fence_region_legalize
 from repro.core.params import RCPPParams
-from repro.core.rap import RowAssignment, required_minority_pairs, solve_rap
+from repro.core.rap import (
+    RowAssignment,
+    required_minority_pairs,
+    solve_rap,
+    solve_rap_resilient,
+)
 from repro.netlist.db import Design
 from repro.placement.db import Floorplan, PlacedDesign
 from repro.placement.floorplanner import (
@@ -44,7 +51,18 @@ from repro.placement.incremental import refine_detailed
 from repro.placement.legalize import abacus_legalize
 from repro.techlib.cells import StdCellLibrary
 from repro.techlib.mlef import MLefTransform, make_mlef_library
-from repro.utils.errors import ValidationError
+from repro.utils.errors import (
+    ReproError,
+    SolverError,
+    StageTimeoutError,
+    ValidationError,
+)
+from repro.utils.resilience import (
+    Deadline,
+    FaultPlan,
+    FlowProvenance,
+    ResiliencePolicy,
+)
 from repro.utils.timer import StageTimes
 
 
@@ -100,10 +118,16 @@ class FlowResult:
     assignment: RowAssignment | None
     n_minority_rows: int
     n_clusters: int = 0
+    provenance: FlowProvenance = field(default_factory=FlowProvenance)
 
     @property
     def total_runtime_s(self) -> float:
         return self.times.total
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback rung / relaxation produced this result."""
+        return self.provenance.degraded
 
 
 def prepare_initial_placement(
@@ -175,13 +199,28 @@ def prepare_initial_placement(
 
 
 class FlowRunner:
-    """Runs flows (1)-(5) off one shared initial placement."""
+    """Runs flows (1)-(5) off one shared initial placement.
+
+    ``policy`` controls resilient execution (fallback chain, retries,
+    per-stage budgets); by default it is derived from ``params``.
+    ``fault_plan`` injects deterministic failures for degradation tests;
+    when given alongside a policy it overrides the policy's own plan.
+    """
 
     def __init__(
-        self, initial: InitialPlacement, params: RCPPParams | None = None
+        self,
+        initial: InitialPlacement,
+        params: RCPPParams | None = None,
+        policy: ResiliencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.initial = initial
         self.params = params or RCPPParams()
+        self.policy = policy or ResiliencePolicy.from_params(self.params)
+        if fault_plan is not None:
+            self.policy = dataclasses.replace(
+                self.policy, fault_plan=fault_plan
+            )
         if self.params.minority_track != initial.minority_track:
             raise ValidationError("params/initial minority track mismatch")
         tracks = initial.library.track_heights
@@ -192,7 +231,9 @@ class FlowRunner:
             )
         self.majority_track = others[0]
         self._baseline: tuple[RowAssignment, float] | None = None
-        self._ilp: tuple[RowAssignment, float, float, int] | None = None
+        self._ilp: (
+            tuple[RowAssignment, float, float, int, FlowProvenance] | None
+        ) = None
 
     # -- row assignments (cached) -----------------------------------------
 
@@ -230,12 +271,28 @@ class FlowRunner:
             self._baseline = (assignment, times.total)
         return self._baseline
 
-    def ilp_assignment(self) -> tuple[RowAssignment, float, float, int]:
-        """ILP assignment: (assignment, cluster_s, ilp_s, n_clusters)."""
+    def ilp_assignment(
+        self, deadline: Deadline | None = None
+    ) -> tuple[RowAssignment, float, float, int, FlowProvenance]:
+        """ILP assignment: (assignment, cluster_s, ilp_s, n_clusters, prov).
+
+        Runs the solver fallback chain of ``self.policy``; when every
+        solver rung fails, the terminal rung is the baseline heuristic
+        assignment (recorded as degraded).  Raises
+        :class:`StageTimeoutError` when ``deadline`` (or the params
+        budget) expires, and :class:`SolverError` with the provenance
+        attached when even the baseline rung cannot produce an answer.
+        """
         if self._ilp is None:
             init = self.initial
             params = self.params
+            if deadline is None:
+                deadline = Deadline(params.time_budget_s)
             times = StageTimes()
+            prov = FlowProvenance(
+                requested_backend=params.solver_backend,
+                budget_s=deadline.budget_s,
+            )
             with times.measure("clustering"):
                 cx = (
                     init.placed.x[init.minority_indices]
@@ -257,24 +314,83 @@ class FlowRunner:
                     init.minority_widths_original,
                 )
             with times.measure("rap_ilp"):
-                assignment = solve_rap(
+                assignment = solve_rap_resilient(
                     costs.combine(params.alpha),
                     costs.cluster_width,
-                    init.pair_capacity * params.row_fill,
+                    init.pair_capacity,
                     self.n_minority_rows,
                     clustering.labels,
                     majority_track=self.majority_track,
                     minority_track=init.minority_track,
                     backend=params.solver_backend,
                     time_limit_s=params.solver_time_limit_s,
+                    row_fill=params.row_fill,
+                    policy=self.policy,
+                    deadline=self.policy.stage_deadline(
+                        "row_assign", deadline
+                    ),
+                    provenance=prov,
                 )
+                if assignment is None:
+                    if not self.policy.fallback_enabled:
+                        failed = prov.attempts[-1] if prov.attempts else None
+                        raise SolverError(
+                            "row assignment failed and fallback is "
+                            "disabled"
+                            + (f": [{failed.error_type}] {failed.error}"
+                               if failed else ""),
+                            provenance=prov,
+                        )
+                    assignment = self._baseline_rung(prov, deadline)
             self._ilp = (
                 assignment,
                 times.stages["clustering"],
                 times.stages["rap_ilp"],
                 clustering.n_clusters,
+                prov,
             )
         return self._ilp
+
+    def _baseline_rung(
+        self, prov: FlowProvenance, deadline: Deadline
+    ) -> RowAssignment:
+        """Terminal fallback: the [10]-style heuristic assignment.
+
+        A feasible heuristic answer beats no answer; the result is
+        explicitly flagged degraded so Table IV-style comparisons never
+        silently mix exact and heuristic rows.
+        """
+        stage = "rap.baseline"
+        deadline.check(stage, provenance=prov)
+        start = time.perf_counter()
+        try:
+            self.policy.inject(stage)
+            assignment, _ = self.baseline_assignment()
+        except StageTimeoutError as exc:
+            prov.record(
+                stage, "baseline", 1, ok=False, error=exc,
+                runtime_s=time.perf_counter() - start,
+            )
+            exc.provenance = prov
+            raise
+        except ReproError as exc:
+            prov.record(
+                stage, "baseline", 1, ok=False, error=exc,
+                runtime_s=time.perf_counter() - start,
+            )
+            raise SolverError(
+                "row assignment failed on every rung "
+                f"(chain {self.policy.backends(self.params.solver_backend)} "
+                f"+ baseline): {exc}",
+                provenance=prov,
+            ) from exc
+        prov.record(
+            stage, "baseline", 1, ok=True,
+            runtime_s=time.perf_counter() - start,
+        )
+        prov.backend = "baseline"
+        prov.degraded = True
+        return assignment
 
     # -- flow execution -----------------------------------------------------
 
@@ -302,42 +418,41 @@ class FlowRunner:
         """Execute one flow and return its post-placement metrics."""
         init = self.initial
         if kind is FlowKind.FLOW1:
+            # Copy: callers mutating the Flow-(1) result must not corrupt
+            # the cached initial placement every other flow starts from.
             return FlowResult(
                 kind=kind,
                 hpwl=init.hpwl,
                 displacement=0.0,
                 times=StageTimes(dict(init.times.stages)),
-                placed=init.placed,
+                placed=init.placed.copy(),
                 assignment=None,
                 n_minority_rows=0,
             )
 
+        deadline = Deadline(self.params.time_budget_s)
         times = StageTimes()
         n_clusters = 0
         if kind.row_assignment == "baseline":
             assignment, ra_seconds = self.baseline_assignment()
             times.add("row_assign", ra_seconds)
+            prov = FlowProvenance(
+                requested_backend="baseline",
+                backend="baseline",
+                budget_s=deadline.budget_s,
+            )
         else:
-            assignment, cluster_s, ilp_s, n_clusters = self.ilp_assignment()
+            assignment, cluster_s, ilp_s, n_clusters, row_prov = (
+                self.ilp_assignment(deadline)
+            )
             times.add("clustering", cluster_s)
             times.add("rap_ilp", ilp_s)
+            prov = row_prov.clone()
+            prov.budget_s = deadline.budget_s
 
-        placed = self._build_mixed_placement(assignment)
-        minority_indices = init.minority_indices
-        if kind.legalization == "abacus_rc":
-            result = abacus_rc_legalize(
-                placed,
-                minority_indices,
-                assignment.cell_to_pair,
-                init.minority_track,
-            )
-        else:
-            result = fence_region_legalize(
-                placed,
-                minority_indices,
-                init.minority_track,
-                refine_iterations=self.params.refine_iterations,
-            )
+        placed, result = self._legalize_resilient(
+            kind, assignment, prov, deadline
+        )
         final_times = times.merged(result.times)
         return FlowResult(
             kind=kind,
@@ -348,13 +463,117 @@ class FlowRunner:
             assignment=assignment,
             n_minority_rows=assignment.n_minority_rows,
             n_clusters=n_clusters,
+            provenance=prov,
         )
+
+    def _run_legalizer(
+        self,
+        name: str,
+        placed: PlacedDesign,
+        assignment: RowAssignment,
+        deadline: Deadline,
+    ):
+        if name == "abacus_rc":
+            return abacus_rc_legalize(
+                placed,
+                self.initial.minority_indices,
+                assignment.cell_to_pair,
+                self.initial.minority_track,
+            )
+        return fence_region_legalize(
+            placed,
+            self.initial.minority_indices,
+            self.initial.minority_track,
+            refine_iterations=self.params.refine_iterations,
+            deadline=deadline,
+        )
+
+    def _legalize_resilient(
+        self,
+        kind: FlowKind,
+        assignment: RowAssignment,
+        prov: FlowProvenance,
+        deadline: Deadline,
+    ):
+        """Legalize with a one-rung fallback to the other legalizer.
+
+        A capacity overflow in the strict per-pair Abacus step falls back
+        to the fence-region legalizer (minority cells may use the union
+        of minority rows, so it has strictly more slack), and vice versa.
+        The placement is rebuilt before the fallback because a failed
+        legalizer leaves it partially mutated.
+        """
+        primary = kind.legalization
+        fallback = "fence" if primary == "abacus_rc" else "abacus_rc"
+        stage_deadline = self.policy.stage_deadline("legalize", deadline)
+        placed = self._build_mixed_placement(assignment)
+        stage = f"legalize.{primary}"
+        stage_deadline.check(stage, provenance=prov)
+        start = time.perf_counter()
+        try:
+            self.policy.inject(stage)
+            result = self._run_legalizer(
+                primary, placed, assignment, stage_deadline
+            )
+        except StageTimeoutError as exc:
+            prov.record(
+                stage, primary, 1, ok=False, error=exc,
+                runtime_s=time.perf_counter() - start,
+            )
+            exc.provenance = prov
+            raise
+        except ReproError as exc:
+            prov.record(
+                stage, primary, 1, ok=False, error=exc,
+                runtime_s=time.perf_counter() - start,
+            )
+            if not self.policy.fallback_enabled:
+                raise
+            stage = f"legalize.{fallback}"
+            stage_deadline.check(stage, provenance=prov)
+            placed = self._build_mixed_placement(assignment)
+            start = time.perf_counter()
+            try:
+                self.policy.inject(stage)
+                result = self._run_legalizer(
+                    fallback, placed, assignment, stage_deadline
+                )
+            except StageTimeoutError as fexc:
+                prov.record(
+                    stage, fallback, 1, ok=False, error=fexc,
+                    runtime_s=time.perf_counter() - start,
+                )
+                fexc.provenance = prov
+                raise
+            except ReproError as fexc:
+                prov.record(
+                    stage, fallback, 1, ok=False, error=fexc,
+                    runtime_s=time.perf_counter() - start,
+                )
+                if isinstance(fexc, SolverError) and fexc.provenance is None:
+                    fexc.provenance = prov
+                raise
+            prov.record(
+                stage, fallback, 1, ok=True,
+                runtime_s=time.perf_counter() - start,
+            )
+            prov.legalizer = fallback
+            prov.degraded = True
+            return placed, result
+        prov.record(
+            stage, primary, 1, ok=True,
+            runtime_s=time.perf_counter() - start,
+        )
+        prov.legalizer = primary
+        return placed, result
 
 
 def run_flow(
     kind: FlowKind,
     initial: InitialPlacement,
     params: RCPPParams | None = None,
+    policy: ResiliencePolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> FlowResult:
     """One-shot convenience wrapper around :class:`FlowRunner`."""
-    return FlowRunner(initial, params).run(kind)
+    return FlowRunner(initial, params, policy, fault_plan).run(kind)

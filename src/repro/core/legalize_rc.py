@@ -19,6 +19,7 @@ from repro.core.fence import FenceRegions
 from repro.placement.db import PlacedDesign
 from repro.placement.incremental import fence_aware_refine
 from repro.placement.legalize import abacus_legalize
+from repro.utils.resilience import Deadline
 from repro.utils.timer import StageTimes, Timer
 
 
@@ -35,6 +36,7 @@ def fence_region_legalize(
     minority_indices: np.ndarray,
     minority_track: float,
     refine_iterations: int = 4,
+    deadline: Deadline | None = None,
 ) -> RcLegalizationResult:
     """Run the proposed legalization in-place on the mixed-frame placement.
 
@@ -42,11 +44,19 @@ def fence_region_legalize(
     placement held on entry (the mapped initial placement), matching the
     paper's displacement-vs-Flow-(1) metric when the caller passes the
     mapped unconstrained placement in.
+
+    ``deadline`` (optional) is checked between the refine and legalize
+    phases; an expired budget raises
+    :class:`~repro.utils.errors.StageTimeoutError` *before* the Abacus
+    pass starts, leaving the overlap-free-but-unsnapped refinement state
+    in ``placed`` (the caller's resilience layer rebuilds on failure).
     """
     times = StageTimes()
     x0, y0 = placed.clone_positions()
     minority_indices = np.asarray(minority_indices, dtype=int)
     fp = placed.floorplan
+    if deadline is not None:
+        deadline.check("legalize.fence_refine")
 
     with times.measure("fence_refine"):
         fences = FenceRegions.from_floorplan(fp, minority_track)
@@ -54,6 +64,8 @@ def fence_region_legalize(
             placed, minority_indices, fences, iterations=refine_iterations
         )
 
+    if deadline is not None:
+        deadline.check("legalize.abacus")
     with times.measure("legalize"):
         minority_rows = fp.rows_of_track(minority_track)
         majority_rows = [r for r in fp.rows if r.track_height != minority_track]

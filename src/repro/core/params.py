@@ -30,7 +30,22 @@ class RCPPParams:
     * ``n_minority_rows`` forces N_minR (Eq. 5); ``None`` derives it from
       minority area — the flow runner uses one shared value for all flows
       (the paper's fairness rule of matching Flow (2)).
-    * ``solver_backend``: "highs" (default) or "bnb" (own branch-and-bound).
+    * ``solver_backend``: "highs" (default), "bnb" (own branch-and-bound)
+      or "lagrangian" (heuristic subgradient).
+
+    Resilience knobs (see :mod:`repro.utils.resilience`):
+
+    * ``fallback`` enables the solver fallback chain (``highs → bnb →
+      lagrangian``, then the baseline heuristic) when the primary backend
+      fails; disabled, a failure raises as before.
+    * ``max_solver_retries`` is the attempt count per fallback rung for
+      transient (non-infeasibility) solver failures.
+    * ``time_budget_s`` is the whole-flow wall-clock budget; the
+      remaining budget propagates into every solver call's time limit,
+      and an exhausted budget raises
+      :class:`~repro.utils.errors.StageTimeoutError`.  ``None`` (the
+      default) means unlimited — identical behavior to the plain
+      reproduction path.
     """
 
     alpha: float = 0.75
@@ -44,6 +59,9 @@ class RCPPParams:
     kmeans_max_iterations: int = 60
     refine_iterations: int = 4
     seed: int = 17
+    fallback: bool = True
+    max_solver_retries: int = 1
+    time_budget_s: float | None = None
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.alpha <= 1.0):
@@ -60,3 +78,9 @@ class RCPPParams:
             raise ValidationError("kmeans_max_iterations must be >= 1")
         if self.refine_iterations < 0:
             raise ValidationError("refine_iterations must be >= 0")
+        if self.max_solver_retries < 1:
+            raise ValidationError("max_solver_retries must be >= 1")
+        if self.time_budget_s is not None and self.time_budget_s < 0:
+            raise ValidationError("time_budget_s must be >= 0 when set")
+        if self.solver_time_limit_s is not None and self.solver_time_limit_s < 0:
+            raise ValidationError("solver_time_limit_s must be >= 0 when set")

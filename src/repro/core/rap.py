@@ -16,13 +16,20 @@ reference.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.solvers.milp import MilpModel, MilpSolution, solve_milp
-from repro.utils.errors import InfeasibleError, ValidationError
+from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
+from repro.utils.errors import (
+    InfeasibleError,
+    SolverError,
+    StageTimeoutError,
+    ValidationError,
+)
+from repro.utils.resilience import Deadline, FlowProvenance, ResiliencePolicy
 
 
 @dataclass(frozen=True)
@@ -283,3 +290,182 @@ def solve_rap(
         majority_track=majority_track,
         minority_track=minority_track,
     )
+
+
+def _warm_start_vector(
+    model: MilpModel,
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    usable_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> np.ndarray | None:
+    """Greedy warm start encoded as a model vector (B&B rung only)."""
+    warm = greedy_rap(f, cluster_width, usable_capacity, n_minority_rows)
+    if warm is None:
+        return None
+    candidate = assignment_to_vector(warm, *f.shape)
+    return candidate if model.is_feasible(candidate) else None
+
+
+def solve_rap_resilient(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    labels: np.ndarray,
+    majority_track: float = 6.0,
+    minority_track: float = 7.5,
+    backend: str = "highs",
+    time_limit_s: float | None = None,
+    row_fill: float = 1.0,
+    policy: ResiliencePolicy | None = None,
+    deadline: Deadline | None = None,
+    provenance: FlowProvenance | None = None,
+) -> RowAssignment | None:
+    """Solve the RAP under a solver fallback chain with relaxation.
+
+    Unlike :func:`solve_rap`, ``pair_capacity`` here is the *raw* pair
+    capacity; ``row_fill`` is applied per relaxation level so a failed
+    chain can retry with relaxed constraints (``row_fill`` → 1.0 first,
+    then N_minR bumped while pairs remain).
+
+    Failure ladder per :class:`~repro.utils.resilience.ResiliencePolicy`:
+
+    * transient :class:`SolverError` → retry the rung (with backoff);
+    * exhausted retries / timeout without incumbent → next rung;
+    * :class:`InfeasibleError` → next relaxation level (infeasibility is
+      deterministic, so retrying the same model is pointless);
+    * every rung and level failed → ``None`` (the caller's terminal rung
+      is the baseline heuristic assignment);
+    * deadline expired → :class:`StageTimeoutError` with the provenance
+      accumulated so far attached.
+
+    All attempts are recorded into ``provenance``; on success its
+    ``backend`` / ``degraded`` fields are set.
+    """
+    policy = policy or ResiliencePolicy()
+    deadline = deadline or Deadline.unlimited()
+    prov = provenance if provenance is not None else FlowProvenance()
+    if prov.requested_backend is None:
+        prov.requested_backend = backend
+    n_pairs = f.shape[1]
+
+    levels: list[tuple[float, int, str | None]] = [
+        (row_fill, n_minority_rows, None)
+    ]
+    if policy.relaxation_enabled:
+        if row_fill < 1.0:
+            levels.append((1.0, n_minority_rows, "row_fill->1.0"))
+        for extra in (1, 2):
+            if n_minority_rows + extra <= n_pairs:
+                levels.append(
+                    (1.0, n_minority_rows + extra, f"n_min_rows+{extra}")
+                )
+
+    rungs = policy.backends(backend)
+    for fill, n_rows, relaxation in levels:
+        usable = pair_capacity * fill
+        try:
+            model = build_rap_model(f, cluster_width, usable, n_rows)
+        except InfeasibleError:
+            continue  # not even modellable at this level; escalate
+        if relaxation is not None:
+            prov.relaxations.append(relaxation)
+        escalate = False
+        for rung in rungs:
+            stage = f"rap.{rung}"
+            attempt = 0
+            while attempt < policy.retry.max_attempts:
+                attempt += 1
+                deadline.check(stage, provenance=prov)
+                start = time.perf_counter()
+                try:
+                    policy.inject(stage)
+                    warm = (
+                        _warm_start_vector(
+                            model, f, cluster_width, usable, n_rows
+                        )
+                        if rung == "bnb"
+                        else None
+                    )
+                    solution = solve_milp(
+                        model,
+                        backend=rung,
+                        time_limit_s=deadline.clamp(time_limit_s),
+                        warm_start=warm,
+                    )
+                except StageTimeoutError as exc:
+                    prov.record(
+                        stage, rung, attempt, ok=False, error=exc,
+                        runtime_s=time.perf_counter() - start,
+                        relaxation=relaxation,
+                    )
+                    exc.provenance = prov
+                    raise
+                except InfeasibleError as exc:
+                    prov.record(
+                        stage, rung, attempt, ok=False, error=exc,
+                        runtime_s=time.perf_counter() - start,
+                        relaxation=relaxation,
+                    )
+                    escalate = True
+                    break
+                except (SolverError, ValidationError) as exc:
+                    prov.record(
+                        stage, rung, attempt, ok=False, error=exc,
+                        runtime_s=time.perf_counter() - start,
+                        relaxation=relaxation,
+                    )
+                    if attempt < policy.retry.max_attempts:
+                        policy.sleep(policy.retry.delay(attempt))
+                    continue
+                runtime = time.perf_counter() - start
+
+                if solution.status is MilpStatus.INFEASIBLE:
+                    prov.record(
+                        stage, rung, attempt, ok=False,
+                        error=InfeasibleError("model infeasible"),
+                        runtime_s=runtime, relaxation=relaxation,
+                    )
+                    escalate = True
+                    break
+                if not solution.ok or solution.x is None:
+                    prov.record(
+                        stage, rung, attempt, ok=False,
+                        error=SolverError(
+                            f"no incumbent (status {solution.status.value})"
+                        ),
+                        runtime_s=runtime, relaxation=relaxation,
+                    )
+                    break  # a timeout/error won't improve on retry: next rung
+                try:
+                    assignment = solution_to_assignment(
+                        solution,
+                        n_clusters=f.shape[0],
+                        n_pairs=n_pairs,
+                        labels=labels,
+                        majority_track=majority_track,
+                        minority_track=minority_track,
+                    )
+                except InfeasibleError as exc:
+                    prov.record(
+                        stage, rung, attempt, ok=False, error=exc,
+                        runtime_s=runtime, relaxation=relaxation,
+                    )
+                    break  # malformed decode: distrust this rung
+                prov.record(
+                    stage, rung, attempt, ok=True,
+                    runtime_s=runtime, relaxation=relaxation,
+                )
+                prov.backend = rung
+                prov.degraded = bool(
+                    rung != backend or relaxation is not None
+                )
+                return assignment
+            if escalate:
+                break
+        if not escalate:
+            # Every rung failed for non-infeasibility reasons; relaxation
+            # cannot fix that.  Hand over to the caller's terminal rung.
+            return None
+    return None

@@ -13,7 +13,7 @@ ILP row assignment -> fence-region row-constraint legalization -> revert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.netlist.db import Design
 from repro.placement.db import PlacedDesign
 from repro.placement.global_place import GlobalPlacerParams
 from repro.techlib.cells import StdCellLibrary
+from repro.utils.resilience import FaultPlan, FlowProvenance, ResiliencePolicy
 from repro.utils.timer import StageTimes
 
 
@@ -46,6 +47,12 @@ class RowConstraintResult:
     initial_hpwl: float
     displacement: float
     times: StageTimes
+    provenance: FlowProvenance = field(default_factory=FlowProvenance)
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback/relaxation produced this placement."""
+        return self.provenance.degraded
 
     @property
     def hpwl_overhead(self) -> float:
@@ -73,12 +80,16 @@ class RowConstraintPlacer:
         utilization: float = 0.60,
         aspect_ratio: float = 1.0,
         placer_params: GlobalPlacerParams | None = None,
+        policy: ResiliencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.library = library
         self.params = params or RCPPParams()
         self.utilization = utilization
         self.aspect_ratio = aspect_ratio
         self.placer_params = placer_params
+        self.policy = policy
+        self.fault_plan = fault_plan
 
     def place(self, design: Design) -> RowConstraintResult:
         """Run the full pipeline on ``design``."""
@@ -90,7 +101,10 @@ class RowConstraintPlacer:
             aspect_ratio=self.aspect_ratio,
             placer_params=self.placer_params,
         )
-        runner = FlowRunner(initial, self.params)
+        runner = FlowRunner(
+            initial, self.params, policy=self.policy,
+            fault_plan=self.fault_plan,
+        )
         flow: FlowResult = runner.run(FlowKind.FLOW5)
         assert flow.assignment is not None
         fences = FenceRegions.from_floorplan(
@@ -105,4 +119,5 @@ class RowConstraintPlacer:
             initial_hpwl=initial.hpwl,
             displacement=flow.displacement,
             times=initial.times.merged(flow.times),
+            provenance=flow.provenance,
         )

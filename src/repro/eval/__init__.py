@@ -3,7 +3,12 @@
 from repro.eval.metrics import PostRouteMetrics, evaluate_post_route
 from repro.eval.normalize import normalize_01, ratio_to_reference
 from repro.eval.qor import QoRReport, collect_qor
-from repro.eval.report import format_table, rank_correlation_matches
+from repro.eval.report import (
+    format_provenance,
+    format_table,
+    provenance_label,
+    rank_correlation_matches,
+)
 from repro.eval.visualize import placement_svg, save_placement_svg
 
 __all__ = [
@@ -13,7 +18,9 @@ __all__ = [
     "ratio_to_reference",
     "QoRReport",
     "collect_qor",
+    "format_provenance",
     "format_table",
+    "provenance_label",
     "placement_svg",
     "save_placement_svg",
     "rank_correlation_matches",

@@ -30,6 +30,52 @@ def format_table(
     return "\n".join(lines)
 
 
+#: Row-assignment backends whose answer is heuristic even when they are
+#: the requested primary (no proven optimum to compare against).
+_HEURISTIC_BACKENDS = frozenset({"lagrangian", "baseline"})
+
+
+def provenance_label(provenance: object) -> str:
+    """Mode cell for Table IV-style flow rows.
+
+    Flags non-exact rows so degraded results are never silently mixed
+    with exact ones: ``exact(highs)``, ``heuristic(baseline)``, or
+    ``degraded(bnb)`` (a fallback rung or relaxation produced the row).
+    Accepts any object with ``backend`` / ``degraded`` attributes
+    (duck-typed so reporting has no import-order dependency on the flow
+    layer); returns ``"-"`` for unconstrained rows.
+    """
+    backend = getattr(provenance, "backend", None)
+    if backend is None:
+        return "-"
+    if getattr(provenance, "degraded", False):
+        return f"degraded({backend})"
+    if backend in _HEURISTIC_BACKENDS:
+        return f"heuristic({backend})"
+    return f"exact({backend})"
+
+
+def format_provenance(provenance: object) -> str:
+    """Multi-line provenance report for CLI output and logs.
+
+    One line per rung attempt plus a header with the summary, the
+    relaxations applied and the budget spent.
+    """
+    lines = [f"provenance: {provenance.summary()}"]
+    budget = getattr(provenance, "budget_s", None)
+    spent = getattr(provenance, "budget_spent_s", 0.0)
+    if budget is not None:
+        lines.append(f"  budget: {spent:.3f}s of {budget:g}s")
+    for a in getattr(provenance, "attempts", ()):
+        outcome = "ok" if a.ok else f"FAILED [{a.error_type}: {a.error}]"
+        suffix = f" (relaxation: {a.relaxation})" if a.relaxation else ""
+        lines.append(
+            f"  {a.stage} attempt {a.attempt}: {outcome} "
+            f"in {a.runtime_s:.3f}s{suffix}"
+        )
+    return "\n".join(lines)
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

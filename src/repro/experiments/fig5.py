@@ -43,7 +43,7 @@ def run(
     points: list[Fig5Point] = []
     for spec in testcases:
         tc = run_testcase(spec, (), scale=scale, params=params)
-        _assignment, _cluster_s, ilp_s, _n_clusters = tc.runner.ilp_assignment()
+        _assignment, _cluster_s, ilp_s, _n_clusters, _prov = tc.runner.ilp_assignment()
         points.append(
             Fig5Point(
                 testcase_id=spec.testcase_id,

@@ -256,6 +256,34 @@ class PlacedDesign:
     def clone_positions(self) -> tuple[np.ndarray, np.ndarray]:
         return self.x.copy(), self.y.copy()
 
+    def copy(self) -> "PlacedDesign":
+        """Independent snapshot: all geometry/connectivity arrays copied.
+
+        The (immutable) design and floorplan are shared.  Unlike
+        rebuilding via the constructor, this preserves the widths/heights
+        the placement was made with even after a master swap (the mLEF
+        revert), so a Flow-(1) snapshot stays faithful.
+        """
+        out = object.__new__(PlacedDesign)
+        out.design = self.design
+        out.floorplan = self.floorplan
+        for name in (
+            "port_x",
+            "port_y",
+            "x",
+            "y",
+            "widths",
+            "heights",
+            "net_ptr",
+            "pin_inst",
+            "pin_dx",
+            "pin_dy",
+            "net_weight",
+            "_port_pin_mask",
+        ):
+            setattr(out, name, getattr(self, name).copy())
+        return out
+
     def with_floorplan(self, floorplan: Floorplan) -> "PlacedDesign":
         """Shallow re-bind to a different floorplan, keeping positions."""
         out = PlacedDesign(self.design, floorplan, self.port_x, self.port_y)

@@ -2,21 +2,37 @@
 
 :mod:`repro.solvers.milp` defines a solver-independent model container;
 :mod:`repro.solvers.highs` solves it exactly with scipy's HiGHS bindings
-(the production default), and :mod:`repro.solvers.bnb` is a from-scratch
+(the production default), :mod:`repro.solvers.bnb` is a from-scratch
 branch-and-bound over LP relaxations — exact as well, used for
-cross-checking HiGHS on small instances and as a dependency-free fallback.
+cross-checking HiGHS on small instances and as a dependency-free fallback
+— and :mod:`repro.solvers.lagrangian` is a heuristic subgradient solver
+for RAP-shaped models (the third rung of the resilience fallback chain).
 """
 
-from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
+from repro.solvers.milp import (
+    MILP_BACKENDS,
+    MilpModel,
+    MilpSolution,
+    MilpStatus,
+    solve_milp,
+)
 from repro.solvers.bnb import BranchAndBoundSolver
-from repro.solvers.lagrangian import LagrangianResult, solve_rap_lagrangian
+from repro.solvers.lagrangian import (
+    LagrangianResult,
+    rap_data_from_model,
+    solve_rap_lagrangian,
+    solve_with_lagrangian,
+)
 
 __all__ = [
+    "MILP_BACKENDS",
     "MilpModel",
     "MilpSolution",
     "MilpStatus",
     "solve_milp",
     "BranchAndBoundSolver",
     "LagrangianResult",
+    "rap_data_from_model",
     "solve_rap_lagrangian",
+    "solve_with_lagrangian",
 ]

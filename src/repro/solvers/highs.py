@@ -8,12 +8,18 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
+from repro.utils.errors import ReproError, SolverError
 
 
 def solve_with_highs(
     model: MilpModel, time_limit_s: float | None = None
 ) -> MilpSolution:
-    """Solve the model exactly with HiGHS branch-and-cut."""
+    """Solve the model exactly with HiGHS branch-and-cut.
+
+    Any exception scipy/HiGHS raises is re-raised as
+    :class:`~repro.utils.errors.SolverError`, keeping the "catch one base
+    class at flow boundaries" contract of :mod:`repro.utils.errors`.
+    """
     constraints = []
     if model.a_ub is not None:
         constraints.append(
@@ -28,13 +34,18 @@ def solve_with_highs(
         options["time_limit"] = float(time_limit_s)
 
     start = time.perf_counter()
-    result = milp(
-        c=model.c,
-        constraints=constraints,
-        integrality=model.integrality,
-        bounds=Bounds(model.lb, model.ub),
-        options=options,
-    )
+    try:
+        result = milp(
+            c=model.c,
+            constraints=constraints,
+            integrality=model.integrality,
+            bounds=Bounds(model.lb, model.ub),
+            options=options,
+        )
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise SolverError(f"HiGHS backend failed: {exc}") from exc
     runtime = time.perf_counter() - start
 
     if result.status == 0 and result.x is not None:

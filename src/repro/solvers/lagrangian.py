@@ -14,10 +14,12 @@ exact solving is slow.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 from repro.utils.errors import InfeasibleError, ValidationError
 
 
@@ -44,22 +46,32 @@ def solve_rap_lagrangian(
     n_minority_rows: int,
     iterations: int = 120,
     step0: float = 2.0,
+    time_limit_s: float | None = None,
 ) -> LagrangianResult:
     """Run the subgradient loop; returns a feasible repaired assignment.
 
     Raises :class:`InfeasibleError` when even the repair pass cannot fit
-    the clusters into ``n_minority_rows`` rows.
+    the clusters into ``n_minority_rows`` rows.  ``time_limit_s`` stops
+    the subgradient loop early (the best feasible found so far wins).
     """
     n_c, n_p = f.shape
     if not (1 <= n_minority_rows <= n_p):
         raise ValidationError("n_minority_rows out of range")
+    start = time.perf_counter()
     lam = np.zeros(n_p)  # capacity multipliers (>= 0)
     best_bound = -np.inf
     best_feasible: np.ndarray | None = None
     best_cost = np.inf
     step = step0
 
+    it = 0
     for it in range(1, iterations + 1):
+        if (
+            time_limit_s is not None
+            and it > 1
+            and time.perf_counter() - start > time_limit_s
+        ):
+            break
         penalized = f + np.outer(cluster_width, lam)
         # Valid lower bound: relax BOTH the capacities (via lambda) and the
         # row-count constraint — every cluster takes its globally cheapest
@@ -104,6 +116,109 @@ def solve_rap_lagrangian(
         objective=best_cost,
         lower_bound=best_bound,
         iterations=it,
+    )
+
+
+def rap_data_from_model(
+    model: MilpModel,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Recover ``(f, cluster_width, pair_capacity, N_minR)`` from a
+    RAP-shaped :class:`MilpModel` (the layout ``build_rap_model`` emits).
+
+    Raises :class:`ValidationError` when the model does not have the RAP
+    structure — the Lagrangian backend is problem-specific, unlike the
+    generic HiGHS / B&B rungs.
+    """
+    if model.a_eq is None or model.a_ub is None:
+        raise ValidationError(
+            "lagrangian backend requires a RAP-shaped model (missing "
+            "constraint blocks)"
+        )
+    a_eq = model.a_eq.tocsr()
+    count_row = a_eq.getrow(a_eq.shape[0] - 1)
+    n_p = count_row.nnz
+    n_vars = model.num_vars
+    n_x = n_vars - n_p
+    if (
+        n_p == 0
+        or n_x <= 0
+        or n_x % n_p != 0
+        or not np.array_equal(
+            np.sort(count_row.indices), np.arange(n_x, n_vars)
+        )
+        or not np.allclose(count_row.data, 1.0)
+    ):
+        raise ValidationError(
+            "lagrangian backend requires a RAP-shaped model (no trailing "
+            "row-count constraint over y variables)"
+        )
+    n_c = n_x // n_p
+    if a_eq.shape[0] != n_c + 1 or model.a_ub.shape[0] < n_p:
+        raise ValidationError(
+            "lagrangian backend requires a RAP-shaped model (constraint "
+            "row counts do not match an assignment problem)"
+        )
+    f = np.asarray(model.c[:n_x], dtype=float).reshape(n_c, n_p)
+    a_ub = model.a_ub.tocsr()
+    cap_block = a_ub[:n_p, :]
+    pair_capacity = -np.asarray(
+        cap_block[np.arange(n_p), n_x + np.arange(n_p)]
+    ).ravel()
+    cluster_width = np.asarray(
+        cap_block[np.zeros(n_c, dtype=int), np.arange(n_c) * n_p]
+    ).ravel()
+    if np.any(pair_capacity < 0) or np.any(cluster_width < 0):
+        raise ValidationError(
+            "lagrangian backend requires a RAP-shaped model (negative "
+            "widths/capacities decoded)"
+        )
+    n_min_rows = int(round(float(model.b_eq[-1])))
+    return f, cluster_width, pair_capacity, n_min_rows
+
+
+def solve_with_lagrangian(
+    model: MilpModel,
+    time_limit_s: float | None = None,
+    iterations: int = 120,
+    step0: float = 2.0,
+) -> MilpSolution:
+    """``solve_milp`` adapter: heuristic solve of a RAP-shaped model.
+
+    The answer is always :attr:`MilpStatus.FEASIBLE` (the subgradient
+    loop never proves optimality); infeasibility of the repair pass maps
+    to :attr:`MilpStatus.INFEASIBLE`.
+    """
+    f, cluster_width, pair_capacity, n_min_rows = rap_data_from_model(model)
+    n_c, n_p = f.shape
+    start = time.perf_counter()
+    try:
+        result = solve_rap_lagrangian(
+            f,
+            cluster_width,
+            pair_capacity,
+            n_min_rows,
+            iterations=iterations,
+            step0=step0,
+            time_limit_s=time_limit_s,
+        )
+    except InfeasibleError:
+        return MilpSolution(
+            status=MilpStatus.INFEASIBLE,
+            x=None,
+            objective=np.inf,
+            nodes=0,
+            runtime_s=time.perf_counter() - start,
+        )
+    x = np.zeros(model.num_vars)
+    for c, p in enumerate(result.assignment):
+        x[c * n_p + int(p)] = 1.0
+        x[n_c * n_p + int(p)] = 1.0
+    return MilpSolution(
+        status=MilpStatus.FEASIBLE,
+        x=x,
+        objective=model.objective(x),
+        nodes=result.iterations,
+        runtime_s=time.perf_counter() - start,
     )
 
 

@@ -96,6 +96,10 @@ class MilpSolution:
         return self.status in (MilpStatus.OPTIMAL, MilpStatus.FEASIBLE)
 
 
+#: Valid ``solve_milp`` backend names, in fallback-chain order.
+MILP_BACKENDS: tuple[str, ...] = ("highs", "bnb", "lagrangian")
+
+
 def solve_milp(
     model: MilpModel,
     backend: str = "highs",
@@ -103,10 +107,12 @@ def solve_milp(
     warm_start: "np.ndarray | None" = None,
     **kwargs: object,
 ) -> MilpSolution:
-    """Solve ``model`` with the named backend ("highs" or "bnb").
+    """Solve ``model`` with the named backend (see :data:`MILP_BACKENDS`).
 
     ``warm_start`` (a feasible point) seeds the branch-and-bound incumbent;
     the HiGHS backend ignores it (scipy's milp takes no starting point).
+    The "lagrangian" backend is heuristic and only accepts RAP-shaped
+    models (it raises :class:`ValidationError` otherwise).
     """
     if backend == "highs":
         from repro.solvers.highs import solve_with_highs
@@ -117,4 +123,11 @@ def solve_milp(
 
         solver = BranchAndBoundSolver(time_limit_s=time_limit_s, **kwargs)  # type: ignore[arg-type]
         return solver.solve(model, warm_start=warm_start)
-    raise ValidationError(f"unknown MILP backend {backend!r}")
+    if backend == "lagrangian":
+        from repro.solvers.lagrangian import solve_with_lagrangian
+
+        return solve_with_lagrangian(model, time_limit_s=time_limit_s, **kwargs)  # type: ignore[arg-type]
+    raise ValidationError(
+        f"unknown MILP backend {backend!r}; valid backends: "
+        + ", ".join(MILP_BACKENDS)
+    )

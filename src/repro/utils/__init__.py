@@ -1,11 +1,20 @@
-"""Shared utilities: seeded RNG, timers, errors and validation helpers."""
+"""Shared utilities: seeded RNG, timers, errors, resilience policies."""
 
 from repro.utils.errors import (
     CapacityError,
     InfeasibleError,
     ReproError,
     SolverError,
+    StageTimeoutError,
     ValidationError,
+)
+from repro.utils.resilience import (
+    Deadline,
+    FaultPlan,
+    FlowProvenance,
+    ResiliencePolicy,
+    RetryPolicy,
+    RungRecord,
 )
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.timer import StageTimes, Timer
@@ -15,7 +24,14 @@ __all__ = [
     "InfeasibleError",
     "ReproError",
     "SolverError",
+    "StageTimeoutError",
     "ValidationError",
+    "Deadline",
+    "FaultPlan",
+    "FlowProvenance",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "RungRecord",
     "make_rng",
     "spawn_rngs",
     "StageTimes",

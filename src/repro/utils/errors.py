@@ -24,4 +24,17 @@ class InfeasibleError(ReproError):
 
 
 class SolverError(ReproError):
-    """A solver backend failed for a reason other than infeasibility."""
+    """A solver backend failed for a reason other than infeasibility.
+
+    ``provenance`` (when set) is the :class:`~repro.utils.resilience.
+    FlowProvenance` accumulated up to the failure, so callers can see
+    which fallback rungs were already tried.
+    """
+
+    def __init__(self, message: str, provenance: object | None = None) -> None:
+        super().__init__(message)
+        self.provenance = provenance
+
+
+class StageTimeoutError(SolverError):
+    """A flow stage exceeded its time budget (deadline expired)."""

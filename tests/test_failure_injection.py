@@ -1,7 +1,8 @@
 """Failure-injection tests: limits, degenerate inputs, misuse paths.
 
-The library is a flow component: when something cannot work it must fail
-loudly with the right exception type, not silently degrade.
+The library is a flow component: when something cannot work it must
+either degrade explicitly (fallback chain, provenance flagged) or fail
+loudly with the right exception type — never crash or silently lie.
 """
 
 import numpy as np
@@ -10,18 +11,28 @@ import pytest
 from repro.core.baseline import baseline_row_assignment
 from repro.core.flows import FlowKind, FlowRunner, prepare_initial_placement
 from repro.core.params import RCPPParams
-from repro.core.rap import solve_rap
+from repro.core.rap import build_rap_model, solve_rap
 from repro.netlist.generator import GeneratorSpec, generate_netlist
 from repro.netlist.synthesis import size_to_minority_fraction
-from repro.solvers import BranchAndBoundSolver, MilpStatus
+from repro.solvers import BranchAndBoundSolver, MilpStatus, solve_milp
 from repro.solvers.milp import MilpModel
 from repro.utils.errors import (
     CapacityError,
     InfeasibleError,
     ReproError,
+    SolverError,
+    StageTimeoutError,
     ValidationError,
 )
+from repro.utils.resilience import (
+    Deadline,
+    FaultPlan,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from tests.conftest import make_design
+
+pytestmark = pytest.mark.faults
 
 
 class TestSolverLimits:
@@ -162,6 +173,238 @@ class TestMisuse:
     def test_validation_errors_are_repro_errors(self):
         with pytest.raises(ReproError):
             raise ValidationError("x")
+
+
+@pytest.fixture(scope="module")
+def chain_initial(library):
+    """Shared initial placement for the fallback-chain tests (read-only)."""
+    design = make_design(library, n_cells=300, minority_fraction=0.15, seed=54)
+    return prepare_initial_placement(design, library)
+
+
+class TestFallbackChain:
+    """The tentpole degradation matrix, driven by the FaultPlan hook."""
+
+    def test_no_faults_exact_provenance(self, chain_initial):
+        result = FlowRunner(chain_initial, RCPPParams()).run(FlowKind.FLOW5)
+        prov = result.provenance
+        assert prov.backend == "highs"
+        assert prov.requested_backend == "highs"
+        assert prov.fallbacks == []
+        assert not prov.degraded
+        assert prov.exact
+        assert prov.legalizer == "fence"
+        assert result.placed.check_legal() == []
+
+    def test_highs_fails_bnb_answers(self, chain_initial):
+        plan = FaultPlan().fail("rap.highs", SolverError)
+        runner = FlowRunner(chain_initial, RCPPParams(), fault_plan=plan)
+        result = runner.run(FlowKind.FLOW5)
+        prov = result.provenance
+        assert prov.backend == "bnb"
+        assert prov.degraded
+        assert len(prov.fallbacks) == 1
+        assert prov.fallbacks[0].stage == "rap.highs"
+        assert prov.fallbacks[0].error_type == "SolverError"
+        assert result.placed.check_legal() == []
+
+    def test_all_solvers_fail_baseline_degraded(self, chain_initial):
+        plan = (
+            FaultPlan()
+            .fail("rap.highs")
+            .fail("rap.bnb")
+            .fail("rap.lagrangian")
+        )
+        runner = FlowRunner(chain_initial, RCPPParams(), fault_plan=plan)
+        result = runner.run(FlowKind.FLOW5)
+        prov = result.provenance
+        assert prov.backend == "baseline"
+        assert prov.degraded
+        assert {a.stage for a in prov.fallbacks} == {
+            "rap.highs", "rap.bnb", "rap.lagrangian",
+        }
+        assert result.placed.check_legal() == []
+
+    def test_budget_exhausted_mid_chain(self, chain_initial):
+        runner = FlowRunner(chain_initial, RCPPParams(time_budget_s=0.0))
+        with pytest.raises(SolverError) as excinfo:
+            runner.run(FlowKind.FLOW5)
+        assert isinstance(excinfo.value, StageTimeoutError)
+        assert excinfo.value.provenance is not None
+        assert excinfo.value.provenance.budget_s == 0.0
+
+    def test_retry_recovers_transient_failure(self, chain_initial):
+        plan = FaultPlan().fail("rap.highs", SolverError, on_attempt=1)
+        runner = FlowRunner(
+            chain_initial,
+            RCPPParams(max_solver_retries=2),
+            fault_plan=plan,
+        )
+        result = runner.run(FlowKind.FLOW5)
+        prov = result.provenance
+        # The primary backend answered on its second attempt: not degraded.
+        assert prov.backend == "highs"
+        assert not prov.degraded
+        assert len(prov.fallbacks) == 1
+        assert prov.fallbacks[0].attempt == 1
+        assert plan.attempts("rap.highs") == 2
+
+    def test_injected_infeasibility_triggers_relaxation(self, chain_initial):
+        plan = FaultPlan().fail(
+            "rap.highs", InfeasibleError, on_attempt=1
+        )
+        runner = FlowRunner(chain_initial, RCPPParams(), fault_plan=plan)
+        result = runner.run(FlowKind.FLOW5)
+        prov = result.provenance
+        assert prov.backend == "highs"
+        assert prov.degraded
+        assert prov.relaxations == ["row_fill->1.0"]
+        assert result.placed.check_legal() == []
+
+    def test_legalizer_falls_back(self, chain_initial):
+        plan = FaultPlan().fail("legalize.fence", CapacityError)
+        runner = FlowRunner(chain_initial, RCPPParams(), fault_plan=plan)
+        result = runner.run(FlowKind.FLOW5)
+        prov = result.provenance
+        assert prov.legalizer == "abacus_rc"
+        assert prov.degraded
+        assert any(a.stage == "legalize.fence" for a in prov.fallbacks)
+        assert result.placed.check_legal() == []
+
+    def test_fallback_disabled_fails_hard(self, chain_initial):
+        plan = FaultPlan().fail("rap.highs", SolverError)
+        runner = FlowRunner(
+            chain_initial, RCPPParams(fallback=False), fault_plan=plan
+        )
+        with pytest.raises(SolverError):
+            runner.run(FlowKind.FLOW5)
+
+    def test_flows_4_and_5_share_row_assign_provenance(self, chain_initial):
+        plan = FaultPlan().fail("rap.highs", SolverError)
+        runner = FlowRunner(chain_initial, RCPPParams(), fault_plan=plan)
+        r4 = runner.run(FlowKind.FLOW4)
+        r5 = runner.run(FlowKind.FLOW5)
+        assert r4.provenance.backend == r5.provenance.backend == "bnb"
+        # Cached assignment: the fault fired once, both flows see it.
+        assert plan.attempts("rap.highs") == 1
+        assert r4.provenance.legalizer == "abacus_rc"
+        assert r5.provenance.legalizer == "fence"
+
+
+class TestLagrangianBackend:
+    def _rap_model(self, seed=3, n_c=6, n_p=5, n_rows=2):
+        rng = np.random.default_rng(seed)
+        f = rng.uniform(0, 10, size=(n_c, n_p))
+        width = rng.uniform(1, 3, size=n_c)
+        cap = np.full(n_p, width.sum())
+        return build_rap_model(f, width, cap, n_rows), f, width, cap
+
+    def test_solve_milp_dispatches_lagrangian(self):
+        model, f, width, cap = self._rap_model()
+        result = solve_milp(model, backend="lagrangian")
+        assert result.status is MilpStatus.FEASIBLE
+        assert result.x is not None
+        x = np.round(result.x[: f.size]).reshape(f.shape)
+        assert np.all(x.sum(axis=1) == 1)  # every cluster assigned once
+
+    def test_lagrangian_tracks_exact_objective(self):
+        model, f, width, cap = self._rap_model(seed=11)
+        heur = solve_milp(model, backend="lagrangian")
+        exact = solve_milp(model, backend="highs")
+        assert heur.objective >= exact.objective - 1e-9
+
+    def test_bad_backend_lists_valid_names(self):
+        model, *_ = self._rap_model()
+        with pytest.raises(ValidationError, match="highs.*bnb.*lagrangian"):
+            solve_milp(model, backend="cplex")
+
+    def test_non_rap_model_rejected(self):
+        model = MilpModel(
+            c=np.array([1.0, 2.0]),
+            integrality=np.ones(2),
+            lb=np.zeros(2),
+            ub=np.ones(2),
+        )
+        with pytest.raises(ValidationError, match="RAP-shaped"):
+            solve_milp(model, backend="lagrangian")
+
+
+class TestHighsHardening:
+    def test_scipy_error_wrapped_as_solver_error(self, monkeypatch):
+        import repro.solvers.highs as highs_mod
+
+        def boom(*args, **kwargs):
+            raise ValueError("scipy exploded")
+
+        monkeypatch.setattr(highs_mod, "milp", boom)
+        model = MilpModel(
+            c=np.array([1.0]),
+            integrality=np.ones(1),
+            lb=np.zeros(1),
+            ub=np.ones(1),
+        )
+        with pytest.raises(SolverError, match="HiGHS backend failed"):
+            highs_mod.solve_with_highs(model)
+
+
+class TestFlow1Snapshot:
+    def test_flow1_result_is_a_copy(self, chain_initial):
+        runner = FlowRunner(chain_initial, RCPPParams())
+        result = runner.run(FlowKind.FLOW1)
+        assert result.placed is not chain_initial.placed
+        before = chain_initial.placed.x.copy()
+        result.placed.x += 1234.0  # downstream mutation must not leak
+        assert np.array_equal(chain_initial.placed.x, before)
+
+
+class TestResilienceUnits:
+    def test_deadline_clamp_and_sub(self):
+        t = [0.0]
+        deadline = Deadline(10.0, clock=lambda: t[0])
+        assert deadline.clamp(None) == 10.0
+        assert deadline.clamp(3.0) == 3.0
+        t[0] = 8.0
+        assert deadline.clamp(5.0) == pytest.approx(2.0)
+        child = deadline.sub(100.0)  # child can only tighten
+        assert child.remaining() == pytest.approx(2.0)
+        t[0] = 10.0
+        assert deadline.expired
+        with pytest.raises(StageTimeoutError):
+            deadline.check("stage")
+
+    def test_deadline_unlimited(self):
+        deadline = Deadline.unlimited()
+        assert deadline.remaining() is None
+        assert deadline.clamp(7.0) == 7.0
+        assert not deadline.expired
+        deadline.check("any")  # never raises
+
+    def test_fault_plan_on_attempt_and_times(self):
+        plan = FaultPlan().fail("s", SolverError, on_attempt=2).fail(
+            "t", SolverError, times=1
+        )
+        plan.check("s")  # attempt 1 passes
+        with pytest.raises(SolverError):
+            plan.check("s")  # attempt 2 fires
+        plan.check("s")  # attempt 3 passes again
+        with pytest.raises(SolverError):
+            plan.check("t")  # fires once...
+        plan.check("t")  # ...then is spent
+        assert plan.attempts("s") == 3
+        assert plan.attempts("unknown") == 0
+
+    def test_retry_policy_backoff(self):
+        retry = RetryPolicy(max_attempts=3, backoff_s=0.5, backoff_factor=2.0)
+        assert retry.delay(1) == 0.5
+        assert retry.delay(2) == 1.0
+        assert RetryPolicy().delay(1) == 0.0
+
+    def test_policy_chain_order(self):
+        policy = ResiliencePolicy()
+        assert policy.backends("highs") == ("highs", "bnb", "lagrangian")
+        assert policy.backends("bnb") == ("bnb", "highs", "lagrangian")
+        strict = ResiliencePolicy(fallback_enabled=False)
+        assert strict.backends("highs") == ("highs",)
 
 
 class TestDeterminismEndToEnd:
