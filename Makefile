@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-faults bench bench-full examples clean
+.PHONY: install test test-faults bench bench-full bench-sweep examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,11 @@ bench:
 bench-full:
 	REPRO_BENCH_FULL=1 REPRO_BENCH_SCALE=24 \
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Instrumented parallel sweep -> BENCH_sweep.json (+ Table IV-layout CSV).
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) -m repro sweep --scale-denom 48 --workers 4 \
+	  --out BENCH_sweep.json --csv BENCH_sweep.csv
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

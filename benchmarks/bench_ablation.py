@@ -10,13 +10,13 @@ import os
 from repro.experiments import clustering_impact
 
 
-def test_clustering_ablation(benchmark, scale, testcases):
+def test_clustering_ablation(benchmark, scale, config, testcases):
     if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
         ids = tuple(t.testcase_id for t in testcases)
     else:
         ids = ("aes_300", "jpeg_400", "des3_210", "fpu_4500")
     points = benchmark.pedantic(
-        lambda: clustering_impact.run(testcase_ids=ids, scale=scale),
+        lambda: clustering_impact.run(testcase_ids=ids, config=config),
         rounds=1,
         iterations=1,
     )

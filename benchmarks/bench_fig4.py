@@ -19,12 +19,12 @@ def _sweep_ids(testcases):
     return ("aes_300", "jpeg_400", "fpu_4500", "des3_210")
 
 
-def test_fig4a_s_sweep(benchmark, scale, testcases):
+def test_fig4a_s_sweep(benchmark, config, testcases):
     ids = _sweep_ids(testcases)
     s_values = (0.05, 0.1, 0.2, 0.5, 1.0)
     points = benchmark.pedantic(
         lambda: fig4.run_s_sweep(
-            scale=scale, testcase_ids=ids, s_values=s_values
+            config=config, testcase_ids=ids, s_values=s_values
         ),
         rounds=1,
         iterations=1,
@@ -42,10 +42,10 @@ def test_fig4a_s_sweep(benchmark, scale, testcases):
     print("paper: picks s=0.2 (QoR drop at least runtime)")
 
 
-def test_fig4b_alpha_sweep(benchmark, scale, testcases):
+def test_fig4b_alpha_sweep(benchmark, config, testcases):
     ids = _sweep_ids(testcases)
     points = benchmark.pedantic(
-        lambda: fig4.run_alpha_sweep(scale=scale, testcase_ids=ids),
+        lambda: fig4.run_alpha_sweep(config=config, testcase_ids=ids),
         rounds=1,
         iterations=1,
     )

@@ -7,9 +7,9 @@ positive trend (the paper reports a strong linear correlation).
 from repro.experiments import fig5
 
 
-def test_fig5(benchmark, scale, testcases):
+def test_fig5(benchmark, scale, config, testcases):
     result = benchmark.pedantic(
-        lambda: fig5.run(testcases=testcases, scale=scale),
+        lambda: fig5.run(testcases=testcases, config=config),
         rounds=1,
         iterations=1,
     )

@@ -10,13 +10,13 @@ import os
 from repro.experiments import overhead
 
 
-def test_overhead(benchmark, scale, testcases):
+def test_overhead(benchmark, scale, config, testcases):
     if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
         ids = tuple(t.testcase_id for t in testcases)
     else:
         ids = ("aes_300", "ldpc_350", "des3_210", "vga_290")
     result = benchmark.pedantic(
-        lambda: overhead.run(testcase_ids=ids, scale=scale),
+        lambda: overhead.run(testcase_ids=ids, config=config),
         rounds=1,
         iterations=1,
     )

@@ -8,9 +8,9 @@ the minority-instance count — the paper's small/medium/large trend
 from repro.experiments import profile_runtime
 
 
-def test_runtime_profile(benchmark, scale, testcases):
+def test_runtime_profile(benchmark, scale, config, testcases):
     result = benchmark.pedantic(
-        lambda: profile_runtime.run(testcases=testcases, scale=scale),
+        lambda: profile_runtime.run(testcases=testcases, config=config),
         rounds=1,
         iterations=1,
     )

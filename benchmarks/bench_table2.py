@@ -10,9 +10,9 @@ import pytest
 from repro.experiments import table2
 
 
-def test_table2(benchmark, scale, testcases):
+def test_table2(benchmark, scale, config, testcases):
     result = benchmark.pedantic(
-        lambda: table2.run(testcases=testcases, scale=scale),
+        lambda: table2.run(testcases=testcases, config=config),
         rounds=1,
         iterations=1,
     )

@@ -13,9 +13,9 @@ from repro.experiments import table4
 from repro.experiments.paper_data import PAPER_TABLE4_NORMALIZED
 
 
-def test_table4(benchmark, scale, testcases):
+def test_table4(benchmark, scale, config, testcases):
     result = benchmark.pedantic(
-        lambda: table4.run(testcases=testcases, scale=scale),
+        lambda: table4.run(testcases=testcases, config=config),
         rounds=1,
         iterations=1,
     )

@@ -13,9 +13,9 @@ from repro.experiments import table5
 from repro.experiments.paper_data import PAPER_TABLE5_NORMALIZED
 
 
-def test_table5(benchmark, scale, testcases):
+def test_table5(benchmark, scale, config, testcases):
     result = benchmark.pedantic(
-        lambda: table5.run(testcases=testcases, scale=scale),
+        lambda: table5.run(testcases=testcases, config=config),
         rounds=1,
         iterations=1,
     )

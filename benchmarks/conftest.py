@@ -6,20 +6,29 @@ Environment knobs:
   the paper's sizes correspond to 1).  Smaller denominators = bigger runs.
 * ``REPRO_BENCH_FULL=1`` — run all 26 testcases per table instead of the
   representative quick subset.
+* ``REPRO_BENCH_METRICS`` — path for the session metrics/span export
+  (default ``BENCH_obs.json``; set to the empty string to disable).
 
 Each paper-table bench runs once (pedantic, 1 round): the measurement of
 interest is the experiment itself, not a microsecond-level distribution.
+
+The whole bench session runs under an active :class:`repro.MetricsRegistry`
+and :class:`repro.Tracer`, so every instrumented stage the benches exercise
+lands in one merged export — there is no bench-local timing code.
 """
 
+import json
 import os
 
 import pytest
 
+from repro import MetricsRegistry, RunConfig, Tracer
 from repro.experiments.testcases import (
     PAPER_TESTCASES,
     QUICK_SUBSET_IDS,
     testcase_subset,
 )
+from repro.obs import use_registry
 
 
 def bench_scale() -> float:
@@ -38,6 +47,11 @@ def scale() -> float:
 
 
 @pytest.fixture(scope="session")
+def config() -> RunConfig:
+    return RunConfig(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
 def testcases():
     return bench_testcases()
 
@@ -47,3 +61,23 @@ def library():
     from repro.techlib.asap7 import make_asap7_library
 
     return make_asap7_library()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_observability():
+    """Session-wide tracer + metrics registry, exported at teardown."""
+    registry = MetricsRegistry()
+    tracer = Tracer(name="benchmarks")
+    with use_registry(registry), tracer.activate():
+        yield registry
+    out = os.environ.get("REPRO_BENCH_METRICS", "BENCH_obs.json")
+    if not out:
+        return
+    payload = {
+        "schema": "repro.bench-obs/1",
+        "scale": bench_scale(),
+        "metrics": registry.snapshot(),
+        "n_root_spans": len(tracer.roots),
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)

@@ -19,8 +19,15 @@ Quickstart::
     size_to_minority_fraction(design, 0.10)   # create the 7.5T minority
     result = RowConstraintPlacer(lib).place(design)
     print(result.hpwl, result.assignment.n_minority_rows)
+
+The exact export list below is mirrored in ``docs/API.md`` and enforced
+by ``tests/test_api_surface.py`` — ``dir(repro)`` is the documented
+surface, nothing more.
 """
 
+__version__ = "1.1.0"
+
+from repro.core.config import RunConfig
 from repro.core.flows import (
     FlowKind,
     FlowResult,
@@ -32,6 +39,14 @@ from repro.core.flows import (
 from repro.core.params import RCPPParams
 from repro.core.rap import RowAssignment
 from repro.core.rcpp import RowConstraintPlacer, RowConstraintResult
+from repro.experiments.sweep_engine import SweepJobResult, SweepResult, run_sweep
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    render_span_tree,
+    span,
+)
 from repro.techlib.asap7 import make_asap7_library
 from repro.utils.resilience import (
     Deadline,
@@ -41,24 +56,37 @@ from repro.utils.resilience import (
     RetryPolicy,
 )
 
-__version__ = "1.0.0"
-
 __all__ = [
+    "Deadline",
+    "FaultPlan",
     "FlowKind",
+    "FlowProvenance",
     "FlowResult",
     "FlowRunner",
     "InitialPlacement",
-    "prepare_initial_placement",
-    "run_flow",
+    "MetricsRegistry",
     "RCPPParams",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "RowAssignment",
     "RowConstraintPlacer",
     "RowConstraintResult",
-    "make_asap7_library",
-    "Deadline",
-    "FaultPlan",
-    "FlowProvenance",
-    "ResiliencePolicy",
-    "RetryPolicy",
+    "RunConfig",
+    "Span",
+    "SweepJobResult",
+    "SweepResult",
+    "Tracer",
     "__version__",
+    "make_asap7_library",
+    "prepare_initial_placement",
+    "render_span_tree",
+    "run_flow",
+    "run_sweep",
+    "span",
 ]
+
+
+def __dir__() -> list[str]:
+    """The documented surface only — submodule names and import-time
+    incidentals stay out of ``dir(repro)`` (PEP 562)."""
+    return sorted(__all__)

@@ -4,15 +4,21 @@ Commands:
 
 * ``place``       — run the full proposed pipeline on a synthetic design
 * ``flows``       — compare the five flows on a Table II testcase
+* ``sweep``       — parallel testcase × flow sweep with metrics export
 * ``table2`` ... ``overhead`` — regenerate a paper table/figure
 * ``render``      — run Flow (5) on a testcase and write a Fig. 3-style SVG
+
+Every subcommand shares the run-configuration flags installed by
+:func:`repro.core.config.add_run_config_args` and resolves them with
+:meth:`repro.core.config.RunConfig.from_args` — one configuration
+surface across the CLI, the experiments and the sweep engine.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
+from repro.core.config import RunConfig, add_run_config_args
 from repro.experiments import (
     clustering_impact,
     fig4,
@@ -47,46 +53,54 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("--cells", type=int, default=2000)
     place.add_argument("--clock-ps", type=float, default=500.0)
     place.add_argument("--minority", type=float, default=0.12)
-    place.add_argument("--seed", type=int, default=1)
-    place.add_argument("--alpha", type=float, default=0.75)
-    place.add_argument("--s", type=float, default=0.2)
-    place.add_argument(
-        "--solver", choices=("highs", "bnb", "lagrangian"), default="highs"
-    )
-    place.add_argument(
-        "--budget-s", type=float, default=None,
-        help="whole-flow wall-clock budget in seconds (default: unlimited)",
-    )
-    place.add_argument(
-        "--no-fallback", action="store_true",
-        help="disable the solver fallback chain (fail hard instead)",
-    )
-    place.add_argument(
-        "--retries", type=int, default=1,
-        help="attempts per solver rung for transient failures",
-    )
+    add_run_config_args(place)
 
     flows = sub.add_parser("flows", help="compare the five flows")
     flows.add_argument("testcase", nargs="?", default="aes_300")
-    flows.add_argument("--scale-denom", type=float, default=48.0)
-    flows.add_argument(
-        "--budget-s", type=float, default=None,
-        help="per-flow wall-clock budget in seconds (default: unlimited)",
+    add_run_config_args(flows)
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel testcase x flow sweep with metrics export"
     )
+    sweep.add_argument(
+        "--testcases", nargs="*", default=None,
+        help="testcase ids (default: the quick 8-testcase subset)",
+    )
+    sweep.add_argument(
+        "--flows", type=int, nargs="*", default=[1, 2, 5],
+        help="flow numbers to run per testcase (default: 1 2 5)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="initial-placement artifact cache directory ('' disables)",
+    )
+    sweep.add_argument(
+        "--out", default="BENCH_sweep.json",
+        help="JSON report path (span trees + metrics per job)",
+    )
+    sweep.add_argument(
+        "--csv", default=None,
+        help="also write a Table IV-layout CSV to this path",
+    )
+    sweep.add_argument(
+        "--tree", action="store_true",
+        help="print each job's span tree after the sweep",
+    )
+    add_run_config_args(sweep, workers=True)
 
     for name in _EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
-        exp.add_argument("--scale-denom", type=float, default=48.0)
+        add_run_config_args(exp)
 
     render = sub.add_parser("render", help="write a Fig. 3-style SVG")
     render.add_argument("output", help="output .svg path")
     render.add_argument("--testcase", default="aes_360")
-    render.add_argument("--scale-denom", type=float, default=48.0)
+    add_run_config_args(render)
     return parser
 
 
 def _cmd_place(args: argparse.Namespace) -> int:
-    from repro import RCPPParams, RowConstraintPlacer, make_asap7_library
+    from repro import RowConstraintPlacer, make_asap7_library
     from repro.eval.report import format_provenance
     from repro.netlist import (
         GeneratorSpec,
@@ -94,26 +108,19 @@ def _cmd_place(args: argparse.Namespace) -> int:
         size_to_minority_fraction,
     )
 
+    config = RunConfig.from_args(args)
     library = make_asap7_library()
     design = generate_netlist(
         GeneratorSpec(
             name="cli",
             n_cells=args.cells,
             clock_period_ps=args.clock_ps,
-            seed=args.seed,
+            seed=config.seed if config.seed is not None else 1,
         ),
         library,
     )
     size_to_minority_fraction(design, args.minority)
-    params = RCPPParams(
-        alpha=args.alpha,
-        s=args.s,
-        solver_backend=args.solver,
-        fallback=not args.no_fallback,
-        max_solver_retries=args.retries,
-        time_budget_s=args.budget_s,
-    )
-    result = RowConstraintPlacer(library, params).place(design)
+    result = RowConstraintPlacer(library, config.params).place(design)
     print(f"minority rows: {result.assignment.n_minority_rows}")
     print(f"HPWL: {result.hpwl / 1e6:.3f} mm "
           f"({100 * result.hpwl_overhead:+.1f}% vs unconstrained)")
@@ -125,21 +132,19 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
 
 def _cmd_flows(args: argparse.Namespace) -> int:
-    import runpy
-
-    sys.argv = ["flow_comparison", args.testcase, str(args.scale_denom)]
-    from repro import FlowKind, FlowRunner, RCPPParams, prepare_initial_placement
+    from repro import FlowKind, FlowRunner, prepare_initial_placement
     from repro.eval.report import format_table, provenance_label
     from repro.experiments.testcases import build_testcase, testcase_by_id
     from repro.techlib.asap7 import make_asap7_library
 
+    config = RunConfig.from_args(args)
     library = make_asap7_library()
     design = build_testcase(
-        testcase_by_id(args.testcase), library, scale=1.0 / args.scale_denom
+        testcase_by_id(args.testcase), library, scale=config.scale
     )
     runner = FlowRunner(
         prepare_initial_placement(design, library),
-        RCPPParams(time_budget_s=args.budget_s),
+        config.params,
     )
     rows = []
     for kind in FlowKind:
@@ -150,24 +155,58 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         )
     print(format_table(
         ["flow", "disp(mm)", "hpwl(mm)", "time(s)", "mode"], rows,
-        title=f"{args.testcase} @ 1/{args.scale_denom:g}",
+        title=f"{args.testcase} @ 1/{config.scale_denom:g}",
     ))
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep_engine import run_sweep
+    from repro.experiments.testcases import QUICK_SUBSET_IDS
+
+    config = RunConfig.from_args(args)
+    testcases = tuple(args.testcases) if args.testcases else QUICK_SUBSET_IDS
+    cache_dir = args.cache_dir or None
+    result = run_sweep(
+        testcase_ids=testcases,
+        flows=tuple(args.flows),
+        config=config,
+        cache_dir=cache_dir,
+        progress=print,
+    )
+    out = result.write_json(args.out)
+    print(
+        f"{len(result.jobs)} jobs in {result.wall_s:.2f}s "
+        f"({result.workers} worker{'s' if result.workers != 1 else ''}), "
+        f"{result.n_failed} failed; cache {result.cache['hits']} hit / "
+        f"{result.cache['misses']} miss -> {out}"
+    )
+    if args.csv:
+        csv_path = result.write_csv(args.csv)
+        print(f"wrote {csv_path}")
+    if args.tree:
+        for job in result.jobs:
+            print(f"--- {job.testcase_id} flow{job.flow} [{job.status}]")
+            tree = job.format_span_tree()
+            if tree:
+                print(tree)
+    return 1 if result.n_failed else 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
-    from repro import FlowKind, FlowRunner, RCPPParams, prepare_initial_placement
+    from repro import FlowKind, FlowRunner, prepare_initial_placement
     from repro.core.fence import FenceRegions
     from repro.eval.visualize import save_placement_svg
     from repro.experiments.testcases import build_testcase, testcase_by_id
     from repro.techlib.asap7 import make_asap7_library
 
+    config = RunConfig.from_args(args)
     library = make_asap7_library()
     design = build_testcase(
-        testcase_by_id(args.testcase), library, scale=1.0 / args.scale_denom
+        testcase_by_id(args.testcase), library, scale=config.scale
     )
     initial = prepare_initial_placement(design, library)
-    flow = FlowRunner(initial, RCPPParams()).run(FlowKind.FLOW5)
+    flow = FlowRunner(initial, config.params).run(FlowKind.FLOW5)
     fences = FenceRegions.from_floorplan(flow.placed.floorplan, 7.5)
     save_placement_svg(
         args.output,
@@ -186,10 +225,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_place(args)
     if args.command == "flows":
         return _cmd_flows(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "render":
         return _cmd_render(args)
     runner = _EXPERIMENTS[args.command]
-    runner(scale=1.0 / args.scale_denom)
+    runner(config=RunConfig.from_args(args))
     return 0
 
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.trace import span
 from repro.utils.errors import ValidationError
 
 
@@ -140,11 +141,16 @@ def cluster_minority_cells(
     if n == 0:
         raise ValidationError("no minority cells to cluster")
     n_clusters = min(n, max(1, math.ceil(s * n)))
-    points = np.column_stack([xs, ys]).astype(float)
-    if n_clusters == n:
-        # s = 1: every cell is its own cluster; skip Lloyd entirely.
-        return ClusteringResult(
-            labels=np.arange(n), centroids=points.copy(), iterations=0
-        )
-    seeds = grid_seed_centroids(points[:, 0], points[:, 1], n_clusters)
-    return kmeans_2d(points, seeds, max_iterations=max_iterations)
+    with span(
+        "clustering.kmeans", n_points=n, n_clusters=n_clusters
+    ) as km_span:
+        points = np.column_stack([xs, ys]).astype(float)
+        if n_clusters == n:
+            # s = 1: every cell is its own cluster; skip Lloyd entirely.
+            return ClusteringResult(
+                labels=np.arange(n), centroids=points.copy(), iterations=0
+            )
+        seeds = grid_seed_centroids(points[:, 0], points[:, 1], n_clusters)
+        result = kmeans_2d(points, seeds, max_iterations=max_iterations)
+        km_span.annotate(iterations=result.iterations)
+    return result

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +37,7 @@ from repro.core.rap import (
     solve_rap_resilient,
 )
 from repro.netlist.db import Design
+from repro.obs.trace import span
 from repro.placement.db import Floorplan, PlacedDesign
 from repro.placement.floorplanner import (
     build_placed_design,
@@ -143,6 +143,29 @@ def prepare_initial_placement(
     On return the design's masters are back to the originals; the returned
     ``placed`` snapshot retains the mLEF geometry it was placed with.
     """
+    with span(
+        "prepare_initial_placement", n_cells=design.num_instances
+    ) as root:
+        result = _prepare_initial_placement(
+            design,
+            library,
+            minority_track=minority_track,
+            utilization=utilization,
+            aspect_ratio=aspect_ratio,
+            placer_params=placer_params,
+        )
+    root.annotate(hpwl=result.hpwl)
+    return result
+
+
+def _prepare_initial_placement(
+    design: Design,
+    library: StdCellLibrary,
+    minority_track: float,
+    utilization: float,
+    aspect_ratio: float,
+    placer_params: GlobalPlacerParams | None,
+) -> InitialPlacement:
     times = StageTimes()
     minority_mask = np.array(design.minority_mask(minority_track))
     if not minority_mask.any():
@@ -362,21 +385,21 @@ class FlowRunner:
         """
         stage = "rap.baseline"
         deadline.check(stage, provenance=prov)
-        start = time.perf_counter()
         try:
-            self.policy.inject(stage)
-            assignment, _ = self.baseline_assignment()
+            with span(stage, backend="baseline") as sp:
+                self.policy.inject(stage)
+                assignment, _ = self.baseline_assignment()
         except StageTimeoutError as exc:
             prov.record(
                 stage, "baseline", 1, ok=False, error=exc,
-                runtime_s=time.perf_counter() - start,
+                runtime_s=sp.duration_s,
             )
             exc.provenance = prov
             raise
         except ReproError as exc:
             prov.record(
                 stage, "baseline", 1, ok=False, error=exc,
-                runtime_s=time.perf_counter() - start,
+                runtime_s=sp.duration_s,
             )
             raise SolverError(
                 "row assignment failed on every rung "
@@ -385,8 +408,7 @@ class FlowRunner:
                 provenance=prov,
             ) from exc
         prov.record(
-            stage, "baseline", 1, ok=True,
-            runtime_s=time.perf_counter() - start,
+            stage, "baseline", 1, ok=True, runtime_s=sp.duration_s,
         )
         prov.backend = "baseline"
         prov.degraded = True
@@ -415,7 +437,17 @@ class FlowRunner:
         return placed
 
     def run(self, kind: FlowKind) -> FlowResult:
-        """Execute one flow and return its post-placement metrics."""
+        """Execute one flow and return its post-placement metrics.
+
+        The flow's span tree (``flow.<n>`` root) is attached to the
+        result's provenance in dict form (``provenance.spans``).
+        """
+        with span(f"flow.{kind.value}", flow=kind.value) as root:
+            result = self._run(kind)
+        result.provenance.spans = root.to_dict()
+        return result
+
+    def _run(self, kind: FlowKind) -> FlowResult:
         init = self.initial
         if kind is FlowKind.FLOW1:
             # Copy: callers mutating the Flow-(1) result must not corrupt
@@ -509,60 +541,58 @@ class FlowRunner:
         placed = self._build_mixed_placement(assignment)
         stage = f"legalize.{primary}"
         stage_deadline.check(stage, provenance=prov)
-        start = time.perf_counter()
         try:
-            self.policy.inject(stage)
-            result = self._run_legalizer(
-                primary, placed, assignment, stage_deadline
-            )
+            with span(stage, legalizer=primary) as sp:
+                self.policy.inject(stage)
+                result = self._run_legalizer(
+                    primary, placed, assignment, stage_deadline
+                )
         except StageTimeoutError as exc:
             prov.record(
                 stage, primary, 1, ok=False, error=exc,
-                runtime_s=time.perf_counter() - start,
+                runtime_s=sp.duration_s,
             )
             exc.provenance = prov
             raise
         except ReproError as exc:
             prov.record(
                 stage, primary, 1, ok=False, error=exc,
-                runtime_s=time.perf_counter() - start,
+                runtime_s=sp.duration_s,
             )
             if not self.policy.fallback_enabled:
                 raise
             stage = f"legalize.{fallback}"
             stage_deadline.check(stage, provenance=prov)
             placed = self._build_mixed_placement(assignment)
-            start = time.perf_counter()
             try:
-                self.policy.inject(stage)
-                result = self._run_legalizer(
-                    fallback, placed, assignment, stage_deadline
-                )
+                with span(stage, legalizer=fallback) as fsp:
+                    self.policy.inject(stage)
+                    result = self._run_legalizer(
+                        fallback, placed, assignment, stage_deadline
+                    )
             except StageTimeoutError as fexc:
                 prov.record(
                     stage, fallback, 1, ok=False, error=fexc,
-                    runtime_s=time.perf_counter() - start,
+                    runtime_s=fsp.duration_s,
                 )
                 fexc.provenance = prov
                 raise
             except ReproError as fexc:
                 prov.record(
                     stage, fallback, 1, ok=False, error=fexc,
-                    runtime_s=time.perf_counter() - start,
+                    runtime_s=fsp.duration_s,
                 )
                 if isinstance(fexc, SolverError) and fexc.provenance is None:
                     fexc.provenance = prov
                 raise
             prov.record(
-                stage, fallback, 1, ok=True,
-                runtime_s=time.perf_counter() - start,
+                stage, fallback, 1, ok=True, runtime_s=fsp.duration_s,
             )
             prov.legalizer = fallback
             prov.degraded = True
             return placed, result
         prov.record(
-            stage, primary, 1, ok=True,
-            runtime_s=time.perf_counter() - start,
+            stage, primary, 1, ok=True, runtime_s=sp.duration_s,
         )
         prov.legalizer = primary
         return placed, result
@@ -571,9 +601,40 @@ class FlowRunner:
 def run_flow(
     kind: FlowKind,
     initial: InitialPlacement,
-    params: RCPPParams | None = None,
+    config: "RunConfig | RCPPParams | None" = None,
     policy: ResiliencePolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    *,
+    params: RCPPParams | None = None,
 ) -> FlowResult:
-    """One-shot convenience wrapper around :class:`FlowRunner`."""
-    return FlowRunner(initial, params, policy, fault_plan).run(kind)
+    """One-shot convenience wrapper around :class:`FlowRunner`.
+
+    Preferred call: ``run_flow(kind, initial, RunConfig(...))``.  The old
+    keyword signature ``run_flow(kind, initial, params=..., policy=...,
+    fault_plan=...)`` (or a bare :class:`RCPPParams` third positional)
+    still works through a deprecation shim; see docs/API.md for the
+    mapping.
+    """
+    from repro.core.config import RunConfig
+
+    if isinstance(config, RunConfig):
+        if params is not None or policy is not None or fault_plan is not None:
+            raise ValidationError(
+                "pass either a RunConfig or the legacy params/policy/"
+                "fault_plan keywords, not both"
+            )
+        return FlowRunner(
+            initial, config.params, config.policy, config.fault_plan
+        ).run(kind)
+    if config is not None or params is not None:
+        import warnings
+
+        warnings.warn(
+            "run_flow(kind, initial, params=..., policy=..., fault_plan=...)"
+            " is deprecated; pass run_flow(kind, initial, RunConfig(params="
+            "..., policy=..., fault_plan=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    legacy_params = params if params is not None else config
+    return FlowRunner(initial, legacy_params, policy, fault_plan).run(kind)

@@ -16,12 +16,12 @@ reference.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
 from repro.utils.errors import (
     InfeasibleError,
@@ -378,26 +378,27 @@ def solve_rap_resilient(
             while attempt < policy.retry.max_attempts:
                 attempt += 1
                 deadline.check(stage, provenance=prov)
-                start = time.perf_counter()
+                attempt_span = span(stage, backend=rung, attempt=attempt)
                 try:
-                    policy.inject(stage)
-                    warm = (
-                        _warm_start_vector(
-                            model, f, cluster_width, usable, n_rows
+                    with attempt_span:
+                        policy.inject(stage)
+                        warm = (
+                            _warm_start_vector(
+                                model, f, cluster_width, usable, n_rows
+                            )
+                            if rung == "bnb"
+                            else None
                         )
-                        if rung == "bnb"
-                        else None
-                    )
-                    solution = solve_milp(
-                        model,
-                        backend=rung,
-                        time_limit_s=deadline.clamp(time_limit_s),
-                        warm_start=warm,
-                    )
+                        solution = solve_milp(
+                            model,
+                            backend=rung,
+                            time_limit_s=deadline.clamp(time_limit_s),
+                            warm_start=warm,
+                        )
                 except StageTimeoutError as exc:
                     prov.record(
                         stage, rung, attempt, ok=False, error=exc,
-                        runtime_s=time.perf_counter() - start,
+                        runtime_s=attempt_span.duration_s,
                         relaxation=relaxation,
                     )
                     exc.provenance = prov
@@ -405,7 +406,7 @@ def solve_rap_resilient(
                 except InfeasibleError as exc:
                     prov.record(
                         stage, rung, attempt, ok=False, error=exc,
-                        runtime_s=time.perf_counter() - start,
+                        runtime_s=attempt_span.duration_s,
                         relaxation=relaxation,
                     )
                     escalate = True
@@ -413,13 +414,13 @@ def solve_rap_resilient(
                 except (SolverError, ValidationError) as exc:
                     prov.record(
                         stage, rung, attempt, ok=False, error=exc,
-                        runtime_s=time.perf_counter() - start,
+                        runtime_s=attempt_span.duration_s,
                         relaxation=relaxation,
                     )
                     if attempt < policy.retry.max_attempts:
                         policy.sleep(policy.retry.delay(attempt))
                     continue
-                runtime = time.perf_counter() - start
+                runtime = attempt_span.duration_s
 
                 if solution.status is MilpStatus.INFEASIBLE:
                     prov.record(

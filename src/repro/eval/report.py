@@ -76,6 +76,26 @@ def format_provenance(provenance: object) -> str:
     return "\n".join(lines)
 
 
+def format_span_tree(spans: object, min_duration_s: float = 0.0) -> str:
+    """Indented tree for a span forest, one line per span.
+
+    Accepts a single ``Span``/span dict, a list of them, or a
+    ``Tracer.to_dict()`` payload (``{"spans": [...]}``) — whatever a
+    ``FlowResult`` or ``SweepJobResult`` carries.  Spans shorter than
+    ``min_duration_s`` are pruned.
+    """
+    from repro.obs import render_span_tree
+
+    if isinstance(spans, dict) and "spans" in spans:
+        spans = spans["spans"]
+    if not isinstance(spans, (list, tuple)):
+        spans = [spans]
+    parts = [
+        render_span_tree(node, min_duration_s=min_duration_s) for node in spans
+    ]
+    return "\n".join(p for p in parts if p)
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

@@ -1,0 +1,198 @@
+"""Content-addressed on-disk cache for shared sweep artifacts.
+
+The dominant repeated cost of a testcase × flow sweep is
+``prepare_initial_placement`` — every flow of a testcase starts from the
+same Flow-(1) artifact, and across sweep jobs (and repeated sweeps) that
+artifact is recomputed identically.  This cache keys the pickled
+:class:`~repro.core.flows.InitialPlacement` by a content hash over
+everything that determines it:
+
+* the testcase spec (circuit, clock, paper cell count, minority %),
+* the :class:`~repro.core.config.RunConfig` facets that shape the initial
+  placement (scale, seed, utilization, aspect ratio, minority track),
+* a fingerprint of the cell library, and
+* the package version plus a cache schema version.
+
+Entries are written atomically (temp file + ``os.replace``) so concurrent
+sweep workers can race on the same key safely: the worst case is the work
+being done twice, never a torn read.  A corrupted or unreadable entry is
+deleted and recomputed — the cache can only ever cost a recompute, not an
+answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import __version__
+from repro.core.config import RunConfig
+from repro.core.flows import InitialPlacement, prepare_initial_placement
+from repro.experiments.testcases import TestcaseSpec, build_testcase
+from repro.obs.metrics import current_registry
+from repro.obs.trace import span
+from repro.techlib.cells import StdCellLibrary
+
+#: Bump when the pickled artifact layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location (override per sweep with ``cache_dir``).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def library_fingerprint(library: StdCellLibrary) -> str:
+    """Stable digest of the library's geometry-relevant content."""
+    masters = sorted(
+        (m.name, float(m.width), float(m.height), float(m.track_height))
+        for m in library.masters.values()
+    )
+    payload = json.dumps(
+        {
+            "site_width": float(library.site_width),
+            "tracks": sorted(float(t) for t in library.track_heights),
+            "masters": masters,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def initial_placement_key(
+    spec: TestcaseSpec, config: RunConfig, library: StdCellLibrary
+) -> str:
+    """Content hash identifying one testcase's Flow-(1) artifact."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "testcase": {
+                "circuit": spec.circuit,
+                "clock_ps": spec.clock_ps,
+                "paper_cells": spec.paper_cells,
+                "paper_pct_75t": spec.paper_pct_75t,
+                "seed": spec.seed,
+            },
+            "config": config.initial_placement_fingerprint(),
+            "library": library_fingerprint(library),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/corruption counters of one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "corrupt": self.corrupt}
+
+
+class ArtifactCache:
+    """Pickle-backed content-addressed store under one directory."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> object | None:
+        """Load an entry; a missing/corrupt entry returns ``None``.
+
+        Corrupt entries (truncated pickle, schema drift, anything that
+        raises during load) are deleted so the subsequent ``put`` starts
+        clean.
+        """
+        path = self.path_for(key)
+        registry = current_registry()
+        if not path.exists():
+            self.stats.misses += 1
+            registry.counter("cache.miss").inc()
+            return None
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            registry.counter("cache.corrupt").inc()
+            registry.counter("cache.miss").inc()
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        registry.counter("cache.hit").inc()
+        return value
+
+    def put(self, key: str, value: object) -> Path:
+        """Atomically persist an entry (safe against concurrent writers)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def load_or_prepare_initial(
+    spec: TestcaseSpec,
+    config: RunConfig,
+    library: StdCellLibrary,
+    cache: ArtifactCache | None,
+) -> tuple[InitialPlacement, bool]:
+    """The Flow-(1) artifact for ``spec``, cached; returns (initial, hit).
+
+    On a cache hit, netlist generation *and* the initial placement are
+    both skipped — the unpickled artifact carries its own design.  With
+    ``cache=None`` the artifact is always computed fresh.
+    """
+    if cache is None:
+        design = build_testcase(spec, library, scale=config.scale)
+        return (
+            prepare_initial_placement(
+                design,
+                library,
+                minority_track=config.params.minority_track,
+                utilization=config.utilization,
+                aspect_ratio=config.aspect_ratio,
+            ),
+            False,
+        )
+    key = initial_placement_key(spec, config, library)
+    cached = cache.get(key)
+    if isinstance(cached, InitialPlacement):
+        return cached, True
+    with span("prepare_initial_placement.cache_fill", testcase=spec.testcase_id):
+        design = build_testcase(spec, library, scale=config.scale)
+        initial = prepare_initial_placement(
+            design,
+            library,
+            minority_track=config.params.minority_track,
+            utilization=config.utilization,
+            aspect_ratio=config.aspect_ratio,
+        )
+    cache.put(key, initial)
+    return initial, False

@@ -12,12 +12,12 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.flows import FlowKind
 from repro.core.params import RCPPParams
 from repro.eval.report import format_table
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     QUICK_SUBSET_IDS,
     TestcaseSpec,
     testcase_subset,
@@ -34,11 +34,14 @@ class AblationPoint:
 
 def run(
     testcase_ids: tuple[str, ...] = QUICK_SUBSET_IDS,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     s_values: tuple[float, ...] = (0.2, 0.5),
     base_params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> list[AblationPoint]:
-    base = base_params or RCPPParams(solver_time_limit_s=600.0)
+    explicit = config is not None or base_params is not None
+    config = resolve_run_config(config, scale=scale, params=base_params)
+    base = config.params if explicit else RCPPParams(solver_time_limit_s=600.0)
     testcases: list[TestcaseSpec] = testcase_subset(testcase_ids)
 
     # metric[s][testcase]; index 0 is the no-clustering reference.
@@ -49,7 +52,9 @@ def run(
     for t, spec in enumerate(testcases):
         for k, s in enumerate(all_s):
             tc = run_testcase(
-                spec, (FlowKind.FLOW4,), scale=scale, params=replace(base, s=s)
+                spec,
+                (FlowKind.FLOW4,),
+                config=config.replace(params=replace(base, s=s)),
             )
             result = tc.results[FlowKind.FLOW4]
             runtime[k, t] = tc.runner._ilp[2]  # noqa: SLF001 - ILP stage time
@@ -69,8 +74,8 @@ def run(
     return points
 
 
-def main(scale: float = DEFAULT_SCALE) -> list[AblationPoint]:
-    points = run(scale=scale)
+def main(config: RunConfig | None = None) -> list[AblationPoint]:
+    points = run(config=config)
     print(
         format_table(
             ["s", "ILP runtime cut %", "disp overhead %", "HPWL overhead %"],

@@ -17,13 +17,13 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.flows import FlowKind
 from repro.core.params import RCPPParams
 from repro.eval.normalize import normalize_01
 from repro.eval.report import format_table
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     PARAMETER_SUBSET_IDS,
     TestcaseSpec,
     testcase_subset,
@@ -45,7 +45,7 @@ def _sweep(
     testcases: list[TestcaseSpec],
     points: tuple[float, ...],
     make_params,
-    scale: float,
+    config: RunConfig,
 ) -> list[SweepPoint]:
     # metric[point][testcase]
     disp = np.zeros((len(points), len(testcases)))
@@ -53,8 +53,8 @@ def _sweep(
     runtime = np.zeros_like(disp)
     for t, spec in enumerate(testcases):
         for p, value in enumerate(points):
-            params = make_params(value)
-            tc = run_testcase(spec, (FlowKind.FLOW4,), scale=scale, params=params)
+            point_config = config.replace(params=make_params(value))
+            tc = run_testcase(spec, (FlowKind.FLOW4,), config=point_config)
             result = tc.results[FlowKind.FLOW4]
             disp[p, t] = result.displacement
             hpwl[p, t] = result.hpwl
@@ -74,37 +74,43 @@ def _sweep(
 
 
 def run_s_sweep(
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     testcase_ids: tuple[str, ...] = PARAMETER_SUBSET_IDS,
     s_values: tuple[float, ...] = S_VALUES,
     base_params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> list[SweepPoint]:
-    base = base_params or RCPPParams(solver_time_limit_s=300.0)
+    explicit = config is not None or base_params is not None
+    config = resolve_run_config(config, scale=scale, params=base_params)
+    base = config.params if explicit else RCPPParams(solver_time_limit_s=300.0)
     return _sweep(
         testcase_subset(testcase_ids),
         s_values,
         lambda s: replace(base, s=s),
-        scale,
+        config,
     )
 
 
 def run_alpha_sweep(
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     testcase_ids: tuple[str, ...] = PARAMETER_SUBSET_IDS,
     alpha_values: tuple[float, ...] = ALPHA_VALUES,
     base_params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> list[SweepPoint]:
-    base = base_params or RCPPParams(solver_time_limit_s=300.0)
+    explicit = config is not None or base_params is not None
+    config = resolve_run_config(config, scale=scale, params=base_params)
+    base = config.params if explicit else RCPPParams(solver_time_limit_s=300.0)
     return _sweep(
         testcase_subset(testcase_ids),
         alpha_values,
         lambda alpha: replace(base, alpha=alpha),
-        scale,
+        config,
     )
 
 
-def main(scale: float = DEFAULT_SCALE, testcase_ids=PARAMETER_SUBSET_IDS):
-    s_points = run_s_sweep(scale=scale, testcase_ids=testcase_ids)
+def main(config: RunConfig | None = None, testcase_ids=PARAMETER_SUBSET_IDS):
+    s_points = run_s_sweep(config=config, testcase_ids=testcase_ids)
     print(
         format_table(
             ["s", "norm disp", "norm HPWL", "norm ILP runtime"],
@@ -112,7 +118,7 @@ def main(scale: float = DEFAULT_SCALE, testcase_ids=PARAMETER_SUBSET_IDS):
             title="Fig. 4(a) twin: sweeping s (paper picks s=0.2)",
         )
     )
-    a_points = run_alpha_sweep(scale=scale, testcase_ids=testcase_ids)
+    a_points = run_alpha_sweep(config=config, testcase_ids=testcase_ids)
     print(
         format_table(
             ["alpha", "norm disp", "norm HPWL"],

@@ -10,11 +10,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.params import RCPPParams
 from repro.eval.report import format_table
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     PAPER_TESTCASES,
     TestcaseSpec,
 )
@@ -37,12 +37,14 @@ class Fig5Result:
 
 def run(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> Fig5Result:
+    config = resolve_run_config(config, scale=scale, params=params)
     points: list[Fig5Point] = []
     for spec in testcases:
-        tc = run_testcase(spec, (), scale=scale, params=params)
+        tc = run_testcase(spec, (), config=config)
         _assignment, _cluster_s, ilp_s, _n_clusters, _prov = tc.runner.ilp_assignment()
         points.append(
             Fig5Point(
@@ -66,8 +68,8 @@ def run(
     )
 
 
-def main(scale: float = DEFAULT_SCALE) -> Fig5Result:
-    result = run(scale=scale)
+def main(config: RunConfig | None = None) -> Fig5Result:
+    result = run(config=config)
     print(
         format_table(
             ["testcase", "#minority", "ILP runtime (s)"],

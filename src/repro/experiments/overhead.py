@@ -12,13 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.flows import FlowKind
 from repro.core.params import RCPPParams
 from repro.eval.metrics import evaluate_post_route
 from repro.eval.report import format_table
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     QUICK_SUBSET_IDS,
     TestcaseSpec,
     testcase_subset,
@@ -34,16 +34,18 @@ class OverheadResult:
 
 def run(
     testcase_ids: tuple[str, ...] = QUICK_SUBSET_IDS,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> OverheadResult:
+    config = resolve_run_config(config, scale=scale, params=params)
     testcases: list[TestcaseSpec] = testcase_subset(testcase_ids)
     flows = (FlowKind.FLOW1, FlowKind.FLOW2, FlowKind.FLOW5)
     hpwl_over: dict[int, list[float]] = {2: [], 5: []}
     wl_over: dict[int, list[float]] = {2: [], 5: []}
     power_over: dict[int, list[float]] = {2: [], 5: []}
     for spec in testcases:
-        tc = run_testcase(spec, flows, scale=scale, params=params)
+        tc = run_testcase(spec, flows, config=config)
         post_route = {}
         for kind in flows:
             metrics, *_ = evaluate_post_route(tc.results[kind])
@@ -66,8 +68,8 @@ def run(
     )
 
 
-def main(scale: float = DEFAULT_SCALE) -> OverheadResult:
-    result = run(scale=scale)
+def main(config: RunConfig | None = None) -> OverheadResult:
+    result = run(config=config)
     print(
         format_table(
             ["metric", "Flow(2) overhead %", "Flow(5) overhead %", "paper (2/5) %"],

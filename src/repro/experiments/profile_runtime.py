@@ -12,16 +12,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.flows import FlowKind
 from repro.core.params import RCPPParams
 from repro.eval.report import format_table
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     PAPER_TESTCASES,
     TestcaseSpec,
     size_class,
 )
+from repro.obs.metrics import stage_fractions
+
+#: Stage grouping of the paper's RAP-vs-legalization split; shared with
+#: the benchmarks (one definition, via :func:`repro.obs.stage_fractions`).
+PROFILE_GROUPS: dict[str, tuple[str, ...]] = {
+    "rap": ("clustering", "rap_ilp"),
+    "legalization": ("fence_refine", "legalize"),
+}
 
 
 @dataclass(frozen=True)
@@ -41,25 +49,24 @@ class ProfileResult:
 
 def run(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> ProfileResult:
+    config = resolve_run_config(config, scale=scale, params=params)
     rows: list[ProfileRow] = []
     for spec in testcases:
-        tc = run_testcase(spec, (FlowKind.FLOW5,), scale=scale, params=params)
-        times = tc.results[FlowKind.FLOW5].times
-        total = times.total
-        rap = times.stages.get("clustering", 0.0) + times.stages.get("rap_ilp", 0.0)
-        legal = times.stages.get("fence_refine", 0.0) + times.stages.get(
-            "legalize", 0.0
+        tc = run_testcase(spec, (FlowKind.FLOW5,), config=config)
+        fractions = stage_fractions(
+            tc.results[FlowKind.FLOW5].times.stages, PROFILE_GROUPS
         )
         rows.append(
             ProfileRow(
                 testcase_id=spec.testcase_id,
-                size_class=size_class(spec, scale),
+                size_class=size_class(spec, config.scale),
                 minority_instances=len(tc.initial.minority_indices),
-                rap_fraction=rap / total if total > 0 else 0.0,
-                legalization_fraction=legal / total if total > 0 else 0.0,
+                rap_fraction=fractions["rap"],
+                legalization_fraction=fractions["legalization"],
             )
         )
     by_class: dict[str, dict[str, float]] = {}
@@ -76,8 +83,9 @@ def run(
     return ProfileResult(rows=rows, by_class=by_class)
 
 
-def main(scale: float = DEFAULT_SCALE) -> ProfileResult:
-    result = run(scale=scale)
+def main(config: RunConfig | None = None) -> ProfileResult:
+    config = config or RunConfig()
+    result = run(config=config)
     print(
         format_table(
             ["testcase", "class", "#minority", "RAP %", "legalization %"],

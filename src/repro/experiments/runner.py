@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
+from repro.core.config import RunConfig
 from repro.core.flows import (
     FlowKind,
     FlowResult,
@@ -12,10 +14,11 @@ from repro.core.flows import (
     prepare_initial_placement,
 )
 from repro.core.params import RCPPParams
-from repro.experiments.testcases import DEFAULT_SCALE, TestcaseSpec, build_testcase
+from repro.experiments.testcases import TestcaseSpec, build_testcase
 from repro.netlist.db import Design
 from repro.techlib.asap7 import make_asap7_library
 from repro.techlib.cells import StdCellLibrary
+from repro.utils.errors import ValidationError
 
 
 @dataclass
@@ -34,18 +37,75 @@ class TestcaseRun:
         return self.results[kind]
 
 
+def resolve_run_config(
+    config: RunConfig | None,
+    scale: float | None = None,
+    params: RCPPParams | None = None,
+) -> RunConfig:
+    """Fold the legacy ``scale=`` / ``params=`` keywords into a RunConfig.
+
+    The deprecation shim shared by ``run_testcase`` and the experiment
+    ``run()`` entry points: passing the old keywords still works (with a
+    ``DeprecationWarning``) but cannot be combined with ``config``.
+    """
+    if scale is None and params is None:
+        return config or RunConfig()
+    if config is not None:
+        raise ValidationError(
+            "pass either config=RunConfig(...) or the legacy scale=/params="
+            " keywords, not both"
+        )
+    warnings.warn(
+        "the scale=/params= keywords are deprecated; pass "
+        "config=RunConfig(scale=..., params=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    changes: dict[str, object] = {}
+    if scale is not None:
+        changes["scale"] = scale
+    if params is not None:
+        changes["params"] = params
+    return RunConfig(**changes)  # type: ignore[arg-type]
+
+
 def run_testcase(
     spec: TestcaseSpec,
     flows: tuple[FlowKind, ...],
-    scale: float = DEFAULT_SCALE,
-    params: RCPPParams | None = None,
+    config: RunConfig | None = None,
+    *,
     library: StdCellLibrary | None = None,
+    initial: InitialPlacement | None = None,
+    scale: float | None = None,
+    params: RCPPParams | None = None,
 ) -> TestcaseRun:
-    """Build the testcase, place it, run the requested flows."""
-    library = library or make_asap7_library()
-    design = build_testcase(spec, library, scale=scale)
-    initial = prepare_initial_placement(design, library)
-    runner = FlowRunner(initial, params)
+    """Build the testcase, place it, run the requested flows.
+
+    ``config`` carries scale, method parameters, resilience policy and
+    floorplan knobs; ``initial`` short-circuits netlist generation and
+    initial placement with a prebuilt (e.g. cache-loaded) Flow-(1)
+    artifact.  The pre-RunConfig keywords ``scale=`` / ``params=`` remain
+    as a deprecation shim.
+    """
+    config = resolve_run_config(config, scale=scale, params=params)
+    if initial is None:
+        library = library or make_asap7_library()
+        design = build_testcase(spec, library, scale=config.scale)
+        initial = prepare_initial_placement(
+            design,
+            library,
+            minority_track=config.params.minority_track,
+            utilization=config.utilization,
+            aspect_ratio=config.aspect_ratio,
+        )
+    else:
+        design = initial.design
+    runner = FlowRunner(
+        initial,
+        config.params,
+        policy=config.policy,
+        fault_plan=config.fault_plan,
+    )
     run = TestcaseRun(spec=spec, design=design, initial=initial, runner=runner)
     for kind in flows:
         run.run(kind)

@@ -1,0 +1,338 @@
+"""Instrumented parallel sweep engine: testcase × flow fan-out.
+
+One sweep is a grid of (testcase, flow) jobs executed over a
+``ProcessPoolExecutor`` (``config.workers > 1``) or inline.  Each job
+
+* derives a deterministic seed (:meth:`RunConfig.job_seed` — stable
+  across runs, machines and worker scheduling),
+* loads the shared Flow-(1) artifact through the content-hash
+  :class:`~repro.experiments.artifact_cache.ArtifactCache`,
+* runs under its own :class:`~repro.obs.trace.Tracer` and
+  :class:`~repro.obs.metrics.MetricsRegistry`, shipping the span tree and
+  a metrics *snapshot* back to the parent (registries never cross the
+  process boundary), and
+* honors the per-job deadline that ``config.params.time_budget_s``
+  installs (the flow layer turns it into a
+  :class:`~repro.utils.resilience.Deadline`), reporting ``timeout``
+  status instead of raising.
+
+The parent merges all job snapshots into one registry and wraps
+everything in a :class:`SweepResult`, which exports ``BENCH_sweep.json``
+and a Table IV-layout CSV (displacement / HPWL / runtime blocks per
+flow).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.config import RunConfig
+from repro.core.flows import FlowKind, FlowRunner
+from repro.experiments.artifact_cache import (
+    DEFAULT_CACHE_DIR,
+    ArtifactCache,
+    load_or_prepare_initial,
+)
+from repro.experiments.testcases import QUICK_SUBSET_IDS, testcase_by_id
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import Tracer, render_span_tree
+from repro.techlib.asap7 import make_asap7_library
+from repro.utils.errors import ReproError, StageTimeoutError, ValidationError
+
+#: Default flow set of a sweep: the unconstrained reference, the baseline
+#: method and the paper's full proposed method.
+DEFAULT_SWEEP_FLOWS: tuple[int, ...] = (1, 2, 5)
+
+
+@dataclass
+class SweepJobResult:
+    """Outcome of one (testcase, flow) job."""
+
+    testcase_id: str
+    flow: int
+    status: str  # "ok" | "degraded" | "timeout" | "error"
+    hpwl: float | None = None
+    displacement: float | None = None
+    runtime_s: float | None = None  # method runtime (stage sum)
+    wall_s: float = 0.0  # full job wall clock, cache + flow
+    stage_times: dict[str, float] = field(default_factory=dict)
+    n_minority_rows: int = 0
+    n_clusters: int = 0
+    cache_hit: bool = False
+    seed: int = 0
+    worker_pid: int = 0
+    error: str | None = None
+    provenance: dict | None = None
+    spans: dict | None = None  # Tracer.to_dict() of the whole job
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "degraded")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepJobResult":
+        return cls(**data)
+
+    def format_span_tree(self, min_duration_s: float = 0.0) -> str:
+        """ASCII rendering of this job's span forest ("" if untraced)."""
+        if not self.spans:
+            return ""
+        return "\n".join(
+            render_span_tree(root, min_duration_s)
+            for root in self.spans.get("spans", ())
+        )
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, JSON/CSV exportable."""
+
+    config: dict
+    testcase_ids: list[str]
+    flows: list[int]
+    jobs: list[SweepJobResult]
+    wall_s: float
+    workers: int
+    cache: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    def job(self, testcase_id: str, flow: int) -> SweepJobResult | None:
+        for job in self.jobs:
+            if job.testcase_id == testcase_id and job.flow == flow:
+                return job
+        return None
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for j in self.jobs if not j.ok)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.sweep/1",
+            "config": self.config,
+            "testcases": self.testcase_ids,
+            "flows": self.flows,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "cache": self.cache,
+            "jobs": [j.to_dict() for j in self.jobs],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        return cls(
+            config=data.get("config", {}),
+            testcase_ids=list(data.get("testcases", ())),
+            flows=list(data.get("flows", ())),
+            jobs=[SweepJobResult.from_dict(j) for j in data.get("jobs", ())],
+            wall_s=data.get("wall_s", 0.0),
+            workers=data.get("workers", 1),
+            cache=data.get("cache", {}),
+            metrics=data.get("metrics", {}),
+        )
+
+    def write_json(self, path: str | os.PathLike) -> Path:
+        import json
+
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return out
+
+    def write_csv(self, path: str | os.PathLike) -> Path:
+        """Table IV layout: displacement, HPWL, runtime blocks per flow.
+
+        Displacement is relative to the Flow-(1) placement, so its block
+        (like the paper's) omits flow 1; HPWL covers every flow.
+        """
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        disp_flows = [f for f in self.flows if f != 1]
+        header = (
+            ["testcase"]
+            + [f"disp_f{f}" for f in disp_flows]
+            + [f"hpwl_f{f}" for f in self.flows]
+            + [f"t_f{f}" for f in disp_flows]
+        )
+        with open(out, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(header)
+            for tc in self.testcase_ids:
+                row: list[object] = [tc]
+                for f in disp_flows:
+                    job = self.job(tc, f)
+                    row.append(_cell(job and job.displacement))
+                for f in self.flows:
+                    job = self.job(tc, f)
+                    row.append(_cell(job and job.hpwl))
+                for f in disp_flows:
+                    job = self.job(tc, f)
+                    row.append(_cell(job and job.runtime_s))
+                writer.writerow(row)
+        return out
+
+
+def _cell(value: float | None) -> str:
+    return "" if value is None else f"{value:.6g}"
+
+
+def _run_job(payload: dict) -> dict:
+    """One (testcase, flow) job; module-level so it pickles to workers.
+
+    Returns plain dicts only — the job result plus the worker-side
+    metrics snapshot for the parent to merge.
+    """
+    config: RunConfig = payload["config"]
+    spec = testcase_by_id(payload["testcase_id"])
+    flow = int(payload["flow"])
+    seed = config.job_seed(spec.testcase_id, flow)
+    job_config = config.replace(
+        params=dataclasses.replace(config.params, seed=seed)
+    )
+    cache_dir = payload.get("cache_dir")
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+
+    registry = MetricsRegistry()
+    tracer = Tracer(name=f"{spec.testcase_id}.flow{flow}")
+    job = SweepJobResult(
+        testcase_id=spec.testcase_id,
+        flow=flow,
+        status="ok",
+        seed=seed,
+        worker_pid=os.getpid(),
+    )
+    t0 = time.perf_counter()
+    result = None
+    with use_registry(registry), tracer.activate():
+        try:
+            library = make_asap7_library()
+            initial, job.cache_hit = load_or_prepare_initial(
+                spec, job_config, library, cache
+            )
+            runner = FlowRunner(
+                initial,
+                job_config.params,
+                policy=job_config.policy,
+                fault_plan=job_config.fault_plan,
+            )
+            result = runner.run(FlowKind(flow))
+        except StageTimeoutError as exc:
+            job.status = "timeout"
+            job.error = str(exc)
+        except ReproError as exc:
+            job.status = "error"
+            job.error = str(exc)
+    job.wall_s = time.perf_counter() - t0
+    if result is not None:
+        job.status = "degraded" if result.degraded else "ok"
+        job.hpwl = result.hpwl
+        job.displacement = result.displacement
+        job.runtime_s = result.total_runtime_s
+        job.stage_times = dict(result.times.stages)
+        job.n_minority_rows = result.n_minority_rows
+        job.n_clusters = result.n_clusters
+        job.provenance = result.provenance.to_dict()
+    job.spans = tracer.to_dict()
+    return {"job": job.to_dict(), "metrics": registry.snapshot()}
+
+
+def run_sweep(
+    testcase_ids: Sequence[str] = QUICK_SUBSET_IDS,
+    flows: Sequence[int | FlowKind] = DEFAULT_SWEEP_FLOWS,
+    config: RunConfig | None = None,
+    cache_dir: str | os.PathLike | None = DEFAULT_CACHE_DIR,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run the testcase × flow grid and collect one :class:`SweepResult`.
+
+    ``config.workers`` picks the execution mode: 1 runs jobs inline in
+    submission order; >1 fans out over a process pool.  ``cache_dir=None``
+    disables the artifact cache entirely.
+    """
+    config = config or RunConfig()
+    flow_values = [f.value if isinstance(f, FlowKind) else int(f) for f in flows]
+    if not testcase_ids:
+        raise ValidationError("sweep needs at least one testcase")
+    if not flow_values:
+        raise ValidationError("sweep needs at least one flow")
+    for tc in testcase_ids:
+        testcase_by_id(tc)  # fail fast on typos, before spawning workers
+    payloads = [
+        {
+            "testcase_id": tc,
+            "flow": f,
+            "config": config,
+            "cache_dir": None if cache_dir is None else os.fspath(cache_dir),
+        }
+        for tc in testcase_ids
+        for f in flow_values
+    ]
+
+    merged = MetricsRegistry()
+    raw: dict[tuple[str, int], dict] = {}
+    t0 = time.perf_counter()
+    if config.workers > 1:
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            futures = {
+                pool.submit(_run_job, p): (p["testcase_id"], p["flow"])
+                for p in payloads
+            }
+            for fut in as_completed(futures):
+                out = fut.result()
+                key = futures[fut]
+                raw[key] = out["job"]
+                merged.merge(out["metrics"])
+                if progress:
+                    progress(_progress_line(out["job"], len(raw), len(payloads)))
+    else:
+        for p in payloads:
+            out = _run_job(p)
+            raw[(p["testcase_id"], p["flow"])] = out["job"]
+            merged.merge(out["metrics"])
+            if progress:
+                progress(_progress_line(out["job"], len(raw), len(payloads)))
+    wall_s = time.perf_counter() - t0
+
+    # Deterministic job order regardless of worker completion order.
+    jobs = [
+        SweepJobResult.from_dict(raw[(tc, f)])
+        for tc in testcase_ids
+        for f in flow_values
+    ]
+    snapshot = merged.snapshot()
+    counters = snapshot.get("counters", {})
+    cache_stats = {
+        "hits": int(counters.get("cache.hit", 0)),
+        "misses": int(counters.get("cache.miss", 0)),
+        "corrupt": int(counters.get("cache.corrupt", 0)),
+        "dir": None if cache_dir is None else os.fspath(cache_dir),
+    }
+    return SweepResult(
+        config=config.to_dict(),
+        testcase_ids=list(testcase_ids),
+        flows=flow_values,
+        jobs=jobs,
+        wall_s=wall_s,
+        workers=config.workers,
+        cache=cache_stats,
+        metrics=snapshot,
+    )
+
+
+def _progress_line(job: dict, done: int, total: int) -> str:
+    tag = "cached" if job.get("cache_hit") else "fresh"
+    return (
+        f"[{done}/{total}] {job['testcase_id']} flow{job['flow']} "
+        f"{job['status']} ({tag}, {job['wall_s']:.2f}s)"
+    )

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import RunConfig
 from repro.eval.report import format_table
+from repro.experiments.runner import resolve_run_config
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     PAPER_TESTCASES,
     TestcaseSpec,
     build_testcase,
@@ -38,8 +39,11 @@ class Table2Row:
 
 def run(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
+    config: RunConfig | None = None,
 ) -> list[Table2Row]:
+    config = resolve_run_config(config, scale=scale)
+    scale = config.scale
     library = make_asap7_library()
     rows: list[Table2Row] = []
     for spec in testcases:
@@ -70,9 +74,10 @@ def format_table_rows(rows: list[Table2Row], scale: float) -> str:
     )
 
 
-def main(scale: float = DEFAULT_SCALE) -> str:
-    rows = run(scale=scale)
-    table = format_table_rows(rows, scale)
+def main(config: RunConfig | None = None) -> str:
+    config = config or RunConfig()
+    rows = run(config=config)
+    table = format_table_rows(rows, config.scale)
     print(table)
     return table
 

@@ -11,15 +11,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.flows import FlowKind
 from repro.core.params import RCPPParams
 from repro.eval.report import format_table
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     PAPER_TESTCASES,
     TestcaseSpec,
 )
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 
 ALL_FLOWS = (
     FlowKind.FLOW1,
@@ -61,12 +61,14 @@ def _normalize(rows: list[Table4Row], metric: str, flows: list[int]) -> dict[int
 
 def run(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> Table4Result:
+    config = resolve_run_config(config, scale=scale, params=params)
     rows: list[Table4Row] = []
     for spec in testcases:
-        tc = run_testcase(spec, ALL_FLOWS, scale=scale, params=params)
+        tc = run_testcase(spec, ALL_FLOWS, config=config)
         displacement: dict[int, float] = {}
         hpwl: dict[int, float] = {}
         runtime: dict[int, float] = {}
@@ -94,9 +96,10 @@ def run(
 
 def main(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    config: RunConfig | None = None,
 ) -> Table4Result:
-    result = run(testcases=testcases, scale=scale)
+    config = config or RunConfig()
+    result = run(testcases=testcases, config=config)
     body = []
     for row in result.rows:
         body.append(
@@ -112,7 +115,7 @@ def main(
             + [f"hpwl({f})e5" for f in (1, 2, 3, 4, 5)]
             + [f"t({f})s" for f in (2, 3, 4, 5)],
             body,
-            title=f"Table IV twin @ scale {scale:.4f} (units: 1e5 nm, s)",
+            title=f"Table IV twin @ scale {config.scale:.4f} (units: 1e5 nm, s)",
         )
     )
     print(

@@ -12,13 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import RunConfig
 from repro.core.flows import FlowKind
 from repro.core.params import RCPPParams
 from repro.eval.metrics import evaluate_post_route
 from repro.eval.report import format_table, rank_correlation_matches
-from repro.experiments.runner import run_testcase
+from repro.experiments.runner import resolve_run_config, run_testcase
 from repro.experiments.testcases import (
-    DEFAULT_SCALE,
     PAPER_TESTCASES,
     TestcaseSpec,
 )
@@ -59,13 +59,15 @@ def _normalize(rows: list[Table5Row], metric: str) -> dict[int, float]:
 
 def run(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    scale: float | None = None,
     params: RCPPParams | None = None,
+    config: RunConfig | None = None,
 ) -> Table5Result:
+    config = resolve_run_config(config, scale=scale, params=params)
     rows: list[Table5Row] = []
     matches = comparisons = 0
     for spec in testcases:
-        tc = run_testcase(spec, ROUTED_FLOWS, scale=scale, params=params)
+        tc = run_testcase(spec, ROUTED_FLOWS, config=config)
         wl: dict[int, float] = {}
         power: dict[int, float] = {}
         wns: dict[int, float] = {}
@@ -107,9 +109,10 @@ def run(
 
 def main(
     testcases: tuple[TestcaseSpec, ...] = PAPER_TESTCASES,
-    scale: float = DEFAULT_SCALE,
+    config: RunConfig | None = None,
 ) -> Table5Result:
-    result = run(testcases=testcases, scale=scale)
+    config = config or RunConfig()
+    result = run(testcases=testcases, config=config)
     body = []
     for row in result.rows:
         body.append(
@@ -127,7 +130,7 @@ def main(
             + [f"wns({f})" for f in (1, 2, 4, 5)]
             + [f"tns({f})" for f in (1, 2, 4, 5)],
             body,
-            title=f"Table V twin @ scale {scale:.4f}",
+            title=f"Table V twin @ scale {config.scale:.4f}",
         )
     )
     print(

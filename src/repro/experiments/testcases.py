@@ -14,16 +14,24 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
+from repro.core.config import DEFAULT_SCALE
 from repro.netlist.db import Design
 from repro.netlist.generator import GeneratorSpec, generate_netlist
 from repro.netlist.synthesis import size_to_minority_fraction
 from repro.techlib.cells import StdCellLibrary
 from repro.utils.errors import ValidationError
 
-#: Default scale for experiment runs: 1/24 of the paper's cell counts keeps
-#: a full 26-testcase sweep tractable in pure Python while spanning a 7x
-#: size range (585 .. 7,261 cells).
-DEFAULT_SCALE = 1.0 / 24.0
+__all__ = [
+    "DEFAULT_SCALE",  # canonical definition lives in repro.core.config
+    "PAPER_TESTCASES",
+    "PARAMETER_SUBSET_IDS",
+    "QUICK_SUBSET_IDS",
+    "TestcaseSpec",
+    "build_testcase",
+    "size_class",
+    "testcase_by_id",
+    "testcase_subset",
+]
 
 
 @dataclass(frozen=True)

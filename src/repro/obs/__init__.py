@@ -1,0 +1,50 @@
+"""Observability layer: span tracing + metrics for the placement flows.
+
+Two halves, usable separately or together:
+
+* :mod:`repro.obs.trace` — nested :func:`span` context managers building
+  per-flow span trees, collected by a :class:`Tracer`;
+* :mod:`repro.obs.metrics` — a process-safe :class:`MetricsRegistry`
+  (counters, gauges, histograms) with snapshot/merge for multi-process
+  sweeps and JSON export for the ``BENCH_*.json`` trajectory.
+
+The flow runner, solvers, legalizers and the sweep engine are all
+instrumented through this module; ``StageTimes.measure`` emits spans, so
+per-stage aggregate times and span trees always agree.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    default_registry,
+    stage_fractions,
+    use_registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    render_span_tree,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "current_registry",
+    "current_span",
+    "current_tracer",
+    "default_registry",
+    "render_span_tree",
+    "span",
+    "stage_fractions",
+    "use_registry",
+]

@@ -1,0 +1,236 @@
+"""Process-safe metrics: counters, gauges and histograms with merge.
+
+One :class:`MetricsRegistry` lives per process; within a process every
+metric update is guarded by a lock, and across processes registries are
+combined by shipping :meth:`MetricsRegistry.snapshot` dictionaries back to
+the parent and folding them in with :meth:`MetricsRegistry.merge` — the
+sweep engine does exactly this for every worker job.  Snapshots are plain
+JSON-able dicts, so they survive pickling across a
+``ProcessPoolExecutor`` boundary and land unchanged in ``BENCH_*.json``.
+
+A process-wide default registry is always installed; spans record their
+durations into it (``span.<name>`` histograms) unless a scoped registry is
+activated with :func:`use_registry`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Mapping, Sequence
+
+#: Default histogram bucket upper bounds, in seconds (span durations are
+#: the dominant histogram source; the last implicit bucket is +inf).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """Monotonic float counter."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins sampled value."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max summary."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with JSON snapshot and merge.
+
+    ``merge`` accepts the *snapshot dict* of another registry (typically
+    produced in a worker process), not the registry object itself —
+    registries hold locks and are deliberately never pickled.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(bounds)
+            return self._histograms[name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- snapshot / merge (the cross-process contract) --------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every metric (safe to pickle / ship)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.summary() for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add, gauges take the incoming value, histograms combine
+        summaries (bucket counts add only when the bounds agree).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, summary.get("bounds", DEFAULT_BUCKETS))
+            with hist._lock:
+                incoming = summary.get("count", 0)
+                if not incoming:
+                    continue
+                hist.count += incoming
+                hist.total += summary.get("sum", 0.0)
+                in_min = summary.get("min")
+                in_max = summary.get("max")
+                if in_min is not None:
+                    hist.min = min(hist.min, in_min)
+                if in_max is not None:
+                    hist.max = max(hist.max, in_max)
+                if tuple(summary.get("bounds", ())) == hist.bounds:
+                    for i, n in enumerate(summary.get("bucket_counts", [])):
+                        hist.bucket_counts[i] += n
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def export_json(self, path: str) -> None:
+        """Write the snapshot to ``path`` as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+_ACTIVE_REGISTRY: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_active_registry", default=None
+)
+
+
+def default_registry() -> MetricsRegistry:
+    """The always-present process-wide registry."""
+    return _DEFAULT_REGISTRY
+
+
+def current_registry() -> MetricsRegistry:
+    """The registry metric producers should write to right now."""
+    active = _ACTIVE_REGISTRY.get()
+    return active if active is not None else _DEFAULT_REGISTRY
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the current one (e.g. around one sweep job)."""
+    token = _ACTIVE_REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE_REGISTRY.reset(token)
+
+
+def stage_fractions(
+    stages: Mapping[str, float], groups: Mapping[str, Sequence[str]]
+) -> dict[str, float]:
+    """Share of total stage time per named group of stages.
+
+    ``stages`` maps stage name -> seconds (``StageTimes.stages`` or the
+    equivalent flattened span durations); ``groups`` maps a report label to
+    the stage names it covers.  Replaces the per-experiment fraction math
+    that used to live in ``profile_runtime`` and the benchmarks.
+    """
+    total = sum(stages.values())
+    if total <= 0.0:
+        return {label: 0.0 for label in groups}
+    return {
+        label: sum(stages.get(s, 0.0) for s in names) / total
+        for label, names in groups.items()
+    }

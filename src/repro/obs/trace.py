@@ -1,0 +1,242 @@
+"""Nested span tracing for the placement hot path.
+
+A :class:`Span` is a context manager timing one stage; spans nest via a
+context variable, so any code can open ``span("rap.ilp")`` without
+threading a tracer object through every call.  When the span exits it
+
+* computes its duration (``perf_counter`` based),
+* attaches itself to the enclosing span's children (building the tree),
+* lands in the active :class:`Tracer`'s roots when it has no parent, and
+* records its duration into the current metrics registry
+  (``span.<name>`` histogram, plus an error counter on exceptions).
+
+Span trees are exported as plain dicts (:meth:`Span.to_dict`), which is
+the form that crosses process boundaries and lands in ``BENCH_*.json``
+and ``FlowProvenance.spans``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.metrics import current_registry
+
+_ACTIVE_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_active_span", default=None
+)
+_ACTIVE_TRACER: ContextVar["Tracer | None"] = ContextVar(
+    "repro_active_tracer", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed stage; use as a context manager.
+
+    ``start_offset_s`` is the start time relative to the parent span's
+    start (0.0 for roots), which keeps the tree self-contained and
+    picklable without absolute clocks.
+    """
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_offset_s: float = 0.0
+    duration_s: float = 0.0
+    status: str = "open"  # "open" while running, then "ok" | "error"
+    error: str | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    _t0: float | None = field(default=None, repr=False, compare=False)
+    _parent: "Span | None" = field(default=None, repr=False, compare=False)
+    _token: Any = field(default=None, repr=False, compare=False)
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        self._parent = _ACTIVE_SPAN.get()
+        if self._parent is not None and self._parent._t0 is not None:
+            self.start_offset_s = self._t0 - self._parent._t0
+        self._token = _ACTIVE_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.duration_s = self.elapsed()
+        self.status = "ok" if exc_type is None else "error"
+        if exc is not None:
+            self.error = f"{type(exc).__name__}: {exc}"
+        if self._token is not None:
+            _ACTIVE_SPAN.reset(self._token)
+        parent = self._parent
+        if parent is not None:
+            parent.children.append(self)
+        else:
+            tracer = _ACTIVE_TRACER.get()
+            if tracer is not None:
+                tracer.roots.append(self)
+        registry = current_registry()
+        registry.histogram(f"span.{self.name}").observe(self.duration_s)
+        if self.status == "error":
+            registry.counter(f"span.{self.name}.errors").inc()
+        # Drop context references so finished spans pickle cleanly.
+        self._parent = None
+        self._token = None
+        self._t0 = None
+
+    def elapsed(self) -> float:
+        """Seconds since the span was entered (== duration once closed).
+
+        Usable *inside* the span for time-limit checks, replacing ad-hoc
+        ``perf_counter`` deltas next to the telemetry ones.
+        """
+        if self._t0 is None:
+            return self.duration_s
+        return time.perf_counter() - self._t0
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value attributes (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans."""
+        return max(0.0, self.duration_s - sum(c.duration_s for c in self.children))
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name, else None."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Leaf-level name -> accumulated duration map over the subtree."""
+        out: dict[str, float] = {}
+        for node in self.walk():
+            if not node.children:
+                out[node.name] = out.get(node.name, 0.0) + node.duration_s
+        return out
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start_offset_s": self.start_offset_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            attrs=dict(data.get("attrs", {})),
+            start_offset_s=data.get("start_offset_s", 0.0),
+            duration_s=data.get("duration_s", 0.0),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            children=[cls.from_dict(c) for c in data.get("children", ())],
+        )
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a span under the currently active one: the instrumentation
+    entry point (``with span("rap.ilp"): ...``)."""
+    return Span(name=name, attrs=attrs)
+
+
+def current_span() -> Span | None:
+    return _ACTIVE_SPAN.get()
+
+
+class Tracer:
+    """Collects root spans and renders/exports the forest.
+
+    Activate around a unit of work (a sweep job, a CLI run)::
+
+        tracer = Tracer("aes_300.flow5")
+        with tracer.activate():
+            run_flow(...)
+        print(tracer.format_tree())
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.roots: list[Span] = []
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        token = _ACTIVE_TRACER.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_TRACER.reset(token)
+
+    def record(self, root: Span) -> None:
+        """Manually add a finished root span (e.g. rebuilt from a dict)."""
+        self.roots.append(root)
+
+    @property
+    def total_s(self) -> float:
+        return sum(r.duration_s for r in self.roots)
+
+    def clear(self) -> None:
+        self.roots.clear()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "total_s": self.total_s,
+            "spans": [r.to_dict() for r in self.roots],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tracer":
+        tracer = cls(name=data.get("name", "trace"))
+        tracer.roots = [Span.from_dict(s) for s in data.get("spans", ())]
+        return tracer
+
+    def format_tree(self) -> str:
+        return "\n".join(render_span_tree(r) for r in self.roots)
+
+
+def current_tracer() -> Tracer | None:
+    return _ACTIVE_TRACER.get()
+
+
+def render_span_tree(node: "Span | dict", min_duration_s: float = 0.0) -> str:
+    """ASCII tree of one span and its descendants with durations.
+
+    Accepts either a :class:`Span` or its :meth:`Span.to_dict` form.
+    ``min_duration_s`` prunes sub-trees faster than the threshold.
+    """
+    root = Span.from_dict(node) if isinstance(node, dict) else node
+    lines: list[str] = []
+
+    def emit(sp: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        flag = "" if sp.status in ("ok", "open") else f"  [{sp.status}]"
+        lines.append(
+            f"{prefix}{connector}{sp.name}  {sp.duration_s * 1e3:.1f}ms{flag}"
+        )
+        shown = [c for c in sp.children if c.duration_s >= min_duration_s]
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(shown):
+            emit(child, child_prefix, i == len(shown) - 1, False)
+
+    emit(root, "", True, True)
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs.trace import span
 from repro.placement.db import PlacedDesign
 from repro.placement.hpwl import hpwl_total
 from repro.placement.legalize import spread_to_rows
@@ -190,6 +191,19 @@ def global_place(
     On return, ``placed.x/y`` hold the rough-legal (Tetris) positions of
     the final iteration — spread out, site-aligned, ready for Abacus.
     """
+    with span(
+        "global_place", n_cells=placed.design.num_instances
+    ) as gp_span:
+        stats = _global_place(placed, params)
+        gp_span.annotate(
+            iterations=int(stats["iterations"]), hpwl=stats["hpwl_upper"]
+        )
+    return stats
+
+
+def _global_place(
+    placed: PlacedDesign, params: GlobalPlacerParams | None
+) -> dict[str, float]:
     if params is None:
         params = GlobalPlacerParams()
     rng = make_rng(params.seed)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fence import FenceRegions
+from repro.obs.trace import span
 from repro.placement.db import PlacedDesign
 from repro.utils.errors import ValidationError
 
@@ -123,14 +124,19 @@ def refine_detailed(
             abacus_legalize(placed, rows)
 
     die = placed.floorplan.die
-    for _ in range(rounds):
-        tx, ty = median_target_positions(placed)
-        cx, cy = placed.centers()
-        placed.x = cx + move_fraction * (tx - cx) - placed.widths / 2.0
-        placed.y = cy + move_fraction * (ty - cy) - placed.heights / 2.0
-        np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
-        np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
-        legalizer()
+    with span(
+        "refine_detailed",
+        n_cells=placed.design.num_instances,
+        rounds=rounds,
+    ):
+        for _ in range(rounds):
+            tx, ty = median_target_positions(placed)
+            cx, cy = placed.centers()
+            placed.x = cx + move_fraction * (tx - cx) - placed.widths / 2.0
+            placed.y = cy + move_fraction * (ty - cy) - placed.heights / 2.0
+            np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
+            np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+            legalizer()
 
 
 def fence_aware_refine(
@@ -161,14 +167,19 @@ def fence_aware_refine(
             target - placed.heights[minority_indices] / 2.0
         )
 
-    project_minority()
-    for _ in range(iterations):
-        tx, ty = median_target_positions(placed)
-        cx, cy = placed.centers()
-        new_cx = cx + move_fraction * (tx - cx)
-        new_cy = cy + move_fraction * (ty - cy)
-        placed.x = new_cx - placed.widths / 2.0
-        placed.y = new_cy - placed.heights / 2.0
-        np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
-        np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+    with span(
+        "fence_aware_refine",
+        n_minority=int(len(minority_indices)),
+        iterations=iterations,
+    ):
         project_minority()
+        for _ in range(iterations):
+            tx, ty = median_target_positions(placed)
+            cx, cy = placed.centers()
+            new_cx = cx + move_fraction * (tx - cx)
+            new_cy = cy + move_fraction * (ty - cy)
+            placed.x = new_cx - placed.widths / 2.0
+            placed.y = new_cy - placed.heights / 2.0
+            np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
+            np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+            project_minority()

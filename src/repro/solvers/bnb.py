@@ -17,12 +17,12 @@ instances (use ``backend="highs"`` there).
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.obs.trace import Span, span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 
 _FRACTIONALITY_TOL = 1e-6
@@ -98,7 +98,19 @@ class BranchAndBoundSolver:
     def solve(
         self, model: MilpModel, warm_start: np.ndarray | None = None
     ) -> MilpSolution:
-        start = time.perf_counter()
+        with span("milp.bnb", n_vars=int(model.c.shape[0])) as solve_span:
+            solution = self._solve(model, warm_start, solve_span)
+            solve_span.annotate(
+                status=solution.status.value, nodes=solution.nodes
+            )
+        return solution
+
+    def _solve(
+        self,
+        model: MilpModel,
+        warm_start: np.ndarray | None,
+        solve_span: Span,
+    ) -> MilpSolution:
         best_x: np.ndarray | None = None
         best_obj = np.inf
         if warm_start is not None and model.is_feasible(warm_start):
@@ -117,7 +129,7 @@ class BranchAndBoundSolver:
                 break
             if (
                 self.time_limit_s is not None
-                and time.perf_counter() - start > self.time_limit_s
+                and solve_span.elapsed() > self.time_limit_s
             ):
                 status = MilpStatus.FEASIBLE if best_x is not None else MilpStatus.ERROR
                 break
@@ -166,12 +178,12 @@ class BranchAndBoundSolver:
                 x=None,
                 objective=np.inf,
                 nodes=nodes,
-                runtime_s=time.perf_counter() - start,
+                runtime_s=solve_span.elapsed(),
             )
         return MilpSolution(
             status=status,
             x=best_x,
             objective=best_obj,
             nodes=nodes,
-            runtime_s=time.perf_counter() - start,
+            runtime_s=solve_span.elapsed(),
         )

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 from repro.utils.errors import ReproError, SolverError
 
@@ -33,20 +32,20 @@ def solve_with_highs(
     if time_limit_s is not None:
         options["time_limit"] = float(time_limit_s)
 
-    start = time.perf_counter()
+    solve_span = span("milp.highs", n_vars=int(model.c.shape[0]))
     try:
-        result = milp(
-            c=model.c,
-            constraints=constraints,
-            integrality=model.integrality,
-            bounds=Bounds(model.lb, model.ub),
-            options=options,
-        )
+        with solve_span:
+            result = milp(
+                c=model.c,
+                constraints=constraints,
+                integrality=model.integrality,
+                bounds=Bounds(model.lb, model.ub),
+                options=options,
+            )
     except ReproError:
         raise
     except Exception as exc:
         raise SolverError(f"HiGHS backend failed: {exc}") from exc
-    runtime = time.perf_counter() - start
 
     if result.status == 0 and result.x is not None:
         status = MilpStatus.OPTIMAL
@@ -56,8 +55,13 @@ def solve_with_highs(
         status = MilpStatus.INFEASIBLE
     else:
         status = MilpStatus.ERROR
+    solve_span.annotate(status=status.value)
     x = np.asarray(result.x) if result.x is not None else None
     objective = model.objective(x) if x is not None else np.inf
     return MilpSolution(
-        status=status, x=x, objective=objective, nodes=0, runtime_s=runtime
+        status=status,
+        x=x,
+        objective=objective,
+        nodes=0,
+        runtime_s=solve_span.duration_s,
     )

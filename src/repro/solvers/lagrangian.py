@@ -14,11 +14,11 @@ exact solving is slow.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 from repro.utils.errors import InfeasibleError, ValidationError
 
@@ -57,7 +57,6 @@ def solve_rap_lagrangian(
     n_c, n_p = f.shape
     if not (1 <= n_minority_rows <= n_p):
         raise ValidationError("n_minority_rows out of range")
-    start = time.perf_counter()
     lam = np.zeros(n_p)  # capacity multipliers (>= 0)
     best_bound = -np.inf
     best_feasible: np.ndarray | None = None
@@ -65,49 +64,53 @@ def solve_rap_lagrangian(
     step = step0
 
     it = 0
-    for it in range(1, iterations + 1):
-        if (
-            time_limit_s is not None
-            and it > 1
-            and time.perf_counter() - start > time_limit_s
-        ):
-            break
-        penalized = f + np.outer(cluster_width, lam)
-        # Valid lower bound: relax BOTH the capacities (via lambda) and the
-        # row-count constraint — every cluster takes its globally cheapest
-        # penalized row.  Dropping Eq. 5 only enlarges the feasible set, so
-        # this dual value never exceeds the ILP optimum.
-        bound = float(penalized.min(axis=1).sum()) - float(
-            (lam * pair_capacity).sum()
-        )
-        best_bound = max(best_bound, bound)
+    with span("lagrangian.subgradient", max_iterations=iterations) as loop_span:
+        for it in range(1, iterations + 1):
+            if (
+                time_limit_s is not None
+                and it > 1
+                and loop_span.elapsed() > time_limit_s
+            ):
+                break
+            penalized = f + np.outer(cluster_width, lam)
+            # Valid lower bound: relax BOTH the capacities (via lambda) and
+            # the row-count constraint — every cluster takes its globally
+            # cheapest penalized row.  Dropping Eq. 5 only enlarges the
+            # feasible set, so this dual value never exceeds the ILP optimum.
+            bound = float(penalized.min(axis=1).sum()) - float(
+                (lam * pair_capacity).sum()
+            )
+            best_bound = max(best_bound, bound)
 
-        # Primal heuristic: open the n_minority_rows rows with the best
-        # per-cluster appeal, assign each cluster its cheapest open row.
-        best_per_pair = penalized.min(axis=0)
-        order = np.argsort(best_per_pair, kind="stable")
-        open_pairs = np.sort(order[:n_minority_rows])
-        sub = penalized[:, open_pairs]
-        pick = np.argmin(sub, axis=1)
+            # Primal heuristic: open the n_minority_rows rows with the best
+            # per-cluster appeal, assign each cluster its cheapest open row.
+            best_per_pair = penalized.min(axis=0)
+            order = np.argsort(best_per_pair, kind="stable")
+            open_pairs = np.sort(order[:n_minority_rows])
+            sub = penalized[:, open_pairs]
+            pick = np.argmin(sub, axis=1)
 
-        assignment = open_pairs[pick]
-        load = np.zeros(n_p)
-        np.add.at(load, assignment, cluster_width)
-        violation = load - pair_capacity
-        feasible = _repair(
-            f, cluster_width, pair_capacity, assignment, open_pairs
-        )
-        if feasible is not None:
-            cost = float(f[np.arange(n_c), feasible].sum())
-            if cost < best_cost:
-                best_cost = cost
-                best_feasible = feasible
+            assignment = open_pairs[pick]
+            load = np.zeros(n_p)
+            np.add.at(load, assignment, cluster_width)
+            violation = load - pair_capacity
+            feasible = _repair(
+                f, cluster_width, pair_capacity, assignment, open_pairs
+            )
+            if feasible is not None:
+                cost = float(f[np.arange(n_c), feasible].sum())
+                if cost < best_cost:
+                    best_cost = cost
+                    best_feasible = feasible
 
-        grad = np.maximum(violation, 0.0)
-        if not grad.any():
-            break  # relaxed solution already feasible
-        step = step0 / np.sqrt(it)
-        lam = np.maximum(0.0, lam + step * grad / max(np.linalg.norm(grad), 1e-9))
+            grad = np.maximum(violation, 0.0)
+            if not grad.any():
+                break  # relaxed solution already feasible
+            step = step0 / np.sqrt(it)
+            lam = np.maximum(
+                0.0, lam + step * grad / max(np.linalg.norm(grad), 1e-9)
+            )
+        loop_span.annotate(iterations=it)
 
     if best_feasible is None:
         raise InfeasibleError("lagrangian repair failed to find a fit")
@@ -190,24 +193,25 @@ def solve_with_lagrangian(
     """
     f, cluster_width, pair_capacity, n_min_rows = rap_data_from_model(model)
     n_c, n_p = f.shape
-    start = time.perf_counter()
+    solve_span = span("milp.lagrangian", n_vars=int(model.num_vars))
     try:
-        result = solve_rap_lagrangian(
-            f,
-            cluster_width,
-            pair_capacity,
-            n_min_rows,
-            iterations=iterations,
-            step0=step0,
-            time_limit_s=time_limit_s,
-        )
+        with solve_span:
+            result = solve_rap_lagrangian(
+                f,
+                cluster_width,
+                pair_capacity,
+                n_min_rows,
+                iterations=iterations,
+                step0=step0,
+                time_limit_s=time_limit_s,
+            )
     except InfeasibleError:
         return MilpSolution(
             status=MilpStatus.INFEASIBLE,
             x=None,
             objective=np.inf,
             nodes=0,
-            runtime_s=time.perf_counter() - start,
+            runtime_s=solve_span.duration_s,
         )
     x = np.zeros(model.num_vars)
     for c, p in enumerate(result.assignment):
@@ -218,7 +222,7 @@ def solve_with_lagrangian(
         x=x,
         objective=model.objective(x),
         nodes=result.iterations,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=solve_span.duration_s,
     )
 
 

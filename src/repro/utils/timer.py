@@ -3,12 +3,18 @@
 The paper reports per-stage runtime (clustering / RAP-ILP / legalization) and
 total placement runtime (Table IV, Fig. 5, Sec. IV.B.3); ``StageTimes`` is the
 container those experiments consume.
+
+``StageTimes.measure`` is backed by :mod:`repro.obs` spans: every measured
+stage also lands in the active span tree and the current metrics registry,
+so aggregate stage times and traces never disagree.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+from repro.obs.trace import span as _span
 
 
 class Timer:
@@ -71,12 +77,12 @@ class _StageContext:
     def __init__(self, times: StageTimes, stage: str) -> None:
         self._times = times
         self._stage = stage
-        self._timer = Timer()
+        self._span = _span(stage)
 
     def __enter__(self) -> "_StageContext":
-        self._timer.__enter__()
+        self._span.__enter__()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._timer.__exit__(*exc_info)
-        self._times.add(self._stage, self._timer.elapsed)
+        self._span.__exit__(*exc_info)
+        self._times.add(self._stage, self._span.duration_s)

@@ -38,6 +38,14 @@ def test_custom_library_runs(capsys):
     assert "LEF round trip" in out
 
 
+def test_sweep_metrics_runs(tmp_path, capsys):
+    _run("sweep_metrics.py", ["192", "1", str(tmp_path / "cache")])
+    out = capsys.readouterr().out
+    assert "merged span histograms" in out
+    assert "span.global_place" in out
+    assert "cache:" in out
+
+
 def test_visualize_runs(tmp_path, capsys):
     _run("visualize_placement.py", [str(tmp_path)])
     out = capsys.readouterr().out

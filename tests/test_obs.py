@@ -1,0 +1,201 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    current_span,
+    render_span_tree,
+    span,
+    stage_fractions,
+    use_registry,
+)
+from repro.utils.timer import StageTimes
+
+
+class TestSpanNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("outer") as outer:
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.status == "ok"
+        assert outer.duration_s >= sum(c.duration_s for c in outer.children)
+
+    def test_sibling_roots_collect_in_order(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+        assert tracer.total_s == pytest.approx(
+            sum(r.duration_s for r in tracer.roots)
+        )
+
+    def test_no_tracer_is_harmless(self):
+        with span("orphan") as orphan:
+            pass
+        assert orphan.status == "ok"
+        assert current_span() is None
+
+    def test_elapsed_is_live_inside_the_span(self):
+        with span("work") as work:
+            first = work.elapsed()
+            second = work.elapsed()
+            assert second >= first >= 0.0
+        assert work.elapsed() == work.duration_s
+
+    def test_error_marks_span_and_counts(self):
+        registry = MetricsRegistry()
+        tracer = Tracer("t")
+        with use_registry(registry), tracer.activate():
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("nope")
+        (root,) = tracer.roots
+        assert root.status == "error"
+        assert "ValueError" in root.error
+        snap = registry.snapshot()
+        assert snap["counters"]["span.boom.errors"] == 1
+        assert snap["histograms"]["span.boom"]["count"] == 1
+
+    def test_contextvar_restored_after_exception(self):
+        with span("outer") as outer:
+            with pytest.raises(RuntimeError):
+                with span("inner"):
+                    raise RuntimeError
+            assert current_span() is outer
+
+    def test_annotate_and_attrs(self):
+        with span("s", backend="highs") as s:
+            s.annotate(nodes=3)
+        assert s.attrs == {"backend": "highs", "nodes": 3}
+
+    def test_round_trip_and_picklable(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("root", k=1):
+                with span("child"):
+                    pass
+        data = tracer.to_dict()
+        rebuilt = Tracer.from_dict(pickle.loads(pickle.dumps(data)))
+        assert rebuilt.roots[0].to_dict() == tracer.roots[0].to_dict()
+        assert rebuilt.roots[0].find("child") is not None
+
+    def test_stage_seconds_accumulates_leaves(self):
+        with span("root") as root:
+            with span("leaf"):
+                pass
+            with span("leaf"):
+                pass
+        seconds = root.stage_seconds()
+        assert set(seconds) == {"leaf"}
+        assert seconds["leaf"] >= 0.0
+
+
+class TestRenderSpanTree:
+    def _tree(self) -> Span:
+        with span("root") as root:
+            with span("fast"):
+                pass
+            with span("slow") as slow:
+                pass
+            slow.duration_s = 1.0  # deterministic pruning threshold
+        return root
+
+    def test_renders_span_and_dict_identically(self):
+        root = self._tree()
+        assert render_span_tree(root) == render_span_tree(root.to_dict())
+        assert "root" in render_span_tree(root)
+
+    def test_min_duration_prunes(self):
+        root = self._tree()
+        out = render_span_tree(root, min_duration_s=0.5)
+        assert "slow" in out and "fast" not in out
+
+    def test_error_flagged(self):
+        with pytest.raises(ValueError):
+            with span("bad") as bad:
+                raise ValueError
+        assert "[error]" in render_span_tree(bad)
+
+    def test_report_helper_accepts_all_shapes(self):
+        from repro.eval.report import format_span_tree
+
+        root = self._tree()
+        tracer = Tracer("t")
+        tracer.record(root)
+        as_span = format_span_tree(root)
+        assert format_span_tree(root.to_dict()) == as_span
+        assert format_span_tree([root]) == as_span
+        assert format_span_tree(tracer.to_dict()) == as_span
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.counter("jobs").inc(2)
+        registry.gauge("workers").set(4)
+        registry.histogram("t").observe(0.5)
+        registry.histogram("t").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["jobs"] == 3
+        assert snap["gauges"]["workers"] == 4
+        hist = snap["histograms"]["t"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(2.0)
+        assert hist["min"] == 0.5 and hist["max"] == 1.5
+
+    def test_merge_folds_worker_snapshots(self):
+        parent = MetricsRegistry()
+        parent.counter("jobs").inc()
+        parent.histogram("t").observe(1.0)
+        worker = MetricsRegistry()
+        worker.counter("jobs").inc(2)
+        worker.histogram("t").observe(3.0)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["jobs"] == 3
+        assert snap["histograms"]["t"]["count"] == 2
+        assert snap["histograms"]["t"]["sum"] == pytest.approx(4.0)
+        assert snap["histograms"]["t"]["max"] == 3.0
+
+    def test_use_registry_scopes_span_output(self):
+        inner = MetricsRegistry()
+        with use_registry(inner):
+            with span("scoped"):
+                pass
+        assert inner.snapshot()["histograms"]["span.scoped"]["count"] == 1
+
+    def test_stage_fractions(self):
+        stages = {"clustering": 1.0, "rap_ilp": 3.0, "legalize": 4.0}
+        groups = {"rap": ("clustering", "rap_ilp"), "leg": ("legalize",)}
+        fractions = stage_fractions(stages, groups)
+        assert fractions["rap"] == pytest.approx(0.5)
+        assert fractions["leg"] == pytest.approx(0.5)
+        assert stage_fractions({}, groups) == {"rap": 0.0, "leg": 0.0}
+
+
+class TestStageTimesIntegration:
+    def test_measure_emits_spans(self):
+        tracer = Tracer("t")
+        times = StageTimes()
+        with tracer.activate():
+            with times.measure("stage_x"):
+                pass
+        assert "stage_x" in times.stages
+        (root,) = tracer.roots
+        assert root.name == "stage_x"
+        assert root.duration_s == pytest.approx(times.stages["stage_x"])

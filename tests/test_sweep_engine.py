@@ -1,0 +1,179 @@
+"""Sweep engine + artifact cache: parallel fan-out, caching, exports."""
+
+import json
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.flows import InitialPlacement
+from repro.experiments.artifact_cache import (
+    ArtifactCache,
+    initial_placement_key,
+    library_fingerprint,
+    load_or_prepare_initial,
+)
+from repro.experiments.sweep_engine import SweepResult, run_sweep
+from repro.experiments.testcases import testcase_by_id as _testcase_by_id
+from repro.techlib.asap7 import make_asap7_library
+from repro.utils.errors import ValidationError
+
+TINY = 1.0 / 384.0
+
+
+@pytest.fixture(scope="module")
+def library():
+    return make_asap7_library()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _testcase_by_id("aes_300")
+
+
+class TestArtifactCache:
+    def test_same_config_hits(self, tmp_path, spec, library):
+        cache = ArtifactCache(tmp_path)
+        config = RunConfig(scale=TINY)
+        first, hit1 = load_or_prepare_initial(spec, config, library, cache)
+        second, hit2 = load_or_prepare_initial(spec, config, library, cache)
+        assert (hit1, hit2) == (False, True)
+        assert isinstance(second, InitialPlacement)
+        assert second.placed.design.num_instances == first.placed.design.num_instances
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_shared_across_flows_but_not_configs(self, spec, library):
+        config = RunConfig(scale=TINY)
+        base = initial_placement_key(spec, config, library)
+        # Flow choice / solver / workers don't shape the Flow-(1) artifact.
+        assert initial_placement_key(
+            spec, config.replace(workers=8), library
+        ) == base
+        # Placement-relevant facets do.
+        for perturbed in (
+            config.replace(scale=TINY / 2),
+            config.replace(seed=123),
+            config.replace(utilization=0.7),
+            config.replace(aspect_ratio=2.0),
+        ):
+            assert initial_placement_key(spec, perturbed, library) != base
+
+    def test_config_perturbation_invalidates(self, tmp_path, spec, library):
+        cache = ArtifactCache(tmp_path)
+        config = RunConfig(scale=TINY)
+        load_or_prepare_initial(spec, config, library, cache)
+        _, hit = load_or_prepare_initial(
+            spec, config.replace(utilization=0.7), library, cache
+        )
+        assert not hit
+        assert cache.stats.misses == 2
+
+    def test_corrupted_entry_recomputes(self, tmp_path, spec, library):
+        cache = ArtifactCache(tmp_path)
+        config = RunConfig(scale=TINY)
+        load_or_prepare_initial(spec, config, library, cache)
+        key = initial_placement_key(spec, config, library)
+        cache.path_for(key).write_bytes(b"\x00not a pickle")
+        initial, hit = load_or_prepare_initial(spec, config, library, cache)
+        assert not hit
+        assert isinstance(initial, InitialPlacement)
+        assert cache.stats.corrupt == 1
+        # The bad entry was replaced: the next load hits again.
+        _, hit = load_or_prepare_initial(spec, config, library, cache)
+        assert hit
+
+    def test_no_cache_always_computes(self, spec, library):
+        config = RunConfig(scale=TINY)
+        initial, hit = load_or_prepare_initial(spec, config, library, None)
+        assert isinstance(initial, InitialPlacement) and not hit
+
+    def test_library_fingerprint_stable(self, library):
+        assert library_fingerprint(library) == library_fingerprint(
+            make_asap7_library()
+        )
+
+
+class TestRunSweep:
+    def test_inline_sweep_end_to_end(self, tmp_path):
+        config = RunConfig(scale=TINY, workers=1)
+        result = run_sweep(
+            testcase_ids=("aes_300",),
+            flows=(1, 2),
+            config=config,
+            cache_dir=tmp_path / "cache",
+        )
+        assert result.n_failed == 0
+        assert [(j.testcase_id, j.flow) for j in result.jobs] == [
+            ("aes_300", 1), ("aes_300", 2),
+        ]
+        job = result.job("aes_300", 2)
+        assert job.hpwl > 0 and job.runtime_s >= 0
+        assert job.seed == config.job_seed("aes_300", 2)
+        assert job.spans and job.spans["spans"], "span tree must ship"
+        assert "flow.2" in job.format_span_tree()
+        # Flow 1 filled the cache; flow 2 reused it.
+        assert not result.jobs[0].cache_hit and result.jobs[1].cache_hit
+
+    def test_repeat_run_hits_cache_for_every_testcase(self, tmp_path):
+        config = RunConfig(scale=TINY, workers=1)
+        kwargs = dict(
+            testcase_ids=("aes_300", "des3_210"),
+            flows=(2,),
+            config=config,
+            cache_dir=tmp_path / "cache",
+        )
+        run_sweep(**kwargs)
+        rerun = run_sweep(**kwargs)
+        assert all(j.cache_hit for j in rerun.jobs)
+        assert rerun.cache["hits"] == len(rerun.jobs)
+        assert rerun.cache["misses"] == 0
+
+    def test_parallel_sweep_matches_inline_metrics(self, tmp_path):
+        kwargs = dict(
+            testcase_ids=("aes_300",),
+            flows=(2,),
+            cache_dir=tmp_path / "cache",
+        )
+        inline = run_sweep(config=RunConfig(scale=TINY, workers=1), **kwargs)
+        pooled = run_sweep(config=RunConfig(scale=TINY, workers=2), **kwargs)
+        assert pooled.workers == 2
+        assert pooled.n_failed == 0
+        # Deterministic seeding: same job seed and HPWL either way.
+        assert pooled.jobs[0].seed == inline.jobs[0].seed
+        assert pooled.jobs[0].hpwl == pytest.approx(inline.jobs[0].hpwl)
+
+    def test_exports_round_trip(self, tmp_path):
+        result = run_sweep(
+            testcase_ids=("aes_300",),
+            flows=(1, 2),
+            config=RunConfig(scale=TINY),
+            cache_dir=tmp_path / "cache",
+        )
+        out = result.write_json(tmp_path / "BENCH_sweep.json")
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro.sweep/1"
+        rebuilt = SweepResult.from_dict(data)
+        assert rebuilt.job("aes_300", 2).hpwl == result.job("aes_300", 2).hpwl
+
+        csv_path = result.write_csv(tmp_path / "sweep.csv")
+        header, row = csv_path.read_text().strip().splitlines()
+        assert header == "testcase,disp_f2,hpwl_f1,hpwl_f2,t_f2"
+        assert row.startswith("aes_300,")
+
+    def test_metrics_cover_instrumented_stages(self, tmp_path):
+        result = run_sweep(
+            testcase_ids=("aes_300",),
+            flows=(2,),
+            config=RunConfig(scale=TINY),
+            cache_dir=tmp_path / "cache",
+        )
+        histograms = result.metrics["histograms"]
+        for name in ("span.global_place", "span.flow.2", "span.legalize"):
+            assert name in histograms, name
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValidationError):
+            run_sweep(testcase_ids=("no_such_testcase",), flows=(1,))
+        with pytest.raises(ValidationError):
+            run_sweep(testcase_ids=())
+        with pytest.raises(ValidationError):
+            run_sweep(testcase_ids=("aes_300",), flows=())
