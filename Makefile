@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-faults bench bench-full bench-sweep examples clean
+.PHONY: install test test-faults bench bench-full bench-sweep bench-kernels examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,15 @@ bench-full:
 bench-sweep:
 	PYTHONPATH=src $(PYTHON) -m repro sweep --scale-denom 48 --workers 4 \
 	  --out BENCH_sweep.json --csv BENCH_sweep.csv
+
+# Hot-path kernel microbenchmarks -> BENCH_kernels.json, gated against the
+# committed baseline (>20% wall-time regression or a missed speedup floor
+# fails the target and leaves the committed file untouched).
+bench-kernels:
+	$(PYTHON) scripts/bench_kernels.py --out BENCH_kernels.json.new
+	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
+	  || (rm -f BENCH_kernels.json.new; exit 1)
+	mv BENCH_kernels.json.new BENCH_kernels.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

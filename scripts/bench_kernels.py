@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Kernel benchmark: timings + speedups for the placement hot paths.
+
+Measures the vectorized legalizers against the scalar reference
+implementations preserved in ``tests/_reference_legalize.py`` (same
+process, same inputs, best-of-N), the cached-topology kernels
+(``_b2b_system``, ``per_pin_other_extents``), and one end-to-end flow (5)
+run at the default sweep scale.  Results are published through
+``repro.obs.MetricsRegistry`` and written as ``BENCH_kernels.json``.
+
+The ``baseline`` section embeds the pre-optimization timings recorded on
+the commit that introduced this harness (seed implementations, same
+machine class); ``scripts/check_bench.py`` gates regressions of the
+current numbers against the committed JSON and enforces the speedup
+floors (>=3x abacus_legalize, >=2x end-to-end flow (5)).
+
+Usage:
+    python scripts/bench_kernels.py [--out BENCH_kernels.json] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for p in (str(ROOT / "src"), str(ROOT)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np  # noqa: E402
+
+from tests._reference_legalize import (  # noqa: E402
+    reference_abacus_legalize,
+    reference_spread_to_rows,
+    reference_tetris_legalize,
+)
+from repro.core.config import DEFAULT_SCALE  # noqa: E402
+from repro.core.flows import (  # noqa: E402
+    FlowKind,
+    FlowRunner,
+    prepare_initial_placement,
+)
+from repro.experiments.testcases import build_testcase, testcase_by_id  # noqa: E402
+from repro.netlist.generator import GeneratorSpec, generate_netlist  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.placement.floorplanner import (  # noqa: E402
+    build_placed_design,
+    make_floorplan,
+)
+from repro.placement.global_place import _b2b_system  # noqa: E402
+from repro.placement.legalize import (  # noqa: E402
+    abacus_legalize,
+    spread_to_rows,
+    tetris_legalize,
+)
+from repro.techlib.asap7 import make_asap7_library  # noqa: E402
+
+N_CELLS = 4000
+SEED = 7
+FLOW_TESTCASE = "aes_400"
+
+# Pre-optimization timings (seed scalar implementations, recorded on the
+# commit introducing this harness).  ``flow5_seconds`` is the reference
+# for the end-to-end speedup floor; micro-kernel entries are informative
+# (legalizer speedups are measured live against the preserved reference
+# implementations instead).
+BASELINE = {
+    "abacus_legalize": 0.11746699700051977,
+    "tetris_legalize": 0.09700855499977479,
+    "spread_to_rows": 0.009448472000258334,
+    "b2b_system": 0.009302475999902526,
+    "per_pin_other_extents": 0.0024200899997595116,
+    "flow5_seconds": 0.18151350300013291,
+    "flow5_testcase": FLOW_TESTCASE,
+    "flow5_n_cells": 517,
+    "flow5_scale_denom": 24,
+}
+
+
+def best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def make_bench_design(library):
+    design = generate_netlist(
+        GeneratorSpec(
+            name="bench", n_cells=N_CELLS, clock_period_ps=500.0, seed=SEED
+        ),
+        library,
+    )
+    fp = make_floorplan(design, row_height=216, site_width=54)
+    pd = build_placed_design(design, fp)
+    rng = np.random.default_rng(SEED)
+    pd.x = rng.uniform(0, fp.die.width * 0.9, design.num_instances)
+    pd.y = rng.uniform(0, fp.die.height * 0.9, design.num_instances)
+    return pd
+
+
+def bench_legalizer(pd, fn, x0, y0, repeats):
+    def run():
+        pd.x, pd.y = x0.copy(), y0.copy()
+        fn(pd, pd.floorplan.rows)
+
+    return best_of(run, repeats)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(ROOT / "BENCH_kernels.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    registry = MetricsRegistry()
+    library = make_asap7_library()
+    pd = make_bench_design(library)
+    x0, y0 = pd.clone_positions()
+
+    kernels: dict[str, dict] = {}
+    legalizer_pairs = [
+        ("abacus_legalize", abacus_legalize, reference_abacus_legalize),
+        ("tetris_legalize", tetris_legalize, reference_tetris_legalize),
+        ("spread_to_rows", spread_to_rows, reference_spread_to_rows),
+    ]
+    for name, new_fn, ref_fn in legalizer_pairs:
+        seconds = bench_legalizer(pd, new_fn, x0, y0, args.repeats)
+        ref_seconds = bench_legalizer(pd, ref_fn, x0, y0, args.repeats)
+        kernels[name] = {
+            "seconds": seconds,
+            "reference_seconds": ref_seconds,
+            "speedup": ref_seconds / seconds,
+            "cells_per_s": N_CELLS / seconds,
+        }
+        registry.gauge(f"bench.{name}.seconds").set(seconds)
+        registry.gauge(f"bench.{name}.cells_per_s").set(N_CELLS / seconds)
+        print(
+            f"{name:24s} {seconds * 1e3:8.2f} ms   "
+            f"(reference {ref_seconds * 1e3:8.2f} ms, "
+            f"{ref_seconds / seconds:4.2f}x)"
+        )
+
+    # Topology kernels: measured on the current implementation only; the
+    # committed baseline carries the pre-topology-cache numbers.
+    pd.x, pd.y = x0.copy(), y0.copy()
+    px, py = pd.pin_positions()
+    topo = pd.topology
+    for name, fn, reps in (
+        ("b2b_system", lambda: _b2b_system(pd, px, pd.x), args.repeats),
+        (
+            "per_pin_other_extents",
+            lambda: topo.per_pin_other_extents(py),
+            max(args.repeats, 10),
+        ),
+    ):
+        seconds = best_of(fn, reps)
+        kernels[name] = {
+            "seconds": seconds,
+            "baseline_seconds": BASELINE[name],
+            "speedup_vs_baseline": BASELINE[name] / seconds,
+            "cells_per_s": N_CELLS / seconds,
+        }
+        registry.gauge(f"bench.{name}.seconds").set(seconds)
+        print(
+            f"{name:24s} {seconds * 1e3:8.2f} ms   "
+            f"(baseline {BASELINE[name] * 1e3:8.2f} ms, "
+            f"{BASELINE[name] / seconds:4.2f}x)"
+        )
+
+    # End-to-end flow (5) at the default sweep scale.
+    design = build_testcase(testcase_by_id(FLOW_TESTCASE), library, scale=DEFAULT_SCALE)
+
+    def run_flow():
+        initial = prepare_initial_placement(design, library)
+        FlowRunner(initial).run(FlowKind.FLOW5)
+
+    seconds = best_of(run_flow, args.repeats)
+    kernels["flow5_end_to_end"] = {
+        "seconds": seconds,
+        "n_cells": design.num_instances,
+        "baseline_seconds": BASELINE["flow5_seconds"],
+        "speedup_vs_baseline": BASELINE["flow5_seconds"] / seconds,
+        "cells_per_s": design.num_instances / seconds,
+    }
+    registry.gauge("bench.flow5_end_to_end.seconds").set(seconds)
+    print(
+        f"{'flow5_end_to_end':24s} {seconds * 1e3:8.2f} ms   "
+        f"(baseline {BASELINE['flow5_seconds'] * 1e3:8.2f} ms, "
+        f"{BASELINE['flow5_seconds'] / seconds:4.2f}x, "
+        f"{design.num_instances} cells)"
+    )
+
+    payload = {
+        "meta": {
+            "n_cells": N_CELLS,
+            "seed": SEED,
+            "repeats": args.repeats,
+            "flow_testcase": FLOW_TESTCASE,
+            "flow_scale_denom": round(1.0 / DEFAULT_SCALE),
+        },
+        "kernels": kernels,
+        "baseline": BASELINE,
+        "metrics": registry.snapshot(),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the kernel layer.
+
+Compares a fresh ``bench_kernels.py`` run against the committed
+``BENCH_kernels.json`` and fails (exit 1) when any kernel's wall time
+regressed by more than the allowed fraction (default 20%), or when the
+current run misses the speedup floors this layer promises:
+
+* ``abacus_legalize``  >= 3.0x over the preserved scalar reference
+* ``flow5_end_to_end`` >= 2.0x over the pre-optimization baseline
+
+Usage:
+    python scripts/check_bench.py CURRENT.json [COMMITTED.json]
+                                  [--max-regress 0.20]
+
+With no committed file (first run), only the floors are checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLOORS = {
+    ("abacus_legalize", "speedup"): 3.0,
+    ("flow5_end_to_end", "speedup_vs_baseline"): 2.0,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated bench JSON")
+    parser.add_argument(
+        "committed",
+        nargs="?",
+        help="committed baseline JSON (skipped if absent)",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.20,
+        help="allowed fractional wall-time regression per kernel",
+    )
+    args = parser.parse_args()
+
+    current = json.loads(Path(args.current).read_text())
+    failures: list[str] = []
+
+    for (kernel, field), floor in FLOORS.items():
+        got = current["kernels"].get(kernel, {}).get(field)
+        if got is None:
+            failures.append(f"{kernel}: missing {field} in current run")
+        elif got < floor:
+            failures.append(
+                f"{kernel}: {field} {got:.2f}x below floor {floor:.1f}x"
+            )
+
+    if args.committed and Path(args.committed).exists():
+        committed = json.loads(Path(args.committed).read_text())
+        for kernel, entry in committed["kernels"].items():
+            now = current["kernels"].get(kernel)
+            if now is None:
+                failures.append(f"{kernel}: missing from current run")
+                continue
+            limit = entry["seconds"] * (1.0 + args.max_regress)
+            if now["seconds"] > limit:
+                failures.append(
+                    f"{kernel}: {now['seconds'] * 1e3:.2f} ms exceeds "
+                    f"{entry['seconds'] * 1e3:.2f} ms committed "
+                    f"+{args.max_regress:.0%} allowance "
+                    f"({limit * 1e3:.2f} ms)"
+                )
+    else:
+        print("check_bench: no committed baseline; checking floors only")
+
+    if failures:
+        for line in failures:
+            print(f"check_bench: FAIL {line}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK ({len(current['kernels'])} kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,40 +43,6 @@ class RapCosts:
         return alpha * self.disp + (1.0 - alpha) * self.dhpwl
 
 
-def _per_pin_other_extents(
-    placed: PlacedDesign, py: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """For every pin: (others_lo, others_hi, old_lo, old_hi) of its net.
-
-    ``others_*`` exclude the pin itself (top-2 trick); ``old_*`` are the
-    full net extents.  Pins on single-pin nets get others == own position,
-    so a move produces a zero-span change, which is correct.
-    """
-    ptr = placed.net_ptr
-    n_nets = len(ptr) - 1
-    net_ids = np.repeat(np.arange(n_nets), np.diff(ptr))
-    order = np.lexsort((py, net_ids))
-
-    first = order[ptr[:-1]]
-    last = order[ptr[1:] - 1]
-    degrees = np.diff(ptr)
-    # Second extreme pins; degenerate to the extreme itself on degree-1 nets.
-    second = order[np.minimum(ptr[:-1] + 1, ptr[1:] - 1)]
-    penultimate = order[np.maximum(ptr[1:] - 2, ptr[:-1])]
-
-    lo1 = py[first][net_ids]
-    lo2 = py[second][net_ids]
-    hi1 = py[last][net_ids]
-    hi2 = py[penultimate][net_ids]
-
-    pin_index = np.arange(len(py))
-    is_min = pin_index == first[net_ids]
-    is_max = pin_index == last[net_ids]
-    others_lo = np.where(is_min, lo2, lo1)
-    others_hi = np.where(is_max, hi2, hi1)
-    return others_lo, others_hi, lo1, hi1
-
-
 def compute_rap_costs(
     placed: PlacedDesign,
     minority_indices: np.ndarray,
@@ -104,9 +70,12 @@ def compute_rap_costs(
     cy = placed.y[minority_indices] + placed.heights[minority_indices] / 2.0
     cell_disp = np.abs(pair_center_y[None, :] - cy[:, None])
 
-    # dHPWL: iterate over minority pins, vectorized over row pairs.
+    # dHPWL: iterate over minority pins, vectorized over row pairs.  The
+    # per-pin exclusion (top-2 trick) is the shared segmented kernel on
+    # the design's cached topology.
     _, py = placed.pin_positions()
-    others_lo, others_hi, lo1, hi1 = _per_pin_other_extents(placed, py)
+    topo = placed.topology
+    others_lo, others_hi, lo1, hi1 = topo.per_pin_other_extents(py)
     old_span = hi1 - lo1
 
     minority_of_inst = np.full(placed.design.num_instances, -1, dtype=int)
@@ -114,10 +83,7 @@ def compute_rap_costs(
     pin_cell = np.where(
         placed.pin_inst >= 0, minority_of_inst[np.maximum(placed.pin_inst, 0)], -1
     )
-    net_ids = np.repeat(
-        np.arange(placed.design.num_nets), np.diff(placed.net_ptr)
-    )
-    pin_mask = (pin_cell >= 0) & (placed.net_weight[net_ids] > 0)
+    pin_mask = (pin_cell >= 0) & (placed.net_weight[topo.net_ids] > 0)
     pins = np.flatnonzero(pin_mask)
 
     cell_dhpwl = np.zeros((n_min, n_pairs))

@@ -1,0 +1,15 @@
+"""Hot-path kernels: cached net topology and segmented reductions.
+
+``repro.kernels`` is the shared compute layer under the placement hot
+paths: :class:`NetTopology` (cached on
+:class:`~repro.placement.db.PlacedDesign` as ``placed.topology``) holds
+the immutable CSR-derived arrays that ``global_place``'s B2B builder,
+the RAP cost matrices, the incremental refiner and HPWL all used to
+recompute per call, plus the top-2 segmented min/max kernel they share.
+See the "Performance & kernels" section of docs/API.md for the
+cache-invalidation contract.
+"""
+
+from repro.kernels.topology import NetTopology
+
+__all__ = ["NetTopology"]

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry import Rect
+from repro.kernels import NetTopology
 from repro.netlist.db import Design
 from repro.utils.errors import ValidationError
 
@@ -214,6 +215,7 @@ class PlacedDesign:
                     self.pin_dy[k] = pin.offset.y
                 k += 1
         self._port_pin_mask = self.pin_inst < 0
+        self._topology: NetTopology | None = None
 
     def refresh_masters(self) -> None:
         """Re-read widths/heights and pin offsets after master swaps.
@@ -233,6 +235,26 @@ class PlacedDesign:
                     self.pin_dx[k] = pin.offset.x
                     self.pin_dy[k] = pin.offset.y
                 k += 1
+
+    # -- cached net topology ------------------------------------------------
+
+    @property
+    def topology(self) -> NetTopology:
+        """The cached :class:`~repro.kernels.NetTopology` of this design.
+
+        Built lazily from ``net_ptr`` on first access and reused by every
+        hot path (B2B system, RAP costs, incremental refinement, HPWL).
+        The cache depends only on the CSR *structure* — net weights are
+        passed per call — so it survives re-weighting and master swaps;
+        it is dropped automatically when the CSR arrays are rebuilt.
+        """
+        if self._topology is None:
+            self._topology = NetTopology(self.net_ptr, len(self.pin_inst))
+        return self._topology
+
+    def invalidate_topology(self) -> None:
+        """Drop the cached topology after manual ``net_ptr``/pin edits."""
+        self._topology = None
 
     # -- pin positions ------------------------------------------------------
 
@@ -282,6 +304,7 @@ class PlacedDesign:
             "_port_pin_mask",
         ):
             setattr(out, name, getattr(self, name).copy())
+        out._topology = None  # rebuilt lazily against the copied arrays
         return out
 
     def with_floorplan(self, floorplan: Floorplan) -> "PlacedDesign":

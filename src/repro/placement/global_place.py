@@ -60,17 +60,16 @@ def _b2b_system(
     Returns (A, b) with A SPD over movable cells.
     """
     n = placed.design.num_instances
-    ptr = placed.net_ptr
-    n_nets = len(ptr) - 1
+    topo = placed.topology
+    n_nets = topo.n_nets
 
-    net_ids = np.repeat(np.arange(n_nets), np.diff(ptr))
-    # Sort pins within each net by coordinate: first/last = bound pins.
-    order = np.lexsort((coords, net_ids))
-    first = order[ptr[:-1]]
-    last = order[ptr[1:] - 1]
+    net_ids = topo.net_ids
+    # Per-net extreme pins on this axis (first/last = bound pins), via the
+    # cached topology's segmented kernels instead of a per-call lexsort.
+    first, last = topo.bound_pins(coords)
 
-    degrees = np.diff(ptr)
-    active = (degrees >= 2) & (placed.net_weight > 0)
+    degrees = topo.degrees
+    active = topo.active_nets(placed.net_weight)
 
     rows_a: list[np.ndarray] = []
     rows_b: list[np.ndarray] = []
@@ -79,7 +78,7 @@ def _b2b_system(
     # Edges: every pin to both bound pins of its net (self-pairs dropped).
     pin_min = first[net_ids]
     pin_max = last[net_ids]
-    pin_index = np.arange(len(coords))
+    pin_index = topo.pin_index
     net_active = active[net_ids]
     w_net = np.zeros(n_nets)
     w_net[active] = 2.0 / (degrees[active] - 1)

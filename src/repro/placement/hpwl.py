@@ -3,6 +3,10 @@
 All functions take an optional (x, y) override so placers can evaluate
 candidate positions without mutating the design.  Clock nets carry zero
 ``net_weight`` and are excluded from totals, matching pre-CTS practice.
+Segmented reductions run on the design's cached
+:class:`~repro.kernels.NetTopology`, so the SimPL loop's twice-per-
+iteration HPWL evaluations share one set of topology arrays with the
+B2B builder instead of re-deriving them.
 """
 
 from __future__ import annotations
@@ -12,14 +16,6 @@ import numpy as np
 from repro.placement.db import PlacedDesign
 
 
-def _reduce_minmax(values: np.ndarray, net_ptr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Per-net (min, max) of ``values`` segmented by ``net_ptr``."""
-    starts = net_ptr[:-1]
-    lo = np.minimum.reduceat(values, starts)
-    hi = np.maximum.reduceat(values, starts)
-    return lo, hi
-
-
 def net_spans(
     placed: PlacedDesign,
     x: np.ndarray | None = None,
@@ -27,8 +23,9 @@ def net_spans(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-net bounding boxes: (xlo, xhi, ylo, yhi) arrays."""
     px, py = placed.pin_positions(x, y)
-    xlo, xhi = _reduce_minmax(px, placed.net_ptr)
-    ylo, yhi = _reduce_minmax(py, placed.net_ptr)
+    topo = placed.topology
+    xlo, xhi = topo.minmax(px)
+    ylo, yhi = topo.minmax(py)
     return xlo, xhi, ylo, yhi
 
 

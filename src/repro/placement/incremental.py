@@ -29,28 +29,6 @@ from repro.placement.db import PlacedDesign
 from repro.utils.errors import ValidationError
 
 
-def _per_pin_other_extents(
-    placed: PlacedDesign, coords: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """(others_lo, others_hi) per pin on one axis, excluding the pin itself."""
-    ptr = placed.net_ptr
-    n_nets = len(ptr) - 1
-    net_ids = np.repeat(np.arange(n_nets), np.diff(ptr))
-    order = np.lexsort((coords, net_ids))
-    first = order[ptr[:-1]]
-    last = order[ptr[1:] - 1]
-    second = order[np.minimum(ptr[:-1] + 1, ptr[1:] - 1)]
-    penultimate = order[np.maximum(ptr[1:] - 2, ptr[:-1])]
-    lo1 = coords[first][net_ids]
-    lo2 = coords[second][net_ids]
-    hi1 = coords[last][net_ids]
-    hi2 = coords[penultimate][net_ids]
-    pin_index = np.arange(len(coords))
-    others_lo = np.where(pin_index == first[net_ids], lo2, lo1)
-    others_hi = np.where(pin_index == last[net_ids], hi2, hi1)
-    return others_lo, others_hi
-
-
 def median_target_positions(
     placed: PlacedDesign,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -63,13 +41,12 @@ def median_target_positions(
     their current center.
     """
     px, py = placed.pin_positions()
-    xlo, xhi = _per_pin_other_extents(placed, px)
-    ylo, yhi = _per_pin_other_extents(placed, py)
+    topo = placed.topology
+    # Shared top-2 segmented kernel; only the "others" extents are needed.
+    xlo, xhi = topo.per_pin_other_extents(px)[:2]
+    ylo, yhi = topo.per_pin_other_extents(py)[:2]
 
-    net_ids = np.repeat(
-        np.arange(placed.design.num_nets), np.diff(placed.net_ptr)
-    )
-    movable = (placed.pin_inst >= 0) & (placed.net_weight[net_ids] > 0)
+    movable = (placed.pin_inst >= 0) & (placed.net_weight[topo.net_ids] > 0)
     pins = np.flatnonzero(movable)
     cells = placed.pin_inst[pins]
 

@@ -9,11 +9,23 @@ Tetris is the cheap rough legalizer the global placer uses for spreading;
 Abacus is the quality legalizer used for final placements (and, restricted
 to row subsets, it is exactly the "modified Abacus under row-constraint" of
 Lin & Chang that flows (2)/(4) use).
+
+The inner loops are struct-of-arrays vectorized: Tetris scores its whole
+candidate-row window with one array expression per cell, Abacus keeps all
+per-row cluster stacks in preallocated 2-D numpy arrays with explicit top
+indices (the classic ``_Cluster`` dataclass stacks, flattened), and
+``spread_to_rows`` deals and spreads with segmented array ops.  All three
+produce **bit-identical positions** versus the scalar reference
+implementations preserved in ``tests/_reference_legalize.py`` — the
+golden-equivalence suite (tests/test_legalize_equivalence.py) pins that,
+and ``make bench-kernels`` tracks the speedup.
+
+Rows are sorted by y internally (with an index map back to caller order),
+so callers may pass row subsets in any order; earlier versions silently
+mis-assigned cells when ``rows`` was not bottom-up sorted.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -40,14 +52,14 @@ def _check_subset(placed: PlacedDesign, rows: list[Row], indices: np.ndarray) ->
         )
 
 
-def _candidate_rows(
-    row_ys: np.ndarray, y: float, window: int
-) -> np.ndarray:
-    """Indices of the ``2*window+1`` rows nearest to ``y`` (by row bottom)."""
-    center = int(np.searchsorted(row_ys, y))
-    lo = max(0, center - window)
-    hi = min(len(row_ys), center + window + 1)
-    return np.arange(lo, hi)
+def _sorted_rows(rows: list[Row]) -> tuple[list[Row], list[int]]:
+    """Rows in ascending-y order plus the index map back to caller order.
+
+    The candidate-window search (``searchsorted`` over row bottoms)
+    requires sorted rows; callers are free to pass any order.
+    """
+    order = sorted(range(len(rows)), key=lambda j: rows[j].y)
+    return [rows[j] for j in order], order
 
 
 def tetris_legalize(
@@ -61,7 +73,8 @@ def tetris_legalize(
     Cells are processed in ascending x; each picks the candidate row
     minimizing ``|dx| + |dy|`` given the row's current fill cursor.  The
     window doubles until a feasible row is found, so the pass succeeds
-    whenever total capacity suffices row-wise.
+    whenever total capacity suffices row-wise.  The whole window is
+    scored as one vectorized cost expression per cell.
     """
     if indices is None:
         indices = np.arange(placed.design.num_instances)
@@ -69,49 +82,61 @@ def tetris_legalize(
     _check_subset(placed, rows, indices)
     if len(indices) == 0:
         return 0.0
+    rows, _ = _sorted_rows(rows)
+    n_rows = len(rows)
 
     row_ys = np.array([r.y for r in rows], dtype=float)
-    cursors = np.array([r.xlo for r in rows], dtype=float)
+    row_xlo = np.array([r.xlo for r in rows], dtype=float)
+    cursors = row_xlo.copy()
     ends = np.array([r.xhi for r in rows], dtype=float)
     site = rows[0].site_width
 
     order = indices[np.argsort(placed.x[indices], kind="stable")]
+    x_pref_a = placed.x[order].tolist()
+    y_pref_a = placed.y[order].tolist()
+    widths_a = placed.widths[order].tolist()
+    centers = row_ys.searchsorted(placed.y[order])
+
     total_disp = 0.0
-    for i in order:
-        x_pref = placed.x[i]
-        y_pref = placed.y[i]
-        width = placed.widths[i]
-        placed_ok = False
+    for j, i in enumerate(order.tolist()):
+        x_pref = x_pref_a[j]
+        y_pref = y_pref_a[j]
+        width = widths_a[j]
+        center = int(centers[j])
         win = window
-        while not placed_ok:
-            cand = _candidate_rows(row_ys, y_pref, win)
-            best_cost, best_k, best_x = np.inf, -1, 0.0
-            for k in cand:
-                start = max(cursors[k], x_pref)
-                # snap to site grid
-                start = rows[k].xlo + np.ceil((start - rows[k].xlo) / site) * site
-                if start + width > ends[k]:
-                    # try packing against the cursor when preferred x is too far right
-                    start = rows[k].xlo + np.ceil(
-                        (cursors[k] - rows[k].xlo) / site
-                    ) * site
-                    if start + width > ends[k]:
-                        continue
-                cost = abs(start - x_pref) + abs(row_ys[k] - y_pref)
-                if cost < best_cost:
-                    best_cost, best_k, best_x = cost, int(k), float(start)
-            if best_k >= 0:
-                placed.x[i] = best_x
-                placed.y[i] = row_ys[best_k]
-                cursors[best_k] = best_x + width
-                total_disp += best_cost
-                placed_ok = True
+        while True:
+            lo = max(0, center - win)
+            hi = min(n_rows, center + win + 1)
+            xlo_w = row_xlo[lo:hi]
+            cur = cursors[lo:hi]
+            start = np.maximum(cur, x_pref)
+            start = xlo_w + np.ceil((start - xlo_w) / site) * site
+            over = start + width > ends[lo:hi]
+            cost = None
+            if over.any():
+                # Pack against the cursor when preferred x is too far right.
+                alt = xlo_w + np.ceil((cur - xlo_w) / site) * site
+                start = np.where(over, alt, start)
+                bad = over & (start + width > ends[lo:hi])
+                cost = np.abs(start - x_pref) + np.abs(row_ys[lo:hi] - y_pref)
+                cost[bad] = np.inf
             else:
-                if win >= len(rows):
-                    raise CapacityError(
-                        f"tetris: no row can host cell {i} (width {width})"
-                    )
-                win *= 2
+                cost = np.abs(start - x_pref) + np.abs(row_ys[lo:hi] - y_pref)
+            rel = int(np.argmin(cost))
+            best_cost = cost[rel]
+            if best_cost < np.inf:
+                best_k = lo + rel
+                best_x = float(start[rel])
+                break
+            if win >= n_rows:
+                raise CapacityError(
+                    f"tetris: no row can host cell {i} (width {width})"
+                )
+            win *= 2
+        placed.x[i] = best_x
+        placed.y[i] = row_ys[best_k]
+        cursors[best_k] = best_x + width
+        total_disp += float(best_cost)
     return total_disp
 
 
@@ -135,6 +160,7 @@ def spread_to_rows(
     _check_subset(placed, rows, indices)
     if len(indices) == 0:
         return 0.0
+    rows, _ = _sorted_rows(rows)
 
     total_width = float(placed.widths[indices].sum())
     total_capacity = float(sum(r.width for r in rows))
@@ -149,22 +175,27 @@ def spread_to_rows(
     cum_width = np.cumsum(widths_sorted) - widths_sorted / 2.0
     row_of = np.searchsorted(cum_quota, cum_width, side="right")
     row_of = np.minimum(row_of, len(rows) - 1)
-    row_members: list[list[int]] = [[] for _ in rows]
-    for i, k in zip(by_y, row_of):
-        row_members[k].append(int(i))
+
+    # ``row_of`` is non-decreasing along ``by_y``, so each row's members
+    # form one contiguous run; one stable lexsort orders every run by x.
+    ordx = np.lexsort((placed.x[by_y], row_of))
+    mem_all = by_y[ordx]
+    row_sorted = row_of[ordx]
+    run_lo = np.searchsorted(row_sorted, np.arange(len(rows)), side="left")
+    run_hi = np.searchsorted(row_sorted, np.arange(len(rows)), side="right")
 
     total_disp = 0.0
-    for k, members in enumerate(row_members):
-        if not members:
+    for k, row in enumerate(rows):
+        s, e = run_lo[k], run_hi[k]
+        if s == e:
             continue
-        row = rows[k]
-        members.sort(key=lambda i: placed.x[i])
-        widths = placed.widths[members]
+        mem = mem_all[s:e]
+        widths = placed.widths[mem]
         used = float(widths.sum())
         slack = row.width - used
         if slack < 0:
             raise CapacityError(f"spread: row {row.index} over quota")
-        xs = placed.x[np.array(members)]
+        xs = placed.x[mem]
         span = float(xs.max() - xs.min())
         cum = np.concatenate(([0.0], np.cumsum(widths)))[:-1]
         if span <= 1e-9:
@@ -173,95 +204,200 @@ def spread_to_rows(
         else:
             frac = (xs - xs.min()) / span
             starts = row.xlo + frac * slack + cum
-        for i, x_new in zip(members, starts):
-            total_disp += abs(placed.x[i] - x_new) + abs(placed.y[i] - row.y)
-            placed.x[i] = x_new
-            placed.y[i] = row.y
+        total_disp += float(
+            np.abs(xs - starts).sum() + np.abs(placed.y[mem] - row.y).sum()
+        )
+        placed.x[mem] = starts
+        placed.y[mem] = row.y
     return total_disp
 
 
-@dataclass
-class _Cluster:
-    """Abacus cluster: a maximal run of abutting cells in one row."""
+class _AbacusRows:
+    """All per-row Abacus cluster stacks as preallocated numpy arrays.
 
-    x: float  # optimal left edge
-    width: float
-    weight: float
-    q: float  # sum of w_i * (x_pref_i - offset_i)
-    cells: list[int]
-    offsets: list[float]
+    Cluster state lives in shared 2-D arrays indexed ``(row, cluster)`` —
+    ``cl_x`` (optimal left edge), ``cl_w`` (width), ``cl_wt`` (weight) and
+    ``cl_q`` (sum of ``w_i * (x_pref_i - offset_i)``) — with ``tops[k]``
+    the explicit stack top per row.  Committed cells stay in insertion
+    order per row (cluster merges concatenate adjacent runs), so cells
+    and their in-cluster offsets are plain per-row lists with cluster
+    boundaries tracked in ``cstart``.
 
+    Scalar per-row aggregates (fill, top-cluster end, row extents) and the
+    top cluster's own fields are mirrored as plain float lists: the
+    candidate scan and the first collapse step read each exactly once,
+    where list access beats numpy scalar extraction; only collapse
+    cascades deeper than one cluster touch the numpy stacks.  The trial
+    collapse walk replays the exact float-op sequence of the reference
+    ``trial_x``, so row choice (and therefore every position) is
+    bit-identical.
+    """
 
-class _AbacusRow:
-    """Per-row cluster stack with trial (non-mutating) insertion."""
+    __slots__ = (
+        "xlo",
+        "xhi",
+        "row_w",
+        "cl_x",
+        "cl_w",
+        "cl_wt",
+        "cl_q",
+        "tops",
+        "used",
+        "top_end",
+        "top_x",
+        "top_w",
+        "top_wt",
+        "top_q",
+        "cells",
+        "offs",
+        "cstart",
+    )
 
-    def __init__(self, row: Row) -> None:
-        self.row = row
-        self.clusters: list[_Cluster] = []
-        self.used = 0.0
+    def __init__(self, rows: list[Row]) -> None:
+        n = len(rows)
+        self.xlo = [float(r.xlo) for r in rows]
+        self.xhi = [float(r.xhi) for r in rows]
+        self.row_w = [float(r.width) for r in rows]
+        cap = 16
+        self.cl_x = np.zeros((n, cap))
+        self.cl_w = np.zeros((n, cap))
+        self.cl_wt = np.zeros((n, cap))
+        self.cl_q = np.zeros((n, cap))
+        self.tops = [0] * n
+        self.used = [0.0] * n
+        # x + width of each row's top cluster (-inf when the row is empty):
+        # the no-collision fast-path test of the candidate scan.
+        self.top_end = [float("-inf")] * n
+        # Scalar mirrors of the top cluster's stack entries.
+        self.top_x = [0.0] * n
+        self.top_w = [0.0] * n
+        self.top_wt = [0.0] * n
+        self.top_q = [0.0] * n
+        self.cells: list[list[int]] = [[] for _ in range(n)]
+        self.offs: list[list[float]] = [[] for _ in range(n)]
+        self.cstart: list[list[int]] = [[] for _ in range(n)]
 
-    def _collapse_position(self, cluster: _Cluster) -> float:
-        x = cluster.q / cluster.weight
-        return min(max(x, float(self.row.xlo)), self.row.xhi - cluster.width)
+    def _grow(self) -> None:
+        for name in ("cl_x", "cl_w", "cl_wt", "cl_q"):
+            arr = getattr(self, name)
+            setattr(self, name, np.concatenate([arr, np.zeros_like(arr)], axis=1))
 
-    def trial_x(self, x_pref: float, width: float) -> float | None:
-        """Final x the cell would get if appended; None when it cannot fit."""
-        if self.used + width > self.row.width:
-            return None
-        # Simulate appending a new cluster and collapsing leftward.
-        x = min(max(x_pref, float(self.row.xlo)), self.row.xhi - width)
-        c_w, c_weight, c_q, c_x = width, 1.0, x_pref, x
-        idx = len(self.clusters) - 1
-        while idx >= 0 and self.clusters[idx].x + self.clusters[idx].width > c_x:
-            prev = self.clusters[idx]
-            # Merge prev and the simulated cluster (which sits after prev):
-            # q' = q_prev + q_cur - weight_cur * width_prev (Abacus Eq. 6).
-            c_q = prev.q + c_q - c_weight * prev.width
-            c_weight = prev.weight + c_weight
-            c_w = prev.width + c_w
-            c_x = min(
-                max(c_q / c_weight, float(self.row.xlo)), self.row.xhi - c_w
-            )
+    def trial_walk(self, k: int, x_pref: float, width: float) -> float:
+        """Simulated append + leftward collapse (Abacus Eq. 6), non-mutating.
+
+        Only called when the top cluster overlaps the cell's clamped
+        position, so the first merge is unconditional and runs on the
+        scalar top mirrors; deeper merges read the numpy stacks.
+        """
+        xlo = self.xlo[k]
+        xhi = self.xhi[k]
+        # First merge with the top cluster (mirrors):
+        # q' = q_prev + q_cur - weight_cur * width_prev (Abacus Eq. 6).
+        pw = self.top_w[k]
+        c_q = self.top_q[k] + x_pref - 1.0 * pw
+        c_wt = self.top_wt[k] + 1.0
+        c_w = pw + width
+        c_x = min(max(c_q / c_wt, xlo), xhi - c_w)
+        xr = self.cl_x[k]
+        wr = self.cl_w[k]
+        wtr = self.cl_wt[k]
+        qr = self.cl_q[k]
+        idx = self.tops[k] - 2
+        while idx >= 0:
+            pw = float(wr[idx])
+            if float(xr[idx]) + pw <= c_x:
+                break
+            c_q = float(qr[idx]) + c_q - c_wt * pw
+            c_wt = float(wtr[idx]) + c_wt
+            c_w = pw + c_w
+            c_x = min(max(c_q / c_wt, xlo), xhi - c_w)
             idx -= 1
         return c_x + (c_w - width)
 
-    def commit(self, cell: int, x_pref: float, width: float) -> float:
-        """Insert the cell; returns its final x position."""
-        cluster = _Cluster(
-            x=0.0, width=width, weight=1.0, q=x_pref, cells=[cell], offsets=[0.0]
-        )
-        cluster.x = self._collapse_position(cluster)
-        self.clusters.append(cluster)
-        self._collapse_tail()
-        self.used += width
-        tail = self.clusters[-1]
-        pos_in = tail.offsets[tail.cells.index(cell)]
-        return tail.x + pos_in
+    def commit(self, k: int, cell: int, x_pref: float, width: float) -> None:
+        """Insert the cell into row ``k`` and collapse the cluster tail."""
+        t = self.tops[k]
+        xlo = self.xlo[k]
+        xhi = self.xhi[k]
+        lx = min(max(x_pref, xlo), xhi - width)
+        cst = self.cstart[k]
+        offs = self.offs[k]
+        self.cells[k].append(cell)
 
-    def _collapse_tail(self) -> None:
-        while len(self.clusters) >= 2:
-            last = self.clusters[-1]
-            prev = self.clusters[-2]
-            last.x = self._collapse_position(last)
-            if prev.x + prev.width <= last.x:
+        if t == 0 or self.top_x[k] + self.top_w[k] <= lx:
+            # Fast path: the cell opens its own cluster, no collapse.
+            if t == self.cl_x.shape[1]:
+                self._grow()
+            self.cl_x[k, t] = lx
+            self.cl_w[k, t] = width
+            self.cl_wt[k, t] = 1.0
+            self.cl_q[k, t] = x_pref
+            cst.append(len(offs))
+            offs.append(0.0)
+            self.tops[k] = t + 1
+            self.top_x[k] = lx
+            self.top_w[k] = width
+            self.top_wt[k] = 1.0
+            self.top_q[k] = x_pref
+            self.used[k] += width
+            self.top_end[k] = lx + width
+            return
+
+        # Collapse cascade: the new cluster merges into the top at least
+        # once; track the merged cluster in scalars and only write the
+        # final result back to the stacks.  ``L`` is the index the merged
+        # cluster lands on.
+        cst.append(len(offs))
+        offs.append(0.0)
+        lq, lwt, lw, lxv = x_pref, 1.0, width, lx
+        xr = self.cl_x[k]
+        wr = self.cl_w[k]
+        wtr = self.cl_wt[k]
+        qr = self.cl_q[k]
+        L = t
+        while L >= 1:
+            if L == t:
+                # prev is the old top cluster: scalar mirrors.
+                pw = self.top_w[k]
+                px = self.top_x[k]
+                pq = self.top_q[k]
+                pwt = self.top_wt[k]
+            else:
+                pw = float(wr[L - 1])
+                px = float(xr[L - 1])
+                pq = float(qr[L - 1])
+                pwt = float(wtr[L - 1])
+            if px + pw <= lxv:
                 break
-            # merge last into prev
-            for cell, off in zip(last.cells, last.offsets):
-                prev.cells.append(cell)
-                prev.offsets.append(prev.width + off)
-            prev.q += last.q - last.weight * prev.width
-            prev.weight += last.weight
-            prev.width += last.width
-            self.clusters.pop()
-            prev.x = self._collapse_position(prev)
-        self.clusters[-1].x = self._collapse_position(self.clusters[-1])
+            # Merge last into prev: shift last's cell offsets by prev width.
+            s = cst.pop()
+            for j in range(s, len(offs)):
+                offs[j] = pw + offs[j]
+            lq = pq + (lq - lwt * pw)
+            lwt = pwt + lwt
+            lw = pw + lw
+            L -= 1
+            lxv = min(max(lq / lwt, xlo), xhi - lw)
+        wr[L] = lw
+        wtr[L] = lwt
+        qr[L] = lq
+        xr[L] = lxv
+        self.tops[k] = L + 1
+        self.top_x[k] = lxv
+        self.top_w[k] = lw
+        self.top_wt[k] = lwt
+        self.top_q[k] = lq
+        self.used[k] += width
+        self.top_end[k] = lxv + lw
 
-    def final_positions(self) -> list[tuple[int, float]]:
-        out: list[tuple[int, float]] = []
-        for cluster in self.clusters:
-            for cell, off in zip(cluster.cells, cluster.offsets):
-                out.append((cell, cluster.x + off))
-        return out
+    def row_positions(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """(cells, x) of row ``k`` in insertion order, offsets applied."""
+        cells = np.asarray(self.cells[k], dtype=np.int64)
+        pos = np.asarray(self.offs[k], dtype=float)
+        bounds = self.cstart[k] + [len(cells)]
+        for c in range(self.tops[k]):
+            pos[bounds[c]:bounds[c + 1]] += self.cl_x[k, c]
+        return cells, pos
 
 
 def abacus_legalize(
@@ -284,56 +420,169 @@ def abacus_legalize(
     _check_subset(placed, rows, indices)
     if len(indices) == 0:
         return 0.0
+    rows, _ = _sorted_rows(rows)
+    n_rows = len(rows)
 
     row_ys = np.array([r.y for r in rows], dtype=float)
-    states = [_AbacusRow(r) for r in rows]
+    state = _AbacusRows(rows)
     site = rows[0].site_width
 
     order = indices[np.argsort(placed.x[indices], kind="stable")]
-    assignment: dict[int, int] = {}
-    for i in order:
-        x_pref = float(placed.x[i])
-        y_pref = float(placed.y[i])
-        width = float(placed.widths[i])
+    x_pref_a = placed.x[order].tolist()
+    y_pref_a = placed.y[order].tolist()
+    widths_a = placed.widths[order].tolist()
+    centers = row_ys.searchsorted(placed.y[order]).tolist()
+    row_ys_l = row_ys.tolist()
+    used = state.used
+    top_end = state.top_end
+    row_w_l = state.row_w
+    xlo_l = state.xlo
+    xhi_l = state.xhi
+    inf = float("inf")
+
+    for j, i in enumerate(order.tolist()):
+        x_pref = x_pref_a[j]
+        y_pref = y_pref_a[j]
+        width = widths_a[j]
+        center = centers[j]
         win = window
-        best_k = -1
-        while best_k < 0:
-            cand = _candidate_rows(row_ys, y_pref, win)
-            best_cost = np.inf
-            for k in cand:
-                x_final = states[k].trial_x(x_pref, width)
-                if x_final is None:
+        while True:
+            lo = 0 if center < win else center - win
+            hi = min(n_rows, center + win + 1)
+            best_cost = inf
+            best_k = -1
+            below = center - 1
+            above = center
+            # Scan candidates in ascending |dy| with branch-and-bound:
+            # |dy| lower-bounds the cost, so once it exceeds the best
+            # cost seen no remaining candidate can win (or tie and have
+            # a smaller row index), and the scan stops.  This visits the
+            # same argmin the full window scan would.
+            while True:
+                d_below = y_pref - row_ys_l[below] if below >= lo else inf
+                d_above = row_ys_l[above] - y_pref if above < hi else inf
+                if d_below <= d_above:
+                    if d_below == inf:
+                        break
+                    k, dy = below, d_below
+                    below -= 1
+                else:
+                    k, dy = above, d_above
+                    above += 1
+                if dy > best_cost:
+                    break
+                if used[k] + width > row_w_l[k]:
                     continue
-                cost = abs(x_final - x_pref) + abs(row_ys[k] - y_pref)
-                if cost < best_cost:
-                    best_cost, best_k = cost, int(k)
-            if best_k < 0:
-                if win >= len(rows):
-                    raise CapacityError(f"abacus: no row can host cell {i}")
-                win *= 2
-        states[best_k].commit(int(i), x_pref, width)
-        assignment[int(i)] = best_k
+                cx0 = min(max(x_pref, xlo_l[k]), xhi_l[k] - width)
+                if top_end[k] > cx0:
+                    x_final = state.trial_walk(k, x_pref, width)
+                else:
+                    x_final = cx0
+                cost = abs(x_final - x_pref) + dy
+                if cost < best_cost or (cost == best_cost and k < best_k):
+                    best_cost = cost
+                    best_k = k
+            if best_k >= 0:
+                break
+            if win >= n_rows:
+                raise CapacityError(f"abacus: no row can host cell {i}")
+            win *= 2
+        state.commit(best_k, i, x_pref, width)
 
     total_disp = 0.0
-    for k, state in enumerate(states):
-        row = state.row
-        positions = state.final_positions()
-        positions.sort(key=lambda t: t[1])
-        cursor = float(row.xlo)
-        for cell, x in positions:
-            snapped = row.xlo + round((x - row.xlo) / site) * site
-            snapped = max(snapped, cursor)
-            if snapped + placed.widths[cell] > row.xhi:
-                snapped = row.xhi - placed.widths[cell]
-                snapped = row.xlo + np.floor((snapped - row.xlo) / site) * site
-                if snapped < cursor:
-                    raise CapacityError(
-                        f"abacus: site snapping overflows row {row.index}"
-                    )
-            total_disp += abs(placed.x[cell] - snapped) + abs(
-                placed.y[cell] - row.y
-            )
-            placed.x[cell] = snapped
-            placed.y[cell] = row.y
-            cursor = snapped + placed.widths[cell]
+    for k, row in enumerate(rows):
+        cells = state.cells[k]
+        if not cells:
+            continue
+        if len(cells) < 64:
+            # Small rows: the numpy op overhead exceeds the work; run the
+            # scalar cursor walk directly (same float ops, same result).
+            total_disp += _finalize_row_scalar(placed, state, k, row, site)
+            continue
+        cells_a, pos = state.row_positions(k)
+        ordr = np.argsort(pos, kind="stable")
+        cells_a = cells_a[ordr]
+        xs = pos[ordr]
+        ws = placed.widths[cells_a]
+        xlo = float(row.xlo)
+        # Site snap + left-to-right no-overlap cursor as a running max:
+        # cursor_j = max_i<=j (snap_i + sum of widths between i and j).
+        snap = xlo + np.rint((xs - xlo) / site) * site
+        shift = np.concatenate(([0.0], np.cumsum(ws)))[:-1]
+        snapped = np.maximum.accumulate(snap - shift) + shift
+        if np.any(snapped + ws > row.xhi):
+            # Rare overflow: replay the exact scalar cursor walk, which
+            # pulls offending cells left (or raises) like the reference.
+            snapped = _snap_row_scalar(row, site, xs, ws)
+        total_disp += float(
+            np.abs(placed.x[cells_a] - snapped).sum()
+            + np.abs(placed.y[cells_a] - row.y).sum()
+        )
+        placed.x[cells_a] = snapped
+        placed.y[cells_a] = row.y
     return total_disp
+
+
+def _finalize_row_scalar(
+    placed: PlacedDesign, state: _AbacusRows, k: int, row: Row, site: int
+) -> float:
+    """Scalar snap + write-back for one row; returns its displacement."""
+    offs = state.offs[k]
+    pos = offs.copy()
+    bounds = state.cstart[k] + [len(offs)]
+    cl_x_row = state.cl_x[k]
+    for c in range(state.tops[k]):
+        cx = float(cl_x_row[c])
+        for j in range(bounds[c], bounds[c + 1]):
+            pos[j] = cx + pos[j]
+    order = sorted(range(len(pos)), key=pos.__getitem__)
+    cells_a = np.array(state.cells[k], dtype=np.int64)[order]
+    ws = placed.widths[cells_a].tolist()
+    old_x = placed.x[cells_a].tolist()
+    old_y = placed.y[cells_a].tolist()
+    xlo = row.xlo
+    xhi = row.xhi
+    snapped = np.empty(len(order))
+    cursor = float(xlo)
+    disp = 0.0
+    row_y = float(row.y)
+    for j, oj in enumerate(order):
+        x = pos[oj]
+        w = ws[j]
+        s = xlo + round((x - xlo) / site) * site
+        if s < cursor:
+            s = cursor
+        if s + w > xhi:
+            s = xhi - w
+            s = xlo + np.floor((s - xlo) / site) * site
+            if s < cursor:
+                raise CapacityError(
+                    f"abacus: site snapping overflows row {row.index}"
+                )
+        snapped[j] = s
+        cursor = s + w
+        disp += abs(old_x[j] - s) + abs(old_y[j] - row_y)
+    placed.x[cells_a] = snapped
+    placed.y[cells_a] = row_y
+    return disp
+
+
+def _snap_row_scalar(
+    row: Row, site: int, xs: np.ndarray, ws: np.ndarray
+) -> np.ndarray:
+    """Scalar fallback of the closing snap pass (reference semantics)."""
+    snapped = np.empty(len(xs))
+    cursor = float(row.xlo)
+    for j, x in enumerate(xs.tolist()):
+        s = row.xlo + round((x - row.xlo) / site) * site
+        s = max(s, cursor)
+        if s + ws[j] > row.xhi:
+            s = row.xhi - ws[j]
+            s = row.xlo + np.floor((s - row.xlo) / site) * site
+            if s < cursor:
+                raise CapacityError(
+                    f"abacus: site snapping overflows row {row.index}"
+                )
+        snapped[j] = s
+        cursor = s + ws[j]
+    return snapped

@@ -1,0 +1,337 @@
+"""Pre-refactor reference legalizers (golden-equivalence oracles).
+
+Byte-for-byte copy of the scalar ``repro.placement.legalize`` as of the
+kernel-layer refactor, with functions renamed ``reference_*``.  The
+vectorized legalizers must produce **bit-identical positions** against
+these on any input (see tests/test_legalize_equivalence.py); the
+``make bench-kernels`` suite also times them to report live speedups.
+Do not "fix" or optimize this file — it is the oracle.
+"""
+
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.placement.db import PlacedDesign, Row
+from repro.utils.errors import CapacityError, ValidationError
+
+
+def _check_subset(placed: PlacedDesign, rows: list[Row], indices: np.ndarray) -> None:
+    if len(rows) == 0:
+        raise ValidationError("no rows given")
+    if len(indices) == 0:
+        return
+    heights = placed.heights[indices]
+    row_height = rows[0].height
+    if any(r.height != row_height for r in rows):
+        raise ValidationError("row subset must share one height")
+    if not np.all(heights == row_height):
+        raise ValidationError("every cell must match the row height")
+    capacity = sum(r.width for r in rows)
+    demand = float(placed.widths[indices].sum())
+    if demand > capacity:
+        raise CapacityError(
+            f"cells need {demand} width but rows offer {capacity}"
+        )
+
+
+def _candidate_rows(
+    row_ys: np.ndarray, y: float, window: int
+) -> np.ndarray:
+    """Indices of the ``2*window+1`` rows nearest to ``y`` (by row bottom)."""
+    center = int(np.searchsorted(row_ys, y))
+    lo = max(0, center - window)
+    hi = min(len(row_ys), center + window + 1)
+    return np.arange(lo, hi)
+
+
+def reference_tetris_legalize(
+    placed: PlacedDesign,
+    rows: list[Row],
+    indices: np.ndarray | None = None,
+    window: int = 6,
+) -> float:
+    """Greedy left-packing legalization; returns total displacement.
+
+    Cells are processed in ascending x; each picks the candidate row
+    minimizing ``|dx| + |dy|`` given the row's current fill cursor.  The
+    window doubles until a feasible row is found, so the pass succeeds
+    whenever total capacity suffices row-wise.
+    """
+    if indices is None:
+        indices = np.arange(placed.design.num_instances)
+    indices = np.asarray(indices, dtype=int)
+    _check_subset(placed, rows, indices)
+    if len(indices) == 0:
+        return 0.0
+
+    row_ys = np.array([r.y for r in rows], dtype=float)
+    cursors = np.array([r.xlo for r in rows], dtype=float)
+    ends = np.array([r.xhi for r in rows], dtype=float)
+    site = rows[0].site_width
+
+    order = indices[np.argsort(placed.x[indices], kind="stable")]
+    total_disp = 0.0
+    for i in order:
+        x_pref = placed.x[i]
+        y_pref = placed.y[i]
+        width = placed.widths[i]
+        placed_ok = False
+        win = window
+        while not placed_ok:
+            cand = _candidate_rows(row_ys, y_pref, win)
+            best_cost, best_k, best_x = np.inf, -1, 0.0
+            for k in cand:
+                start = max(cursors[k], x_pref)
+                # snap to site grid
+                start = rows[k].xlo + np.ceil((start - rows[k].xlo) / site) * site
+                if start + width > ends[k]:
+                    # try packing against the cursor when preferred x is too far right
+                    start = rows[k].xlo + np.ceil(
+                        (cursors[k] - rows[k].xlo) / site
+                    ) * site
+                    if start + width > ends[k]:
+                        continue
+                cost = abs(start - x_pref) + abs(row_ys[k] - y_pref)
+                if cost < best_cost:
+                    best_cost, best_k, best_x = cost, int(k), float(start)
+            if best_k >= 0:
+                placed.x[i] = best_x
+                placed.y[i] = row_ys[best_k]
+                cursors[best_k] = best_x + width
+                total_disp += best_cost
+                placed_ok = True
+            else:
+                if win >= len(rows):
+                    raise CapacityError(
+                        f"tetris: no row can host cell {i} (width {width})"
+                    )
+                win *= 2
+    return total_disp
+
+
+def reference_spread_to_rows(
+    placed: PlacedDesign,
+    rows: list[Row],
+    indices: np.ndarray | None = None,
+) -> float:
+    """Order-preserving rough legalization (the SimPL upper bound).
+
+    Robust to fully collapsed inputs (unlike Tetris): cells are dealt to
+    rows bottom-up in y order with per-row width quotas proportional to row
+    capacity, then spread within each row by rescaling their x ordering to
+    the row span, so no overlap remains by construction.  Positions are
+    continuous (not site-snapped); run Abacus afterwards for an exactly
+    legal placement.  Returns total displacement.
+    """
+    if indices is None:
+        indices = np.arange(placed.design.num_instances)
+    indices = np.asarray(indices, dtype=int)
+    _check_subset(placed, rows, indices)
+    if len(indices) == 0:
+        return 0.0
+
+    total_width = float(placed.widths[indices].sum())
+    total_capacity = float(sum(r.width for r in rows))
+    fill = total_width / total_capacity
+
+    by_y = indices[np.lexsort((placed.x[indices], placed.y[indices]))]
+    # Deal cells to rows by cumulative width against cumulative quota, so
+    # unused quota carries forward and no row is starved or flooded.
+    quotas = np.array([r.width for r in rows], dtype=float) * fill
+    cum_quota = np.cumsum(quotas)
+    widths_sorted = placed.widths[by_y]
+    cum_width = np.cumsum(widths_sorted) - widths_sorted / 2.0
+    row_of = np.searchsorted(cum_quota, cum_width, side="right")
+    row_of = np.minimum(row_of, len(rows) - 1)
+    row_members: list[list[int]] = [[] for _ in rows]
+    for i, k in zip(by_y, row_of):
+        row_members[k].append(int(i))
+
+    total_disp = 0.0
+    for k, members in enumerate(row_members):
+        if not members:
+            continue
+        row = rows[k]
+        members.sort(key=lambda i: placed.x[i])
+        widths = placed.widths[members]
+        used = float(widths.sum())
+        slack = row.width - used
+        if slack < 0:
+            raise CapacityError(f"spread: row {row.index} over quota")
+        xs = placed.x[np.array(members)]
+        span = float(xs.max() - xs.min())
+        cum = np.concatenate(([0.0], np.cumsum(widths)))[:-1]
+        if span <= 1e-9:
+            # Degenerate: all cells at one x; center the packed run.
+            starts = row.xlo + slack / 2.0 + cum
+        else:
+            frac = (xs - xs.min()) / span
+            starts = row.xlo + frac * slack + cum
+        for i, x_new in zip(members, starts):
+            total_disp += abs(placed.x[i] - x_new) + abs(placed.y[i] - row.y)
+            placed.x[i] = x_new
+            placed.y[i] = row.y
+    return total_disp
+
+
+@dataclass
+class _Cluster:
+    """Abacus cluster: a maximal run of abutting cells in one row."""
+
+    x: float  # optimal left edge
+    width: float
+    weight: float
+    q: float  # sum of w_i * (x_pref_i - offset_i)
+    cells: list[int]
+    offsets: list[float]
+
+
+class _AbacusRow:
+    """Per-row cluster stack with trial (non-mutating) insertion."""
+
+    def __init__(self, row: Row) -> None:
+        self.row = row
+        self.clusters: list[_Cluster] = []
+        self.used = 0.0
+
+    def _collapse_position(self, cluster: _Cluster) -> float:
+        x = cluster.q / cluster.weight
+        return min(max(x, float(self.row.xlo)), self.row.xhi - cluster.width)
+
+    def trial_x(self, x_pref: float, width: float) -> float | None:
+        """Final x the cell would get if appended; None when it cannot fit."""
+        if self.used + width > self.row.width:
+            return None
+        # Simulate appending a new cluster and collapsing leftward.
+        x = min(max(x_pref, float(self.row.xlo)), self.row.xhi - width)
+        c_w, c_weight, c_q, c_x = width, 1.0, x_pref, x
+        idx = len(self.clusters) - 1
+        while idx >= 0 and self.clusters[idx].x + self.clusters[idx].width > c_x:
+            prev = self.clusters[idx]
+            # Merge prev and the simulated cluster (which sits after prev):
+            # q' = q_prev + q_cur - weight_cur * width_prev (Abacus Eq. 6).
+            c_q = prev.q + c_q - c_weight * prev.width
+            c_weight = prev.weight + c_weight
+            c_w = prev.width + c_w
+            c_x = min(
+                max(c_q / c_weight, float(self.row.xlo)), self.row.xhi - c_w
+            )
+            idx -= 1
+        return c_x + (c_w - width)
+
+    def commit(self, cell: int, x_pref: float, width: float) -> float:
+        """Insert the cell; returns its final x position."""
+        cluster = _Cluster(
+            x=0.0, width=width, weight=1.0, q=x_pref, cells=[cell], offsets=[0.0]
+        )
+        cluster.x = self._collapse_position(cluster)
+        self.clusters.append(cluster)
+        self._collapse_tail()
+        self.used += width
+        tail = self.clusters[-1]
+        pos_in = tail.offsets[tail.cells.index(cell)]
+        return tail.x + pos_in
+
+    def _collapse_tail(self) -> None:
+        while len(self.clusters) >= 2:
+            last = self.clusters[-1]
+            prev = self.clusters[-2]
+            last.x = self._collapse_position(last)
+            if prev.x + prev.width <= last.x:
+                break
+            # merge last into prev
+            for cell, off in zip(last.cells, last.offsets):
+                prev.cells.append(cell)
+                prev.offsets.append(prev.width + off)
+            prev.q += last.q - last.weight * prev.width
+            prev.weight += last.weight
+            prev.width += last.width
+            self.clusters.pop()
+            prev.x = self._collapse_position(prev)
+        self.clusters[-1].x = self._collapse_position(self.clusters[-1])
+
+    def final_positions(self) -> list[tuple[int, float]]:
+        out: list[tuple[int, float]] = []
+        for cluster in self.clusters:
+            for cell, off in zip(cluster.cells, cluster.offsets):
+                out.append((cell, cluster.x + off))
+        return out
+
+
+def reference_abacus_legalize(
+    placed: PlacedDesign,
+    rows: list[Row],
+    indices: np.ndarray | None = None,
+    window: int = 5,
+) -> float:
+    """Abacus legalization over a row/cell subset; returns total displacement.
+
+    Cells are processed in ascending preferred x; each evaluates insertion
+    into the candidate rows nearest its preferred y and commits to the row
+    minimizing ``|dx| + |dy|`` after cluster collapse.  Final x positions
+    are snapped to the site grid in a closing pass (cluster optimality is
+    continuous; the snap moves each cell by less than one site).
+    """
+    if indices is None:
+        indices = np.arange(placed.design.num_instances)
+    indices = np.asarray(indices, dtype=int)
+    _check_subset(placed, rows, indices)
+    if len(indices) == 0:
+        return 0.0
+
+    row_ys = np.array([r.y for r in rows], dtype=float)
+    states = [_AbacusRow(r) for r in rows]
+    site = rows[0].site_width
+
+    order = indices[np.argsort(placed.x[indices], kind="stable")]
+    assignment: dict[int, int] = {}
+    for i in order:
+        x_pref = float(placed.x[i])
+        y_pref = float(placed.y[i])
+        width = float(placed.widths[i])
+        win = window
+        best_k = -1
+        while best_k < 0:
+            cand = _candidate_rows(row_ys, y_pref, win)
+            best_cost = np.inf
+            for k in cand:
+                x_final = states[k].trial_x(x_pref, width)
+                if x_final is None:
+                    continue
+                cost = abs(x_final - x_pref) + abs(row_ys[k] - y_pref)
+                if cost < best_cost:
+                    best_cost, best_k = cost, int(k)
+            if best_k < 0:
+                if win >= len(rows):
+                    raise CapacityError(f"abacus: no row can host cell {i}")
+                win *= 2
+        states[best_k].commit(int(i), x_pref, width)
+        assignment[int(i)] = best_k
+
+    total_disp = 0.0
+    for k, state in enumerate(states):
+        row = state.row
+        positions = state.final_positions()
+        positions.sort(key=lambda t: t[1])
+        cursor = float(row.xlo)
+        for cell, x in positions:
+            snapped = row.xlo + round((x - row.xlo) / site) * site
+            snapped = max(snapped, cursor)
+            if snapped + placed.widths[cell] > row.xhi:
+                snapped = row.xhi - placed.widths[cell]
+                snapped = row.xlo + np.floor((snapped - row.xlo) / site) * site
+                if snapped < cursor:
+                    raise CapacityError(
+                        f"abacus: site snapping overflows row {row.index}"
+                    )
+            total_disp += abs(placed.x[cell] - snapped) + abs(
+                placed.y[cell] - row.y
+            )
+            placed.x[cell] = snapped
+            placed.y[cell] = row.y
+            cursor = snapped + placed.widths[cell]
+    return total_disp

@@ -1,0 +1,204 @@
+"""Unit tests for repro.kernels: NetTopology and its segmented kernels.
+
+The reduceat-based kernels must reproduce the lexsort-based originals
+bit-for-bit, including the tie-breaking of bound pins (lowest pin index
+at the minimum, highest at the maximum), and the cache on PlacedDesign
+must survive re-weighting but not CSR rebuilds or copies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import NetTopology
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.placement.floorplanner import build_placed_design, make_floorplan
+
+
+def make_placed(library, n_cells=300, seed=3):
+    design = generate_netlist(
+        GeneratorSpec(name="kt", n_cells=n_cells, clock_period_ps=500.0, seed=seed),
+        library,
+    )
+    fp = make_floorplan(design, row_height=216, site_width=54)
+    pd = build_placed_design(design, fp)
+    rng = np.random.default_rng(seed)
+    pd.x = rng.uniform(0, fp.die.width * 0.9, design.num_instances)
+    pd.y = rng.uniform(0, fp.die.height * 0.9, design.num_instances)
+    return pd
+
+
+def lexsort_bound_pins(net_ptr, coords):
+    """The original lexsort-based bound-pin selection (oracle)."""
+    n_nets = len(net_ptr) - 1
+    net_ids = np.repeat(np.arange(n_nets), np.diff(net_ptr))
+    order = np.lexsort((coords, net_ids))
+    first = order[net_ptr[:-1]]
+    last = order[net_ptr[1:] - 1]
+    return first, last
+
+
+class TestNetTopologyStructure:
+    def test_net_ids_and_degrees(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        assert topo.n_nets == len(pd.net_ptr) - 1
+        assert topo.n_pins == len(pd.pin_inst)
+        np.testing.assert_array_equal(topo.degrees, np.diff(pd.net_ptr))
+        np.testing.assert_array_equal(
+            topo.net_ids, np.repeat(np.arange(topo.n_nets), topo.degrees)
+        )
+        assert topo.multi_pin.dtype == bool
+        np.testing.assert_array_equal(topo.multi_pin, topo.degrees >= 2)
+
+    def test_minmax_matches_per_net_extrema(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        px, _ = pd.pin_positions()
+        lo, hi = topo.minmax(px)
+        for j in range(topo.n_nets):
+            seg = px[pd.net_ptr[j]:pd.net_ptr[j + 1]]
+            assert lo[j] == seg.min()
+            assert hi[j] == seg.max()
+
+
+class TestBoundPins:
+    def test_matches_lexsort_oracle(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        px, py = pd.pin_positions()
+        for coords in (px, py):
+            first, last = topo.bound_pins(coords)
+            of, ol = lexsort_bound_pins(pd.net_ptr, coords)
+            np.testing.assert_array_equal(first, of)
+            np.testing.assert_array_equal(last, ol)
+
+    def test_tie_breaking_matches_lexsort(self, library):
+        # Quantize coordinates so many pins share the exact same value;
+        # the reduceat kernel must pick the same pin indices the stable
+        # lexsort picked (lowest index at min, highest at max).
+        pd = make_placed(library, seed=11)
+        px, _ = pd.pin_positions()
+        quantized = np.round(px / 500.0) * 500.0
+        topo = pd.topology
+        first, last = topo.bound_pins(quantized)
+        of, ol = lexsort_bound_pins(pd.net_ptr, quantized)
+        np.testing.assert_array_equal(first, of)
+        np.testing.assert_array_equal(last, ol)
+
+    def test_all_equal_coords(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        coords = np.full(topo.n_pins, 1234.5)
+        first, last = topo.bound_pins(coords)
+        of, ol = lexsort_bound_pins(pd.net_ptr, coords)
+        np.testing.assert_array_equal(first, of)
+        np.testing.assert_array_equal(last, ol)
+
+
+class TestPerPinOtherExtents:
+    def reference(self, pd, coords):
+        """Original lexsort/top-2 implementation (oracle)."""
+        net_ptr = pd.net_ptr
+        n_nets = len(net_ptr) - 1
+        net_ids = np.repeat(np.arange(n_nets), np.diff(net_ptr))
+        order = np.lexsort((coords, net_ids))
+        sorted_vals = coords[order]
+        lo1 = sorted_vals[net_ptr[:-1]]
+        hi1 = sorted_vals[net_ptr[1:] - 1]
+        degrees = np.diff(net_ptr)
+        multi = degrees >= 2
+        lo2 = np.where(multi, sorted_vals[np.minimum(net_ptr[:-1] + 1, net_ptr[1:] - 1)], lo1)
+        hi2 = np.where(multi, sorted_vals[np.maximum(net_ptr[1:] - 2, net_ptr[:-1])], hi1)
+        first = order[net_ptr[:-1]]
+        last = order[net_ptr[1:] - 1]
+        pin_index = np.arange(len(coords))
+        others_lo = np.where(pin_index == first[net_ids], lo2[net_ids], lo1[net_ids])
+        others_hi = np.where(pin_index == last[net_ids], hi2[net_ids], hi1[net_ids])
+        return others_lo, others_hi, lo1[net_ids], hi1[net_ids]
+
+    def test_matches_reference(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        px, py = pd.pin_positions()
+        for coords in (px, py):
+            got = topo.per_pin_other_extents(coords)
+            want = self.reference(pd, coords)
+            for g, w in zip(got, want):
+                np.testing.assert_array_equal(g, w)
+
+    def test_matches_reference_with_ties(self, library):
+        pd = make_placed(library, seed=17)
+        _, py = pd.pin_positions()
+        quantized = np.round(py / 400.0) * 400.0
+        got = pd.topology.per_pin_other_extents(quantized)
+        want = self.reference(pd, quantized)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(g, w)
+
+
+class TestActiveNets:
+    def test_excludes_zero_weight_and_single_pin(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        active = topo.active_nets(pd.net_weight)
+        np.testing.assert_array_equal(
+            active, (topo.degrees >= 2) & (pd.net_weight > 0)
+        )
+
+    def test_reweighting_needs_no_invalidation(self, library):
+        # The topology caches only net_ptr-derived structure; re-weighting
+        # (timing-driven placement rebinds net_weight) must flow through
+        # the per-call mask without touching the cache.
+        pd = make_placed(library)
+        topo = pd.topology
+        weights = pd.net_weight.copy()
+        weights[::2] = 0.0
+        active = topo.active_nets(weights)
+        assert pd.topology is topo  # cache untouched
+        np.testing.assert_array_equal(active, (topo.degrees >= 2) & (weights > 0))
+
+
+class TestCacheLifetime:
+    def test_cached_and_reused(self, library):
+        pd = make_placed(library)
+        assert pd.topology is pd.topology
+
+    def test_copy_does_not_share_cache(self, library):
+        # Scratch workspaces are mutable, so a copied design must build
+        # its own topology rather than alias the original's.
+        pd = make_placed(library)
+        topo = pd.topology
+        other = pd.copy()
+        assert other.topology is not topo
+
+    def test_invalidate_topology(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        pd.invalidate_topology()
+        assert pd.topology is not topo
+
+    def test_scratch_reuse_is_safe(self, library):
+        # Back-to-back calls reuse the same scratch buffers; results must
+        # not depend on what the previous call left behind.
+        pd = make_placed(library)
+        topo = pd.topology
+        px, py = pd.pin_positions()
+        a = [arr.copy() for arr in topo.per_pin_other_extents(px)]
+        topo.per_pin_other_extents(py)  # clobber scratch
+        b = topo.per_pin_other_extents(px)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSinglePinNets:
+    def test_degenerate_nets_do_not_crash(self, library):
+        pd = make_placed(library)
+        topo = pd.topology
+        px, _ = pd.pin_positions()
+        single = np.flatnonzero(topo.degrees == 1)
+        if len(single) == 0:
+            pytest.skip("generator produced no single-pin nets")
+        lo, hi = topo.minmax(px)
+        for j in single[:10]:
+            p = pd.net_ptr[j]
+            assert lo[j] == px[p] and hi[j] == px[p]
