@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-faults bench bench-full bench-sweep bench-kernels examples clean
+.PHONY: install test test-faults bench bench-full bench-sweep bench-kernels report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,10 +27,18 @@ bench-sweep:
 	PYTHONPATH=src $(PYTHON) -m repro sweep --scale-denom 48 --workers 4 \
 	  --out BENCH_sweep.json --csv BENCH_sweep.csv
 
+# Flight-recorder run report on a small synthetic Flow (5) case:
+# RUN_REPORT/{run_record.json,trace.json,report.md}, record gated against
+# the repro.run_record/1 schema.
+report:
+	PYTHONPATH=src $(PYTHON) -m repro report --cells 400 --out-dir RUN_REPORT
+	$(PYTHON) scripts/check_bench.py --record RUN_REPORT/run_record.json
+
 # Hot-path kernel microbenchmarks -> BENCH_kernels.json, gated against the
 # committed baseline (>20% wall-time regression or a missed speedup floor
-# fails the target and leaves the committed file untouched).
-bench-kernels:
+# fails the target and leaves the committed file untouched).  The report
+# prerequisite also schema-gates a fresh flight-recorder run record.
+bench-kernels: report
 	$(PYTHON) scripts/bench_kernels.py --out BENCH_kernels.json.new
 	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
 	  || (rm -f BENCH_kernels.json.new; exit 1)

@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for the kernel layer.
+"""Benchmark + run-record regression gate.
 
-Compares a fresh ``bench_kernels.py`` run against the committed
-``BENCH_kernels.json`` and fails (exit 1) when any kernel's wall time
-regressed by more than the allowed fraction (default 20%), or when the
-current run misses the speedup floors this layer promises:
+Kernel mode compares a fresh ``bench_kernels.py`` run against the
+committed ``BENCH_kernels.json`` and fails (exit 1) when any kernel's
+wall time regressed by more than the allowed fraction (default 20%), or
+when the current run misses the speedup floors this layer promises:
 
 * ``abacus_legalize``  >= 3.0x over the preserved scalar reference
 * ``flow5_end_to_end`` >= 2.0x over the pre-optimization baseline
 
+Record mode (``--record``) validates a flight-recorder
+``run_record.json`` against the ``repro.run_record/1`` schema, and —
+when ``--qor-baseline`` names a committed record — fails on final-HPWL
+drift beyond ``--max-qor-drift`` (default 2%).
+
 Usage:
     python scripts/check_bench.py CURRENT.json [COMMITTED.json]
                                   [--max-regress 0.20]
+    python scripts/check_bench.py --record RUN_REPORT/run_record.json
+                                  [--qor-baseline BASELINE.json]
+                                  [--max-qor-drift 0.02]
 
-With no committed file (first run), only the floors are checked.
+Both modes compose in one invocation.  With no committed kernel file
+(first run), only the floors are checked.
 """
 
 from __future__ import annotations
@@ -23,15 +32,103 @@ import json
 import sys
 from pathlib import Path
 
+ROOT = Path(__file__).resolve().parent.parent
+for p in (str(ROOT / "src"),):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
 FLOORS = {
     ("abacus_legalize", "speedup"): 3.0,
     ("flow5_end_to_end", "speedup_vs_baseline"): 2.0,
 }
 
 
+def check_kernels(
+    current_path: str, committed_path: str | None, max_regress: float
+) -> list[str]:
+    current = json.loads(Path(current_path).read_text())
+    failures: list[str] = []
+    for (kernel, field), floor in FLOORS.items():
+        got = current["kernels"].get(kernel, {}).get(field)
+        if got is None:
+            failures.append(f"{kernel}: missing {field} in current run")
+        elif got < floor:
+            failures.append(
+                f"{kernel}: {field} {got:.2f}x below floor {floor:.1f}x"
+            )
+
+    if committed_path and Path(committed_path).exists():
+        committed = json.loads(Path(committed_path).read_text())
+        for kernel, entry in committed["kernels"].items():
+            now = current["kernels"].get(kernel)
+            if now is None:
+                failures.append(f"{kernel}: missing from current run")
+                continue
+            limit = entry["seconds"] * (1.0 + max_regress)
+            if now["seconds"] > limit:
+                failures.append(
+                    f"{kernel}: {now['seconds'] * 1e3:.2f} ms exceeds "
+                    f"{entry['seconds'] * 1e3:.2f} ms committed "
+                    f"+{max_regress:.0%} allowance "
+                    f"({limit * 1e3:.2f} ms)"
+                )
+    else:
+        print("check_bench: no committed baseline; checking floors only")
+    if not failures:
+        print(f"check_bench: kernels OK ({len(current['kernels'])} kernels)")
+    return failures
+
+
+def final_hpwl(record: dict) -> float | None:
+    """Last ``*.final`` QoR snapshot's HPWL, else None."""
+    for snap in reversed(record.get("qor", ())):
+        metrics = snap.get("metrics", {})
+        if str(snap.get("stage", "")).endswith(".final") and "hpwl" in metrics:
+            return float(metrics["hpwl"])
+    return None
+
+
+def check_record(
+    record_path: str, baseline_path: str | None, max_drift: float
+) -> list[str]:
+    from repro.obs.recorder import validate_run_record
+
+    record = json.loads(Path(record_path).read_text())
+    failures = [f"record: {p}" for p in validate_run_record(record)]
+    if not failures:
+        print(
+            f"check_bench: record schema OK "
+            f"({len(record.get('qor', ()))} QoR snapshots, "
+            f"{len(record.get('convergence', {}))} convergence series)"
+        )
+
+    if baseline_path and Path(baseline_path).exists():
+        baseline = json.loads(Path(baseline_path).read_text())
+        now = final_hpwl(record)
+        ref = final_hpwl(baseline)
+        if now is None:
+            failures.append("record: no final-stage HPWL snapshot")
+        elif ref is None:
+            failures.append("qor baseline: no final-stage HPWL snapshot")
+        elif ref > 0:
+            drift = (now - ref) / ref
+            if abs(drift) > max_drift:
+                failures.append(
+                    f"qor: final HPWL drift {drift:+.2%} exceeds "
+                    f"±{max_drift:.0%} vs {baseline_path}"
+                )
+            else:
+                print(f"check_bench: QoR OK (HPWL drift {drift:+.2%})")
+    elif baseline_path:
+        print("check_bench: no committed QoR baseline; schema check only")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="freshly generated bench JSON")
+    parser.add_argument(
+        "current", nargs="?", help="freshly generated bench JSON"
+    )
     parser.add_argument(
         "committed",
         nargs="?",
@@ -43,43 +140,38 @@ def main() -> int:
         default=0.20,
         help="allowed fractional wall-time regression per kernel",
     )
+    parser.add_argument(
+        "--record",
+        help="run_record.json to validate against repro.run_record/1",
+    )
+    parser.add_argument(
+        "--qor-baseline",
+        help="committed run_record.json to gate final-HPWL drift against",
+    )
+    parser.add_argument(
+        "--max-qor-drift",
+        type=float,
+        default=0.02,
+        help="allowed fractional final-HPWL drift vs the QoR baseline",
+    )
     args = parser.parse_args()
+    if args.current is None and args.record is None:
+        parser.error("nothing to check: give CURRENT.json and/or --record")
 
-    current = json.loads(Path(args.current).read_text())
     failures: list[str] = []
-
-    for (kernel, field), floor in FLOORS.items():
-        got = current["kernels"].get(kernel, {}).get(field)
-        if got is None:
-            failures.append(f"{kernel}: missing {field} in current run")
-        elif got < floor:
-            failures.append(
-                f"{kernel}: {field} {got:.2f}x below floor {floor:.1f}x"
-            )
-
-    if args.committed and Path(args.committed).exists():
-        committed = json.loads(Path(args.committed).read_text())
-        for kernel, entry in committed["kernels"].items():
-            now = current["kernels"].get(kernel)
-            if now is None:
-                failures.append(f"{kernel}: missing from current run")
-                continue
-            limit = entry["seconds"] * (1.0 + args.max_regress)
-            if now["seconds"] > limit:
-                failures.append(
-                    f"{kernel}: {now['seconds'] * 1e3:.2f} ms exceeds "
-                    f"{entry['seconds'] * 1e3:.2f} ms committed "
-                    f"+{args.max_regress:.0%} allowance "
-                    f"({limit * 1e3:.2f} ms)"
-                )
-    else:
-        print("check_bench: no committed baseline; checking floors only")
+    if args.current:
+        failures += check_kernels(
+            args.current, args.committed, args.max_regress
+        )
+    if args.record:
+        failures += check_record(
+            args.record, args.qor_baseline, args.max_qor_drift
+        )
 
     if failures:
         for line in failures:
             print(f"check_bench: FAIL {line}", file=sys.stderr)
         return 1
-    print(f"check_bench: OK ({len(current['kernels'])} kernels)")
     return 0
 
 

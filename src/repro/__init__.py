@@ -41,6 +41,8 @@ from repro.core.rap import RowAssignment
 from repro.core.rcpp import RowConstraintPlacer, RowConstraintResult
 from repro.experiments.sweep_engine import SweepJobResult, SweepResult, run_sweep
 from repro.obs import (
+    ConvergenceSeries,
+    FlightRecorder,
     MetricsRegistry,
     Span,
     Tracer,
@@ -57,8 +59,10 @@ from repro.utils.resilience import (
 )
 
 __all__ = [
+    "ConvergenceSeries",
     "Deadline",
     "FaultPlan",
+    "FlightRecorder",
     "FlowKind",
     "FlowProvenance",
     "FlowResult",

@@ -19,6 +19,11 @@ from __future__ import annotations
 import argparse
 
 from repro.core.config import RunConfig, add_run_config_args
+from repro.obs.logconfig import (
+    add_logging_args,
+    configure_logging,
+    verbosity_from_args,
+)
 from repro.experiments import (
     clustering_impact,
     fig4,
@@ -47,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Mixed track-height row-constraint placement (DATE'24 repro)",
     )
+    add_logging_args(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     place = sub.add_parser("place", help="run the proposed pipeline")
@@ -96,6 +102,30 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("output", help="output .svg path")
     render.add_argument("--testcase", default="aes_360")
     add_run_config_args(render)
+
+    report = sub.add_parser(
+        "report",
+        help="run one flow under the flight recorder and write a run report",
+    )
+    report.add_argument(
+        "--flow", type=int, default=5, choices=[1, 2, 3, 4, 5],
+        help="flow number to record (default: 5)",
+    )
+    report.add_argument(
+        "--testcase", default=None,
+        help="Table II testcase id (default: a synthetic design)",
+    )
+    report.add_argument("--cells", type=int, default=400)
+    report.add_argument("--minority", type=float, default=0.15)
+    report.add_argument(
+        "--out-dir", default="RUN_REPORT",
+        help="directory for run_record.json / trace.json / report.md",
+    )
+    report.add_argument(
+        "--no-crosscheck", action="store_true",
+        help="skip the bnb/lagrangian cross-check solves of the RAP",
+    )
+    add_run_config_args(report)
     return parser
 
 
@@ -219,8 +249,107 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import FlowKind, FlowRunner, prepare_initial_placement
+    from repro.eval.report import format_provenance, render_run_report
+    from repro.netlist import (
+        GeneratorSpec,
+        generate_netlist,
+        size_to_minority_fraction,
+    )
+    from repro.obs.recorder import (
+        FlightRecorder,
+        validate_run_record,
+        write_chrome_trace,
+    )
+    from repro.obs.trace import span
+    from repro.solvers.milp import solve_milp
+    from repro.techlib.asap7 import make_asap7_library
+
+    config = RunConfig.from_args(args)
+    library = make_asap7_library()
+    if args.testcase:
+        from repro.experiments.testcases import build_testcase, testcase_by_id
+
+        design = build_testcase(
+            testcase_by_id(args.testcase), library, scale=config.scale
+        )
+        case_name = args.testcase
+    else:
+        design = generate_netlist(
+            GeneratorSpec(
+                name="report",
+                n_cells=args.cells,
+                clock_period_ps=500.0,
+                seed=config.seed if config.seed is not None else 1,
+            ),
+            library,
+        )
+        size_to_minority_fraction(design, args.minority)
+        case_name = f"synthetic_{args.cells}"
+
+    kind = FlowKind(args.flow)
+    recorder = FlightRecorder(
+        f"{case_name}.flow{kind.value}",
+        config={
+            "testcase": case_name,
+            "flow": kind.value,
+            "n_cells": design.num_instances,
+            "backend": config.params.solver_backend,
+        },
+    )
+    with recorder.attach():
+        initial = prepare_initial_placement(design, library)
+        runner = FlowRunner(initial, config.params)
+        flow = runner.run(kind)
+        if kind.row_assignment == "ilp" and not args.no_crosscheck:
+            # Cross-solve the same RAP instance with the other MILP
+            # backends so the record carries convergence series for all
+            # three solver strategies, not just the primary rung.
+            model = runner.rap_model()
+            for backend in ("highs", "bnb", "lagrangian"):
+                if backend == config.params.solver_backend:
+                    continue
+                with span(f"crosscheck.{backend}", backend=backend):
+                    solve_milp(
+                        model,
+                        backend=backend,
+                        time_limit_s=config.params.solver_time_limit_s,
+                    )
+    recorder.annotate(
+        hpwl=flow.hpwl,
+        displacement=flow.displacement,
+        runtime_s=flow.total_runtime_s,
+        degraded=flow.degraded,
+        provenance=format_provenance(flow.provenance),
+    )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record = recorder.to_dict()
+    record_path = recorder.write_json(out_dir / "run_record.json")
+    trace_path = write_chrome_trace(
+        out_dir / "trace.json", recorder.tracer, process_name=recorder.name
+    )
+    report_text = render_run_report(record)
+    report_path = out_dir / "report.md"
+    report_path.write_text(report_text, encoding="utf-8")
+
+    print(report_text)
+    print(f"wrote {record_path}, {trace_path}, {report_path}")
+    problems = validate_run_record(record)
+    if problems:
+        for problem in problems:
+            print(f"record schema problem: {problem}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity_from_args(args))
     if args.command == "place":
         return _cmd_place(args)
     if args.command == "flows":
@@ -229,6 +358,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "render":
         return _cmd_render(args)
+    if args.command == "report":
+        return _cmd_report(args)
     runner = _EXPERIMENTS[args.command]
     runner(config=RunConfig.from_args(args))
     return 0

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.convergence import observe, recording_convergence
 from repro.obs.trace import span
 from repro.utils.errors import ValidationError
 
@@ -119,6 +120,15 @@ def kmeans_2d(
                     )
 
         moved = bool(np.any(new_labels != labels)) or iteration == 1
+        if recording_convergence():
+            # Lloyd inertia (sum of squared distances to assigned
+            # centroids) — telemetry only, so gated off the hot path.
+            observe(
+                "clustering.kmeans",
+                iteration=iteration,
+                inertia=float(d2[np.arange(n), new_labels].sum()),
+                reassigned=float(np.count_nonzero(new_labels != labels)),
+            )
         labels = new_labels
         sums = np.zeros((k, 2))
         np.add.at(sums, labels, points)
@@ -147,6 +157,7 @@ def cluster_minority_cells(
         points = np.column_stack([xs, ys]).astype(float)
         if n_clusters == n:
             # s = 1: every cell is its own cluster; skip Lloyd entirely.
+            observe("clustering.kmeans", iteration=0, inertia=0.0)
             return ClusteringResult(
                 labels=np.arange(n), centroids=points.copy(), iterations=0
             )

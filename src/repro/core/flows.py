@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,11 +33,13 @@ from repro.core.legalize_rc import fence_region_legalize
 from repro.core.params import RCPPParams
 from repro.core.rap import (
     RowAssignment,
+    build_rap_model,
     required_minority_pairs,
     solve_rap,
     solve_rap_resilient,
 )
 from repro.netlist.db import Design
+from repro.obs.recorder import record_qor, recording
 from repro.obs.trace import span
 from repro.placement.db import Floorplan, PlacedDesign
 from repro.placement.floorplanner import (
@@ -64,6 +67,8 @@ from repro.utils.resilience import (
     ResiliencePolicy,
 )
 from repro.utils.timer import StageTimes
+
+logger = logging.getLogger(__name__)
 
 
 class FlowKind(enum.Enum):
@@ -143,6 +148,10 @@ def prepare_initial_placement(
     On return the design's masters are back to the originals; the returned
     ``placed`` snapshot retains the mLEF geometry it was placed with.
     """
+    logger.info(
+        "preparing initial placement: %d cells, minority track %gT",
+        design.num_instances, minority_track,
+    )
     with span(
         "prepare_initial_placement", n_cells=design.num_instances
     ) as root:
@@ -155,6 +164,13 @@ def prepare_initial_placement(
             placer_params=placer_params,
         )
     root.annotate(hpwl=result.hpwl)
+    record_qor(
+        "initial_place",
+        hpwl=result.hpwl,
+        n_cells=design.num_instances,
+        n_minority=len(result.minority_indices),
+    )
+    logger.info("initial placement done: HPWL %.4g", result.hpwl)
     return result
 
 
@@ -194,6 +210,14 @@ def _prepare_initial_placement(
         placed = build_placed_design(design, floorplan)
         global_place(placed, placer_params)
         abacus_legalize(placed, floorplan.rows)
+        if recording():
+            # Pre-refinement snapshot: the raw global-place quality the
+            # detailed polish below is judged against.
+            record_qor(
+                "global_place",
+                hpwl=hpwl_total(placed),
+                legality_violations=len(placed.check_legal()),
+            )
         # Detailed-placement polish: a commercial initial placement (the
         # paper's Innovus run) ends optimized; without this the constrained
         # flows would unfairly beat the unconstrained baseline.
@@ -374,6 +398,43 @@ class FlowRunner:
             )
         return self._ilp
 
+    def rap_model(self):
+        """Build the RAP MILP of this runner's ILP configuration.
+
+        Re-runs clustering + cost assembly (cheap relative to solving) and
+        returns the :class:`~repro.solvers.milp.MilpModel` the resilient
+        solve chain would receive, with the ``row_fill`` capacity derating
+        already applied.  Used by ``repro report`` to cross-solve the same
+        instance with every MILP backend for convergence telemetry.
+        """
+        init = self.initial
+        params = self.params
+        cx = (
+            init.placed.x[init.minority_indices]
+            + init.placed.widths[init.minority_indices] / 2.0
+        )
+        cy = (
+            init.placed.y[init.minority_indices]
+            + init.placed.heights[init.minority_indices] / 2.0
+        )
+        clustering = cluster_minority_cells(
+            cx, cy, params.s, params.kmeans_max_iterations
+        )
+        costs = compute_rap_costs(
+            init.placed,
+            init.minority_indices,
+            clustering.labels,
+            clustering.n_clusters,
+            init.pair_center_y,
+            init.minority_widths_original,
+        )
+        return build_rap_model(
+            costs.combine(params.alpha),
+            costs.cluster_width,
+            init.pair_capacity * params.row_fill,
+            self.n_minority_rows,
+        )
+
     def _baseline_rung(
         self, prov: FlowProvenance, deadline: Deadline
     ) -> RowAssignment:
@@ -442,9 +503,16 @@ class FlowRunner:
         The flow's span tree (``flow.<n>`` root) is attached to the
         result's provenance in dict form (``provenance.spans``).
         """
+        logger.info("running flow (%d)", kind.value)
         with span(f"flow.{kind.value}", flow=kind.value) as root:
             result = self._run(kind)
         result.provenance.spans = root.to_dict()
+        logger.info(
+            "flow (%d) done: HPWL %.4g, displacement %.4g, %.3fs%s",
+            kind.value, result.hpwl, result.displacement,
+            result.total_runtime_s,
+            " [degraded]" if result.degraded else "",
+        )
         return result
 
     def _run(self, kind: FlowKind) -> FlowResult:
@@ -482,13 +550,27 @@ class FlowRunner:
             prov = row_prov.clone()
             prov.budget_s = deadline.budget_s
 
+        record_qor(
+            f"flow{kind.value}.row_assign",
+            n_minority_rows=assignment.n_minority_rows,
+            n_clusters=n_clusters,
+        )
         placed, result = self._legalize_resilient(
             kind, assignment, prov, deadline
         )
         final_times = times.merged(result.times)
+        final_hpwl = hpwl_total(placed)
+        if recording():
+            record_qor(
+                f"flow{kind.value}.final",
+                hpwl=final_hpwl,
+                displacement=result.displacement,
+                runtime_s=final_times.total,
+                legality_violations=len(placed.check_legal()),
+            )
         return FlowResult(
             kind=kind,
-            hpwl=hpwl_total(placed),
+            hpwl=final_hpwl,
             displacement=result.displacement,
             times=final_times,
             placed=placed,
@@ -539,6 +621,7 @@ class FlowRunner:
         fallback = "fence" if primary == "abacus_rc" else "abacus_rc"
         stage_deadline = self.policy.stage_deadline("legalize", deadline)
         placed = self._build_mixed_placement(assignment)
+        reference = placed.clone_positions() if recording() else None
         stage = f"legalize.{primary}"
         stage_deadline.check(stage, provenance=prov)
         try:
@@ -561,9 +644,14 @@ class FlowRunner:
             )
             if not self.policy.fallback_enabled:
                 raise
+            logger.warning(
+                "legalizer %s failed (%s); falling back to %s",
+                primary, type(exc).__name__, fallback,
+            )
             stage = f"legalize.{fallback}"
             stage_deadline.check(stage, provenance=prov)
             placed = self._build_mixed_placement(assignment)
+            reference = placed.clone_positions() if recording() else None
             try:
                 with span(stage, legalizer=fallback) as fsp:
                     self.policy.inject(stage)
@@ -590,12 +678,38 @@ class FlowRunner:
             )
             prov.legalizer = fallback
             prov.degraded = True
+            self._record_legalize_qor(kind, fallback, placed, reference)
             return placed, result
         prov.record(
             stage, primary, 1, ok=True, runtime_s=sp.duration_s,
         )
         prov.legalizer = primary
+        self._record_legalize_qor(kind, primary, placed, reference)
         return placed, result
+
+    def _record_legalize_qor(
+        self,
+        kind: FlowKind,
+        legalizer: str,
+        placed: PlacedDesign,
+        reference: tuple[np.ndarray, np.ndarray] | None,
+    ) -> None:
+        """QoR snapshot after one legalization pass (recorder-only).
+
+        ``reference`` is the pre-legalization position snapshot; total and
+        max per-cell displacement are measured against it.
+        """
+        if reference is None or not recording():
+            return
+        x0, y0 = reference
+        per_cell = np.abs(placed.x - x0) + np.abs(placed.y - y0)
+        record_qor(
+            f"flow{kind.value}.legalize.{legalizer}",
+            hpwl=hpwl_total(placed),
+            displacement_total=float(per_cell.sum()),
+            displacement_max=float(per_cell.max()) if len(per_cell) else 0.0,
+            legality_violations=len(placed.check_legal()),
+        )
 
 
 def run_flow(

@@ -16,6 +16,7 @@ reference.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.utils.errors import (
     ValidationError,
 )
 from repro.utils.resilience import Deadline, FlowProvenance, ResiliencePolicy
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -371,6 +374,7 @@ def solve_rap_resilient(
             continue  # not even modellable at this level; escalate
         if relaxation is not None:
             prov.relaxations.append(relaxation)
+            logger.info("RAP escalating relaxation: %s", relaxation)
         escalate = False
         for rung in rungs:
             stage = f"rap.{rung}"
@@ -416,6 +420,10 @@ def solve_rap_resilient(
                         stage, rung, attempt, ok=False, error=exc,
                         runtime_s=attempt_span.duration_s,
                         relaxation=relaxation,
+                    )
+                    logger.warning(
+                        "RAP rung %s attempt %d failed: %s",
+                        rung, attempt, exc,
                     )
                     if attempt < policy.retry.max_attempts:
                         policy.sleep(policy.retry.delay(attempt))
@@ -468,5 +476,9 @@ def solve_rap_resilient(
         if not escalate:
             # Every rung failed for non-infeasibility reasons; relaxation
             # cannot fix that.  Hand over to the caller's terminal rung.
+            logger.warning(
+                "RAP solver chain %s exhausted; caller falls back", rungs
+            )
             return None
+    logger.warning("RAP relaxation ladder exhausted; caller falls back")
     return None

@@ -79,21 +79,143 @@ def format_provenance(provenance: object) -> str:
 def format_span_tree(spans: object, min_duration_s: float = 0.0) -> str:
     """Indented tree for a span forest, one line per span.
 
-    Accepts a single ``Span``/span dict, a list of them, or a
-    ``Tracer.to_dict()`` payload (``{"spans": [...]}``) — whatever a
+    Thin alias of :func:`repro.obs.trace.render_span_tree`, which accepts
+    a ``Tracer``, a single ``Span``/span dict, a ``Tracer.to_dict()``
+    payload (``{"spans": [...]}``) or a list of those — whatever a
     ``FlowResult`` or ``SweepJobResult`` carries.  Spans shorter than
     ``min_duration_s`` are pruned.
     """
-    from repro.obs import render_span_tree
+    from repro.obs.trace import render_span_tree
 
-    if isinstance(spans, dict) and "spans" in spans:
-        spans = spans["spans"]
-    if not isinstance(spans, (list, tuple)):
-        spans = [spans]
-    parts = [
-        render_span_tree(node, min_duration_s=min_duration_s) for node in spans
+    return render_span_tree(spans, min_duration_s=min_duration_s)
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Unicode block sparkline of a numeric series.
+
+    Long series are downsampled to ``width`` buckets (bucket mean); a
+    constant series renders at the lowest block so flat lines are visually
+    distinct from trends.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        step = len(vals) / width
+        vals = [
+            sum(chunk) / len(chunk)
+            for chunk in (
+                vals[int(i * step): max(int((i + 1) * step), int(i * step) + 1)]
+                for i in range(width)
+            )
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_BLOCKS[0] * len(vals)
+    scale = (len(_SPARK_BLOCKS) - 1) / (hi - lo)
+    return "".join(
+        _SPARK_BLOCKS[int(round((v - lo) * scale))] for v in vals
+    )
+
+
+def _flatten_span_dicts(
+    nodes: Sequence[dict], depth: int = 0
+) -> list[tuple[int, dict]]:
+    out: list[tuple[int, dict]] = []
+    for node in nodes:
+        out.append((depth, node))
+        out.extend(_flatten_span_dicts(node.get("children", ()), depth + 1))
+    return out
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
     ]
-    return "\n".join(p for p in parts if p)
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def render_run_report(record: dict, top_n_spans: int = 8) -> str:
+    """Markdown run report for a flight-recorder ``run_record`` dict.
+
+    Sections: run header, per-stage QoR table, convergence-series
+    summaries with sparklines, provenance/metadata, and the top-N slowest
+    spans.  Tolerates partial records (missing spans/metrics sections).
+    """
+    lines = [f"# Run report: {record.get('name', 'run')}", ""]
+    schema = record.get("schema")
+    if schema:
+        lines.append(f"- schema: `{schema}`")
+    config = record.get("config") or {}
+    for key in sorted(config):
+        lines.append(f"- config.{key}: {_fmt(config[key])}")
+    meta = record.get("meta") or {}
+    provenance_text = meta.get("provenance")
+    for key in sorted(meta):
+        if key == "provenance":
+            continue
+        lines.append(f"- {key}: {_fmt(meta[key])}")
+    lines.append("")
+
+    qor = record.get("qor") or []
+    if qor:
+        columns: list[str] = []
+        for snap in qor:
+            for key in snap.get("metrics", {}):
+                if key not in columns:
+                    columns.append(key)
+        rows = [
+            [snap.get("stage", "?")]
+            + [snap.get("metrics", {}).get(c, "") for c in columns]
+            for snap in qor
+        ]
+        lines += ["## QoR by stage", "",
+                  _markdown_table(["stage"] + columns, rows), ""]
+
+    convergence = record.get("convergence") or {}
+    if convergence:
+        lines += ["## Convergence", ""]
+        for name in sorted(convergence):
+            series = convergence[name]
+            points = series.get("points", [])
+            lines.append(f"### {name} ({len(points)} points)")
+            lines.append("")
+            columns = sorted({k for p in points for k in p})
+            for column in columns:
+                vals = [p[column] for p in points if column in p]
+                if not vals:
+                    continue
+                lines.append(
+                    f"- `{column}`: {_sparkline(vals)} "
+                    f"first={_fmt(float(vals[0]))} last={_fmt(float(vals[-1]))} "
+                    f"min={_fmt(min(float(v) for v in vals))} "
+                    f"max={_fmt(max(float(v) for v in vals))}"
+                )
+            lines.append("")
+
+    if provenance_text:
+        lines += ["## Provenance", "", "```", str(provenance_text), "```", ""]
+
+    spans_payload = record.get("spans") or {}
+    flat = _flatten_span_dicts(spans_payload.get("spans", ()))
+    if flat:
+        ranked = sorted(
+            flat, key=lambda item: item[1].get("duration_s", 0.0), reverse=True
+        )[:top_n_spans]
+        rows = [
+            [node.get("name", "?"), float(node.get("duration_s", 0.0)) * 1e3,
+             depth, node.get("status", "ok")]
+            for depth, node in ranked
+        ]
+        lines += [f"## Slowest spans (top {len(rows)})", "",
+                  _markdown_table(["span", "ms", "depth", "status"], rows), ""]
+    return "\n".join(lines).rstrip() + "\n"
 
 
 def _fmt(value: object) -> str:

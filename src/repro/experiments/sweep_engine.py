@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -41,10 +42,13 @@ from repro.experiments.artifact_cache import (
     load_or_prepare_initial,
 )
 from repro.experiments.testcases import QUICK_SUBSET_IDS, testcase_by_id
-from repro.obs.metrics import MetricsRegistry, use_registry
-from repro.obs.trace import Tracer, render_span_tree
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import render_span_tree
 from repro.techlib.asap7 import make_asap7_library
 from repro.utils.errors import ReproError, StageTimeoutError, ValidationError
+
+logger = logging.getLogger(__name__)
 
 #: Default flow set of a sweep: the unconstrained reference, the baseline
 #: method and the paper's full proposed method.
@@ -71,6 +75,7 @@ class SweepJobResult:
     error: str | None = None
     provenance: dict | None = None
     spans: dict | None = None  # Tracer.to_dict() of the whole job
+    record: dict | None = None  # flight-recorder run record (no spans/metrics)
 
     @property
     def ok(self) -> bool:
@@ -203,8 +208,10 @@ def _run_job(payload: dict) -> dict:
     cache_dir = payload.get("cache_dir")
     cache = ArtifactCache(cache_dir) if cache_dir else None
 
-    registry = MetricsRegistry()
-    tracer = Tracer(name=f"{spec.testcase_id}.flow{flow}")
+    recorder = FlightRecorder(
+        f"{spec.testcase_id}.flow{flow}",
+        config={"testcase": spec.testcase_id, "flow": flow, "seed": seed},
+    )
     job = SweepJobResult(
         testcase_id=spec.testcase_id,
         flow=flow,
@@ -214,7 +221,7 @@ def _run_job(payload: dict) -> dict:
     )
     t0 = time.perf_counter()
     result = None
-    with use_registry(registry), tracer.activate():
+    with recorder.attach():
         try:
             library = make_asap7_library()
             initial, job.cache_hit = load_or_prepare_initial(
@@ -230,9 +237,16 @@ def _run_job(payload: dict) -> dict:
         except StageTimeoutError as exc:
             job.status = "timeout"
             job.error = str(exc)
+            logger.warning(
+                "sweep job %s flow%d timed out: %s",
+                spec.testcase_id, flow, exc,
+            )
         except ReproError as exc:
             job.status = "error"
             job.error = str(exc)
+            logger.warning(
+                "sweep job %s flow%d failed: %s", spec.testcase_id, flow, exc
+            )
     job.wall_s = time.perf_counter() - t0
     if result is not None:
         job.status = "degraded" if result.degraded else "ok"
@@ -243,8 +257,11 @@ def _run_job(payload: dict) -> dict:
         job.n_minority_rows = result.n_minority_rows
         job.n_clusters = result.n_clusters
         job.provenance = result.provenance.to_dict()
-    job.spans = tracer.to_dict()
-    return {"job": job.to_dict(), "metrics": registry.snapshot()}
+    job.spans = recorder.tracer.to_dict()
+    # Spans and metrics already travel in their own fields; the embedded
+    # record carries the QoR snapshots and convergence series.
+    job.record = recorder.to_dict(include_spans=False, include_metrics=False)
+    return {"job": job.to_dict(), "metrics": recorder.registry.snapshot()}
 
 
 def run_sweep(

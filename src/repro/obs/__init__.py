@@ -1,18 +1,34 @@
-"""Observability layer: span tracing + metrics for the placement flows.
+"""Observability layer: tracing, metrics, convergence, flight recorder.
 
-Two halves, usable separately or together:
+Four parts, usable separately or together:
 
 * :mod:`repro.obs.trace` — nested :func:`span` context managers building
   per-flow span trees, collected by a :class:`Tracer`;
 * :mod:`repro.obs.metrics` — a process-safe :class:`MetricsRegistry`
   (counters, gauges, histograms) with snapshot/merge for multi-process
-  sweeps and JSON export for the ``BENCH_*.json`` trajectory.
+  sweeps and JSON export for the ``BENCH_*.json`` trajectory;
+* :mod:`repro.obs.convergence` — per-iteration solver/k-means/refinement
+  trajectories appended through :func:`observe` into the active
+  :class:`ConvergenceLog`;
+* :mod:`repro.obs.recorder` — the :class:`FlightRecorder` bundling all of
+  the above plus per-stage QoR snapshots (:func:`record_qor`) into one
+  ``run_record.json`` / Chrome-trace artifact per run.
 
 The flow runner, solvers, legalizers and the sweep engine are all
 instrumented through this module; ``StageTimes.measure`` emits spans, so
-per-stage aggregate times and span trees always agree.
+per-stage aggregate times and span trees always agree.  CLI logging setup
+lives in :mod:`repro.obs.logconfig`.
 """
 
+from repro.obs.convergence import (
+    ConvergenceLog,
+    ConvergenceSeries,
+    current_convergence,
+    observe,
+    recording_convergence,
+    use_convergence,
+)
+from repro.obs.logconfig import configure_logging
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -23,9 +39,21 @@ from repro.obs.metrics import (
     stage_fractions,
     use_registry,
 )
+from repro.obs.recorder import (
+    RUN_RECORD_SCHEMA,
+    FlightRecorder,
+    QoRSnapshot,
+    chrome_trace_events,
+    current_recorder,
+    record_qor,
+    recording,
+    validate_run_record,
+    write_chrome_trace,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
+    as_span_roots,
     current_span,
     current_tracer,
     render_span_tree,
@@ -33,18 +61,35 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ConvergenceLog",
+    "ConvergenceSeries",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QoRSnapshot",
+    "RUN_RECORD_SCHEMA",
     "Span",
     "Tracer",
+    "as_span_roots",
+    "chrome_trace_events",
+    "configure_logging",
+    "current_convergence",
+    "current_recorder",
     "current_registry",
     "current_span",
     "current_tracer",
     "default_registry",
+    "observe",
+    "record_qor",
+    "recording",
+    "recording_convergence",
     "render_span_tree",
     "span",
     "stage_fractions",
+    "use_convergence",
     "use_registry",
+    "validate_run_record",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,152 @@
+"""Per-iteration convergence telemetry for the iterative kernels.
+
+The solvers compute rich trajectories — HiGHS incumbent/bound, the own
+branch-and-bound's gap per incumbent, the Lagrangian dual/primal walk,
+k-means inertia per Lloyd iteration, detailed-refinement HPWL deltas —
+and historically threw them away.  This module is the capture side of the
+flight recorder: producers call :func:`observe` (a no-op unless a
+:class:`ConvergenceLog` is active), and the log collects one named
+:class:`ConvergenceSeries` per producer.
+
+The API mirrors :mod:`repro.obs.trace`: a context variable scopes the
+active log (:func:`use_convergence`), so solver code needs no recorder
+object threaded through.  Producers that must *compute* something extra
+for telemetry (an inertia sum, an HPWL evaluation) should gate that work
+on :func:`recording_convergence` so inactive runs pay nothing.
+
+Series are plain rows of floats and serialize to JSON-able dicts, which
+is how they cross sweep-worker process boundaries and land in
+``run_record.json`` / ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+@dataclass
+class ConvergenceSeries:
+    """One named trajectory: ordered points of ``{field: float}``.
+
+    Fields are free-form per point (a solver may log ``bound`` only once
+    an incumbent exists); :meth:`values` extracts one column, skipping
+    points that lack it.
+    """
+
+    name: str
+    points: list[dict[str, float]] = field(default_factory=list)
+
+    def append(self, **values: float) -> None:
+        self.points.append(
+            {k: float(v) for k, v in values.items() if v is not None}
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self, column: str) -> list[float]:
+        """The column's values in point order (points lacking it skipped)."""
+        return [p[column] for p in self.points if column in p]
+
+    def columns(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for p in self.points:
+            for k in p:
+                seen.setdefault(k)
+        return list(seen)
+
+    def summary(self) -> dict:
+        """Per-column first/last/min/max digest for reports."""
+        out: dict[str, object] = {"n_points": len(self.points)}
+        stats: dict[str, dict[str, float]] = {}
+        for column in self.columns():
+            vals = self.values(column)
+            stats[column] = {
+                "first": vals[0],
+                "last": vals[-1],
+                "min": min(vals),
+                "max": max(vals),
+            }
+        out["columns"] = stats
+        return out
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "points": [dict(p) for p in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConvergenceSeries":
+        return cls(
+            name=data["name"],
+            points=[dict(p) for p in data.get("points", ())],
+        )
+
+
+class ConvergenceLog:
+    """Collects named series for one run (owned by a ``FlightRecorder``)."""
+
+    def __init__(self) -> None:
+        self.series: dict[str, ConvergenceSeries] = {}
+
+    def get(self, name: str) -> ConvergenceSeries:
+        if name not in self.series:
+            self.series[name] = ConvergenceSeries(name)
+        return self.series[name]
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def to_dict(self) -> dict:
+        return {name: s.to_dict() for name, s in self.series.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConvergenceLog":
+        log = cls()
+        for name, payload in data.items():
+            log.series[name] = ConvergenceSeries.from_dict(payload)
+        return log
+
+
+_ACTIVE_LOG: ContextVar[ConvergenceLog | None] = ContextVar(
+    "repro_active_convergence", default=None
+)
+
+
+def current_convergence() -> ConvergenceLog | None:
+    return _ACTIVE_LOG.get()
+
+
+def recording_convergence() -> bool:
+    """True when an :func:`observe` call would actually record.
+
+    Producers gate telemetry-only computations (inertia sums, extra HPWL
+    evaluations) on this so inactive runs stay on the fast path.
+    """
+    return _ACTIVE_LOG.get() is not None
+
+
+@contextmanager
+def use_convergence(log: ConvergenceLog) -> Iterator[ConvergenceLog]:
+    """Scope ``log`` as the active convergence sink."""
+    token = _ACTIVE_LOG.set(log)
+    try:
+        yield log
+    finally:
+        _ACTIVE_LOG.reset(token)
+
+
+def observe(series: str, **values: float) -> None:
+    """Append one point to ``series`` in the active log (no-op when none).
+
+    This is the producer entry point::
+
+        observe("milp.lagrangian", iteration=it, dual=bound, primal=cost)
+    """
+    log = _ACTIVE_LOG.get()
+    if log is not None:
+        log.get(series).append(**values)

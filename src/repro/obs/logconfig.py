@@ -1,0 +1,69 @@
+"""Stdlib logging setup for the ``repro`` logger namespace.
+
+Every module that logs uses ``logging.getLogger(__name__)``, which puts
+all loggers under the ``repro.`` prefix; this module owns the single
+handler on the ``repro`` root so library users keep full control (the
+library itself never calls :func:`configure_logging` on import — only the
+CLI does, from its ``--verbose``/``--quiet`` flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+from typing import IO
+
+#: Verbosity (``-q`` = -1, default 0, ``-v`` = 1, ``-vv`` = 2) -> level.
+_LEVELS = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count to a stdlib logging level (clamped)."""
+    return _LEVELS[max(-1, min(2, int(verbosity)))]
+
+
+def configure_logging(
+    verbosity: int = 0, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Install one stream handler on the ``repro`` logger (idempotent).
+
+    Re-running replaces the previous handler, so tests and repeated CLI
+    invocations in one process never stack duplicate output.  Returns the
+    configured ``repro`` logger.
+    """
+    root = logging.getLogger("repro")
+    for handler in [
+        h for h in root.handlers if getattr(h, "_repro_managed", False)
+    ]:
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(verbosity_level(verbosity))
+    root.propagate = False
+    return root
+
+
+def add_logging_args(parser: argparse.ArgumentParser) -> None:
+    """Install ``-v/--verbose`` (repeatable) and ``-q/--quiet`` flags."""
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="errors only",
+    )
+
+
+def verbosity_from_args(args: argparse.Namespace) -> int:
+    """Net verbosity of the :func:`add_logging_args` flags."""
+    return -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0)

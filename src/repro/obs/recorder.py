@@ -1,0 +1,301 @@
+"""Flight recorder: one attachable capture of everything a run produced.
+
+A :class:`FlightRecorder` bundles the three observability channels around
+one unit of work (a flow run, a sweep job, a CLI invocation):
+
+* the span forest (its own :class:`~repro.obs.trace.Tracer`),
+* per-iteration convergence series
+  (:class:`~repro.obs.convergence.ConvergenceLog` — solvers, k-means,
+  detailed refinement append through :func:`repro.obs.convergence.observe`),
+* per-stage QoR snapshots (:func:`record_qor` — HPWL, displacement,
+  violations after each flow stage), and
+* a metrics snapshot of its scoped
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+``attach()`` activates all of it via context variables; nothing in the
+instrumented code knows the recorder exists.  The captured record exports
+three ways:
+
+* :meth:`FlightRecorder.to_dict` / :meth:`write_json` — the
+  machine-readable ``run_record.json`` (schema ``repro.run_record/1``,
+  gated by ``scripts/check_bench.py --record``);
+* :func:`write_chrome_trace` — Chrome Trace Format JSON loadable in
+  ``chrome://tracing`` / Perfetto, derived from the span trees;
+* :func:`repro.eval.report.render_run_report` — the human markdown report
+  (``repro report`` CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import ExitStack, contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.obs.convergence import ConvergenceLog, use_convergence
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import Span, Tracer, as_span_roots  # noqa: F401 - Span in annotations
+
+#: Schema identifier of the exported run record.
+RUN_RECORD_SCHEMA = "repro.run_record/1"
+
+_ACTIVE_RECORDER: ContextVar["FlightRecorder | None"] = ContextVar(
+    "repro_active_recorder", default=None
+)
+
+
+@dataclass
+class QoRSnapshot:
+    """Quality-of-results at one named point of a run."""
+
+    stage: str
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QoRSnapshot":
+        return cls(stage=data["stage"], metrics=dict(data.get("metrics", {})))
+
+
+class FlightRecorder:
+    """Attachable capture of spans, convergence, QoR and metrics.
+
+    Usage::
+
+        recorder = FlightRecorder("aes_300.flow5")
+        with recorder.attach():
+            run_flow(FlowKind.FLOW5, initial, config)
+        recorder.write_json("run_record.json")
+        write_chrome_trace("trace.json", recorder.tracer)
+    """
+
+    def __init__(
+        self,
+        name: str = "run",
+        config: Mapping | None = None,
+        scoped_registry: bool = True,
+    ) -> None:
+        self.name = name
+        self.config: dict = dict(config) if config else {}
+        self.tracer = Tracer(name=name)
+        self.convergence = ConvergenceLog()
+        self.registry = MetricsRegistry()
+        self.qor: list[QoRSnapshot] = []
+        self.meta: dict[str, Any] = {}
+        self.created_unix = time.time()
+        self._scoped_registry = scoped_registry
+
+    @contextmanager
+    def attach(self) -> Iterator["FlightRecorder"]:
+        """Activate the tracer, convergence log (and registry) in scope."""
+        with ExitStack() as stack:
+            stack.enter_context(self.tracer.activate())
+            stack.enter_context(use_convergence(self.convergence))
+            if self._scoped_registry:
+                stack.enter_context(use_registry(self.registry))
+            token = _ACTIVE_RECORDER.set(self)
+            try:
+                yield self
+            finally:
+                _ACTIVE_RECORDER.reset(token)
+
+    # -- capture -----------------------------------------------------------
+
+    def snapshot_qor(self, stage: str, **metrics: float) -> QoRSnapshot:
+        snap = QoRSnapshot(
+            stage=stage,
+            metrics={
+                k: float(v) for k, v in metrics.items() if v is not None
+            },
+        )
+        self.qor.append(snap)
+        return snap
+
+    def annotate(self, **meta: Any) -> "FlightRecorder":
+        """Attach free-form run metadata (flow summary, provenance, ...)."""
+        self.meta.update(meta)
+        return self
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(
+        self, include_spans: bool = True, include_metrics: bool = True
+    ) -> dict:
+        """The ``run_record.json`` payload (schema ``repro.run_record/1``).
+
+        ``include_spans=False`` / ``include_metrics=False`` drop the two
+        bulky sections — the sweep engine embeds per-job records next to
+        a span tree and a metrics snapshot it already ships separately.
+        """
+        out: dict[str, Any] = {
+            "schema": RUN_RECORD_SCHEMA,
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "config": dict(self.config),
+            "meta": dict(self.meta),
+            "qor": [s.to_dict() for s in self.qor],
+            "convergence": self.convergence.to_dict(),
+        }
+        if include_spans:
+            out["spans"] = self.tracer.to_dict()
+        if include_metrics:
+            out["metrics"] = self.registry.snapshot()
+        return out
+
+    def write_json(self, path: str | os.PathLike) -> Path:
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return out
+
+
+def current_recorder() -> FlightRecorder | None:
+    """The innermost attached recorder, if any."""
+    return _ACTIVE_RECORDER.get()
+
+
+def recording() -> bool:
+    """True when a recorder is attached (gate for QoR-only computation)."""
+    return _ACTIVE_RECORDER.get() is not None
+
+
+def record_qor(stage: str, **metrics: float) -> None:
+    """Snapshot QoR metrics into the attached recorder (no-op without one).
+
+    The flow runner calls this after global placement, row assignment and
+    every legalization pass; any metric worth computing *only* for the
+    snapshot should be gated on :func:`recording` at the call site.
+    """
+    recorder = current_recorder()
+    if recorder is not None:
+        recorder.snapshot_qor(stage, **metrics)
+
+
+# -- Chrome Trace Format export ------------------------------------------
+
+
+def chrome_trace_events(
+    spans: "Tracer | Span | dict | list", pid: int = 1, tid: int = 1
+) -> list[dict]:
+    """Flatten span trees into Chrome Trace Format ``X`` events.
+
+    Accepts whatever :func:`repro.obs.trace.render_span_tree` accepts: a
+    :class:`Tracer`, a single :class:`Span` or its dict form, a
+    ``Tracer.to_dict()`` payload, or a list of any of those.  Event
+    timestamps are microseconds relative to the first root; sibling roots
+    are laid out back-to-back (span trees store only parent-relative
+    offsets, not absolute clocks).
+    """
+    roots: list[Span] = as_span_roots(spans)
+    events: list[dict] = []
+
+    def emit(node: Span, start_s: float) -> None:
+        args: dict[str, Any] = dict(node.attrs)
+        if node.status == "error" and node.error:
+            args["error"] = node.error
+        events.append(
+            {
+                "name": node.name,
+                "cat": "repro" if node.status != "error" else "repro,error",
+                "ph": "X",
+                "ts": round(start_s * 1e6, 3),
+                "dur": round(node.duration_s * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for child in node.children:
+            emit(child, start_s + child.start_offset_s)
+
+    cursor = 0.0
+    for root in roots:
+        emit(root, cursor)
+        cursor += root.duration_s
+    return events
+
+
+def write_chrome_trace(
+    path: str | os.PathLike,
+    spans: "Tracer | Span | dict | list",
+    pid: int = 1,
+    process_name: str = "repro",
+) -> Path:
+    """Write ``spans`` as a Chrome Trace Format JSON file.
+
+    Load the result in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    events.extend(chrome_trace_events(spans, pid=pid))
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, indent=2
+        )
+        + "\n"
+    )
+    return out
+
+
+# -- schema validation (the check_bench gate) ----------------------------
+
+
+def validate_run_record(record: Mapping) -> list[str]:
+    """Structural check of a ``run_record.json`` payload.
+
+    Returns a list of problems (empty = valid).  Used by the ``repro
+    report`` CLI, ``scripts/check_bench.py --record`` and the tests, so
+    the schema has exactly one definition.
+    """
+    problems: list[str] = []
+    if record.get("schema") != RUN_RECORD_SCHEMA:
+        problems.append(
+            f"schema is {record.get('schema')!r}, expected "
+            f"{RUN_RECORD_SCHEMA!r}"
+        )
+    for key, kind in (
+        ("name", str),
+        ("config", dict),
+        ("meta", dict),
+        ("qor", list),
+        ("convergence", dict),
+    ):
+        if not isinstance(record.get(key), kind):
+            problems.append(f"missing or mistyped key {key!r} ({kind.__name__})")
+    for i, snap in enumerate(record.get("qor") or ()):
+        if not isinstance(snap, Mapping) or "stage" not in snap:
+            problems.append(f"qor[{i}] lacks a stage")
+        elif not isinstance(snap.get("metrics"), Mapping):
+            problems.append(f"qor[{i}] ({snap['stage']}) lacks metrics")
+    convergence = record.get("convergence")
+    if isinstance(convergence, Mapping):
+        for name, series in convergence.items():
+            if not isinstance(series, Mapping):
+                problems.append(f"convergence[{name!r}] is not a mapping")
+                continue
+            points = series.get("points")
+            if not isinstance(points, list):
+                problems.append(f"convergence[{name!r}] lacks points")
+            elif not all(isinstance(p, Mapping) for p in points):
+                problems.append(f"convergence[{name!r}] has non-dict points")
+    spans = record.get("spans")
+    if spans is not None and (
+        not isinstance(spans, Mapping) or "spans" not in spans
+    ):
+        problems.append("spans present but not a Tracer.to_dict() payload")
+    return problems

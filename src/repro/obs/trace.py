@@ -218,13 +218,48 @@ def current_tracer() -> Tracer | None:
     return _ACTIVE_TRACER.get()
 
 
-def render_span_tree(node: "Span | dict", min_duration_s: float = 0.0) -> str:
-    """ASCII tree of one span and its descendants with durations.
+def as_span_roots(spans: "Tracer | Span | dict | list | tuple") -> list[Span]:
+    """Normalize any span container to a list of root :class:`Span`s.
 
-    Accepts either a :class:`Span` or its :meth:`Span.to_dict` form.
-    ``min_duration_s`` prunes sub-trees faster than the threshold.
+    Accepts a :class:`Tracer`, a ``Tracer.to_dict()`` payload
+    (``{"spans": [...]}``), a single :class:`Span` or its dict form, or a
+    list/tuple of any of those — the shapes a ``FlowResult``,
+    ``SweepJobResult`` or flight-recorder record carries.  This is the one
+    normalization point shared by :func:`render_span_tree` and the Chrome
+    trace exporter.
     """
-    root = Span.from_dict(node) if isinstance(node, dict) else node
+    if isinstance(spans, Tracer):
+        return list(spans.roots)
+    if isinstance(spans, Span):
+        return [spans]
+    if isinstance(spans, dict):
+        if "spans" in spans:
+            return [Span.from_dict(s) for s in spans["spans"]]
+        return [Span.from_dict(spans)]
+    out: list[Span] = []
+    for item in spans:
+        out.extend(as_span_roots(item))
+    return out
+
+
+def render_span_tree(
+    node: "Tracer | Span | dict | list | tuple", min_duration_s: float = 0.0
+) -> str:
+    """ASCII tree of spans and their descendants with durations.
+
+    Accepts anything :func:`as_span_roots` accepts (a :class:`Span`, its
+    :meth:`Span.to_dict` form, a :class:`Tracer`, a ``Tracer.to_dict()``
+    payload, or a list of those).  ``min_duration_s`` prunes sub-trees
+    faster than the threshold.
+    """
+    roots = as_span_roots(node)
+    if len(roots) != 1:
+        return "\n".join(
+            part
+            for part in (render_span_tree(r, min_duration_s) for r in roots)
+            if part
+        )
+    root = roots[0]
     lines: list[str] = []
 
     def emit(sp: Span, prefix: str, is_last: bool, is_root: bool) -> None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.convergence import observe, recording_convergence
 from repro.placement.db import PlacedDesign
 from repro.utils.errors import ValidationError
 
@@ -75,8 +76,9 @@ def swap_refine(
     bin_h = max(1, bin_size_rows) * row_h
     bin_w = bin_h * 4
 
+    telemetry = recording_convergence()
     swaps = 0
-    for _ in range(passes):
+    for pass_index in range(1, passes + 1):
         ix = ((placed.x - die.xlo) / bin_w).astype(int)
         iy = ((placed.y - die.ylo) / bin_h).astype(int)
         bins: dict[tuple[int, int], list[int]] = {}
@@ -124,6 +126,13 @@ def swap_refine(
                 placed.y[i], placed.y[j] = placed.y[j], placed.y[i]
                 swaps += 1
                 improved_this_pass += 1
+        if telemetry:
+            observe(
+                "refine.swap",
+                pass_index=pass_index,
+                swaps=improved_this_pass,
+                total_swaps=swaps,
+            )
         if improved_this_pass == 0:
             break
     return swaps

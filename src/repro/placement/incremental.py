@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fence import FenceRegions
+from repro.obs.convergence import observe, recording_convergence
 from repro.obs.trace import span
 from repro.placement.db import PlacedDesign
 from repro.utils.errors import ValidationError
@@ -106,7 +107,8 @@ def refine_detailed(
         n_cells=placed.design.num_instances,
         rounds=rounds,
     ):
-        for _ in range(rounds):
+        telemetry = recording_convergence()
+        for round_index in range(1, rounds + 1):
             tx, ty = median_target_positions(placed)
             cx, cy = placed.centers()
             placed.x = cx + move_fraction * (tx - cx) - placed.widths / 2.0
@@ -114,6 +116,16 @@ def refine_detailed(
             np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
             np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
             legalizer()
+            if telemetry:
+                # HPWL per round is telemetry-only (an extra full
+                # evaluation), so it stays behind the recorder gate.
+                from repro.placement.hpwl import hpwl_total
+
+                observe(
+                    "refine.detailed",
+                    round=round_index,
+                    hpwl=hpwl_total(placed),
+                )
 
 
 def fence_aware_refine(
@@ -149,8 +161,9 @@ def fence_aware_refine(
         n_minority=int(len(minority_indices)),
         iterations=iterations,
     ):
+        telemetry = recording_convergence()
         project_minority()
-        for _ in range(iterations):
+        for iteration in range(1, iterations + 1):
             tx, ty = median_target_positions(placed)
             cx, cy = placed.centers()
             new_cx = cx + move_fraction * (tx - cx)
@@ -160,3 +173,11 @@ def fence_aware_refine(
             np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
             np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
             project_minority()
+            if telemetry:
+                from repro.placement.hpwl import hpwl_total
+
+                observe(
+                    "refine.fence_aware",
+                    iteration=iteration,
+                    hpwl=hpwl_total(placed),
+                )

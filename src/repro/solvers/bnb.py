@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.obs.convergence import observe, recording_convergence
 from repro.obs.trace import Span, span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 
@@ -113,9 +114,26 @@ class BranchAndBoundSolver:
     ) -> MilpSolution:
         best_x: np.ndarray | None = None
         best_obj = np.inf
+        telemetry = recording_convergence()
+
+        def emit_point(nodes: int, bound: float) -> None:
+            """One (nodes, incumbent, bound, gap) convergence point."""
+            gap = None
+            if best_x is not None and np.isfinite(bound):
+                gap = (best_obj - bound) / max(abs(best_obj), 1e-12)
+            observe(
+                "milp.bnb",
+                nodes=nodes,
+                incumbent=best_obj if best_x is not None else None,
+                bound=bound if np.isfinite(bound) else None,
+                gap=gap,
+            )
+
         if warm_start is not None and model.is_feasible(warm_start):
             best_x = warm_start.copy()
             best_obj = model.objective(warm_start)
+            if telemetry:
+                emit_point(0, -np.inf)
 
         counter = 0
         root = _Node(bound=-np.inf, tiebreak=counter, lb=model.lb.copy(), ub=model.ub.copy())
@@ -147,12 +165,16 @@ class BranchAndBoundSolver:
                 # Integral LP optimum: new incumbent.
                 if bound < best_obj:
                     best_obj, best_x = bound, x
+                    if telemetry:
+                        emit_point(nodes, node.bound)
                 continue
 
             if self.use_rounding_heuristic:
                 rounded = self._round_heuristic(model, x)
                 if rounded is not None and rounded[1] < best_obj:
                     best_x, best_obj = rounded[0], rounded[1]
+                    if telemetry:
+                        emit_point(nodes, node.bound)
 
             value = x[branch_var]
             for direction in ("down", "up"):
@@ -169,6 +191,14 @@ class BranchAndBoundSolver:
                     heap, _Node(bound=bound, tiebreak=-counter, lb=lb, ub=ub)
                 )
 
+        if telemetry:
+            # Terminal point: heap-minimum bound is the proven lower bound
+            # (empty heap = search exhausted, bound meets the incumbent).
+            final_bound = (
+                heap[0].bound if heap
+                else (best_obj if best_x is not None else -np.inf)
+            )
+            emit_point(nodes, final_bound)
         if best_x is None:
             final_status = (
                 MilpStatus.INFEASIBLE if status is MilpStatus.OPTIMAL else status

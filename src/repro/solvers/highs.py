@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.obs.convergence import observe
 from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 from repro.utils.errors import ReproError, SolverError
@@ -58,6 +59,17 @@ def solve_with_highs(
     solve_span.annotate(status=status.value)
     x = np.asarray(result.x) if result.x is not None else None
     objective = model.objective(x) if x is not None else np.inf
+    # scipy exposes no per-node callback, so the HiGHS convergence series
+    # is the terminal incumbent/dual-bound/gap point of this solve (one
+    # point per solve attempt; retries and fallback rungs append more).
+    observe(
+        "milp.highs",
+        incumbent=objective if x is not None else None,
+        bound=getattr(result, "mip_dual_bound", None),
+        gap=getattr(result, "mip_gap", None),
+        nodes=getattr(result, "mip_node_count", None),
+        runtime_s=solve_span.duration_s,
+    )
     return MilpSolution(
         status=status,
         x=x,

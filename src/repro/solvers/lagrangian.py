@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.convergence import observe
 from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus
 from repro.utils.errors import InfeasibleError, ValidationError
@@ -104,6 +105,15 @@ def solve_rap_lagrangian(
                     best_feasible = feasible
 
             grad = np.maximum(violation, 0.0)
+            observe(
+                "milp.lagrangian",
+                iteration=it,
+                dual=bound,
+                best_dual=best_bound,
+                primal=best_cost if best_feasible is not None else None,
+                step=step,
+                max_violation=float(grad.max()),
+            )
             if not grad.any():
                 break  # relaxed solution already feasible
             step = step0 / np.sqrt(it)

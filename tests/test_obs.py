@@ -187,6 +187,29 @@ class TestMetricsRegistry:
         assert fractions["leg"] == pytest.approx(0.5)
         assert stage_fractions({}, groups) == {"rap": 0.0, "leg": 0.0}
 
+    def test_stage_fractions_zero_total_nonempty(self):
+        # All-zero stage times must yield all-zero fractions, not a
+        # division error — a degraded run can report 0.0s stages.
+        stages = {"clustering": 0.0, "legalize": 0.0}
+        groups = {"rap": ("clustering",), "leg": ("legalize",)}
+        assert stage_fractions(stages, groups) == {"rap": 0.0, "leg": 0.0}
+
+    def test_merge_mismatched_histogram_bounds(self):
+        parent = MetricsRegistry()
+        parent.histogram("t", bounds=(1.0, 2.0)).observe(0.5)
+        worker = MetricsRegistry()
+        worker.histogram("t", bounds=(10.0, 20.0)).observe(15.0)
+        parent.merge(worker.snapshot())
+        hist = parent.snapshot()["histograms"]["t"]
+        # Summary statistics always fold in...
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(15.5)
+        assert hist["min"] == 0.5 and hist["max"] == 15.0
+        # ...but bucket counts stay untouched when the bounds disagree
+        # (adding counts across different bucket edges would be garbage).
+        assert hist["bounds"] == [1.0, 2.0]
+        assert sum(hist["bucket_counts"]) == 1
+
 
 class TestStageTimesIntegration:
     def test_measure_emits_spans(self):

@@ -110,6 +110,18 @@ class TestRunSweep:
         assert job.seed == config.job_seed("aes_300", 2)
         assert job.spans and job.spans["spans"], "span tree must ship"
         assert "flow.2" in job.format_span_tree()
+        # The embedded flight-recorder record ships QoR + convergence but
+        # not the spans/metrics the job already carries separately.
+        assert job.record is not None
+        assert job.record["schema"] == "repro.run_record/1"
+        assert "spans" not in job.record and "metrics" not in job.record
+        assert any(
+            s["stage"] == "flow2.final" for s in job.record["qor"]
+        )
+        # The cache-miss job ran prepare_initial_placement under the
+        # recorder, so its record carries the refinement trajectory.
+        fresh = result.job("aes_300", 1)
+        assert "refine.detailed" in fresh.record["convergence"]
         # Flow 1 filled the cache; flow 2 reused it.
         assert not result.jobs[0].cache_hit and result.jobs[1].cache_hit
 

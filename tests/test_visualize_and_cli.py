@@ -101,6 +101,36 @@ class TestCli:
         assert code == 0
         assert "Table II twin" in out
 
+    def test_report_command(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_run_record
+
+        out_dir = tmp_path / "report"
+        code = main(
+            ["report", "--cells", "250", "--seed", "3",
+             "--out-dir", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        record = json.loads((out_dir / "run_record.json").read_text())
+        assert validate_run_record(record) == []
+        # The acceptance bar: all three MILP backends and k-means carry
+        # non-empty convergence series from one report run.
+        for series in ("milp.highs", "milp.bnb", "milp.lagrangian",
+                       "clustering.kmeans"):
+            assert record["convergence"][series]["points"], series
+        trace = json.loads((out_dir / "trace.json").read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        report_md = (out_dir / "report.md").read_text()
+        assert "## Convergence" in report_md
+        assert "# Run report" in out
+
+    def test_verbosity_flags_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["-vv", "table2"]).verbose == 2
+        assert parser.parse_args(["-q", "table2"]).quiet is True
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["not-a-command"])
