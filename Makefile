@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-faults bench bench-full bench-sweep bench-kernels report examples clean
+.PHONY: install test test-faults bench bench-full bench-sweep bench-kernels bench-rap report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,16 @@ report:
 # prerequisite also schema-gates a fresh flight-recorder run record.
 bench-kernels: report
 	$(PYTHON) scripts/bench_kernels.py --out BENCH_kernels.json.new
+	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
+	  || (rm -f BENCH_kernels.json.new; exit 1)
+	mv BENCH_kernels.json.new BENCH_kernels.json
+
+# Sparse-RAP-only rebench (full-scale aes_400 instance): refreshes the
+# rap_solve entry of BENCH_kernels.json, carrying the other kernels over,
+# and runs the same regression/floor/objective-match gate.
+bench-rap:
+	$(PYTHON) scripts/bench_kernels.py --only rap --merge BENCH_kernels.json \
+	  --out BENCH_kernels.json.new
 	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
 	  || (rm -f BENCH_kernels.json.new; exit 1)
 	mv BENCH_kernels.json.new BENCH_kernels.json

@@ -4,18 +4,27 @@
 Measures the vectorized legalizers against the scalar reference
 implementations preserved in ``tests/_reference_legalize.py`` (same
 process, same inputs, best-of-N), the cached-topology kernels
-(``_b2b_system``, ``per_pin_other_extents``), and one end-to-end flow (5)
-run at the default sweep scale.  Results are published through
-``repro.obs.MetricsRegistry`` and written as ``BENCH_kernels.json``.
+(``_b2b_system``, ``per_pin_other_extents``), the sparse RAP engine
+against the dense model build + solve on the full-scale aes_400 row
+assignment instance, and one end-to-end flow (5) run at the default
+sweep scale.  Results are published through ``repro.obs.MetricsRegistry``
+and written as ``BENCH_kernels.json``.
 
 The ``baseline`` section embeds the pre-optimization timings recorded on
 the commit that introduced this harness (seed implementations, same
 machine class); ``scripts/check_bench.py`` gates regressions of the
 current numbers against the committed JSON and enforces the speedup
-floors (>=3x abacus_legalize, >=2x end-to-end flow (5)).
+floors (>=3x abacus_legalize, >=2x end-to-end flow (5), >=2x sparse
+RAP solve) plus the dense/sparse objective-match invariant.
+
+``--only`` restricts the run to named kernel groups (``legalizers``,
+``topology``, ``rap``, ``flow``); combine with ``--merge`` to carry the
+untouched groups over from a committed JSON so the gate still sees every
+kernel (``make bench-rap`` does exactly this).
 
 Usage:
     python scripts/bench_kernels.py [--out BENCH_kernels.json] [--repeats 3]
+                                    [--only rap[,flow...]] [--merge OLD.json]
 """
 
 from __future__ import annotations
@@ -62,6 +71,8 @@ from repro.techlib.asap7 import make_asap7_library  # noqa: E402
 N_CELLS = 4000
 SEED = 7
 FLOW_TESTCASE = "aes_400"
+RAP_TESTCASE = "aes_400"  # full scale: the instance the paper's ILP sees
+KERNEL_GROUPS = ("legalizers", "topology", "rap", "flow")
 
 # Pre-optimization timings (seed scalar implementations, recorded on the
 # commit introducing this harness).  ``flow5_seconds`` is the reference
@@ -113,89 +124,226 @@ def bench_legalizer(pd, fn, x0, y0, repeats):
     return best_of(run, repeats)
 
 
+def rap_instance(library):
+    """Full-scale RAP arrays of ``RAP_TESTCASE``: (f, w, cap, N_minR).
+
+    Exactly the instance ``FlowRunner.ilp_assignment`` hands to the
+    solver chain (default params, ``row_fill`` already applied).
+    """
+    from repro.core.clustering import cluster_minority_cells
+    from repro.core.cost import compute_rap_costs
+    from repro.core.params import RCPPParams
+    from repro.core.rap import required_minority_pairs
+
+    params = RCPPParams()
+    design = build_testcase(testcase_by_id(RAP_TESTCASE), library, scale=1.0)
+    init = prepare_initial_placement(design, library)
+    cx = init.placed.x[init.minority_indices] + init.placed.widths[
+        init.minority_indices
+    ] / 2.0
+    cy = init.placed.y[init.minority_indices] + init.placed.heights[
+        init.minority_indices
+    ] / 2.0
+    clustering = cluster_minority_cells(
+        cx, cy, params.s, params.kmeans_max_iterations
+    )
+    costs = compute_rap_costs(
+        init.placed,
+        init.minority_indices,
+        clustering.labels,
+        clustering.n_clusters,
+        init.pair_center_y,
+        init.minority_widths_original,
+    )
+    n_minr = required_minority_pairs(
+        float(init.minority_widths_original.sum()),
+        float(init.pair_capacity.min()),
+        params.minority_fill_target,
+    )
+    return (
+        costs.combine(params.alpha),
+        costs.cluster_width,
+        init.pair_capacity * params.row_fill,
+        n_minr,
+        design.num_instances,
+    )
+
+
+def bench_rap(library, repeats):
+    """Dense model build + solve vs the sparse engine, best-of-N each."""
+    from repro.core.rap import build_rap_model
+    from repro.core.sparse_rap import solve_rap_sparse
+    from repro.solvers.milp import solve_milp
+
+    f, w, cap, n_minr, n_cells = rap_instance(library)
+    dense_build = [0.0]
+    dense_solution = [None]
+
+    def run_dense():
+        t0 = time.perf_counter()
+        model = build_rap_model(f, w, cap, n_minr)
+        dense_build[0] = time.perf_counter() - t0
+        dense_solution[0] = solve_milp(model, backend="highs")
+
+    sparse_stats = [None]
+    sparse_solution = [None]
+
+    def run_sparse():
+        sparse_solution[0], sparse_stats[0] = solve_rap_sparse(
+            f, w, cap, n_minr, backend="highs"
+        )
+
+    dense_seconds = best_of(run_dense, repeats)
+    sparse_seconds = best_of(run_sparse, repeats)
+    stats = sparse_stats[0]
+    objective_match = bool(
+        dense_solution[0].ok
+        and sparse_solution[0].ok
+        and abs(dense_solution[0].objective - sparse_solution[0].objective)
+        <= 1e-6 * max(1.0, abs(dense_solution[0].objective))
+    )
+    return {
+        "seconds": sparse_seconds,
+        "dense_seconds": dense_seconds,
+        "dense_build_seconds": dense_build[0],
+        "sparse_build_seconds": stats.build_s,
+        "sparse_solve_seconds": stats.solve_s,
+        "speedup": dense_seconds / sparse_seconds,
+        "objective_match": objective_match,
+        "objective": float(sparse_solution[0].objective),
+        "certified": bool(stats.certified),
+        "strategy": stats.strategy,
+        "n_candidates": stats.n_candidates,
+        "compression": stats.compression,
+        "n_clusters": int(f.shape[0]),
+        "n_pairs": int(f.shape[1]),
+        "n_minority_rows": int(n_minr),
+        "n_cells": int(n_cells),
+        "testcase": RAP_TESTCASE,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(ROOT / "BENCH_kernels.json"))
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--only",
+        default=",".join(KERNEL_GROUPS),
+        help="comma list of kernel groups to run: "
+        + ", ".join(KERNEL_GROUPS),
+    )
+    parser.add_argument(
+        "--merge",
+        help="committed BENCH JSON whose untouched kernel entries carry "
+        "over into the output (for partial --only runs)",
+    )
     args = parser.parse_args()
+    groups = {g.strip() for g in args.only.split(",") if g.strip()}
+    unknown = groups - set(KERNEL_GROUPS)
+    if unknown:
+        parser.error(f"unknown kernel groups: {sorted(unknown)}")
 
     registry = MetricsRegistry()
     library = make_asap7_library()
-    pd = make_bench_design(library)
-    x0, y0 = pd.clone_positions()
 
     kernels: dict[str, dict] = {}
-    legalizer_pairs = [
-        ("abacus_legalize", abacus_legalize, reference_abacus_legalize),
-        ("tetris_legalize", tetris_legalize, reference_tetris_legalize),
-        ("spread_to_rows", spread_to_rows, reference_spread_to_rows),
-    ]
-    for name, new_fn, ref_fn in legalizer_pairs:
-        seconds = bench_legalizer(pd, new_fn, x0, y0, args.repeats)
-        ref_seconds = bench_legalizer(pd, ref_fn, x0, y0, args.repeats)
-        kernels[name] = {
-            "seconds": seconds,
-            "reference_seconds": ref_seconds,
-            "speedup": ref_seconds / seconds,
-            "cells_per_s": N_CELLS / seconds,
-        }
-        registry.gauge(f"bench.{name}.seconds").set(seconds)
-        registry.gauge(f"bench.{name}.cells_per_s").set(N_CELLS / seconds)
-        print(
-            f"{name:24s} {seconds * 1e3:8.2f} ms   "
-            f"(reference {ref_seconds * 1e3:8.2f} ms, "
-            f"{ref_seconds / seconds:4.2f}x)"
-        )
+    if args.merge and Path(args.merge).exists():
+        kernels.update(json.loads(Path(args.merge).read_text())["kernels"])
+
+    if "legalizers" in groups or "topology" in groups:
+        pd = make_bench_design(library)
+        x0, y0 = pd.clone_positions()
+
+    if "legalizers" in groups:
+        legalizer_pairs = [
+            ("abacus_legalize", abacus_legalize, reference_abacus_legalize),
+            ("tetris_legalize", tetris_legalize, reference_tetris_legalize),
+            ("spread_to_rows", spread_to_rows, reference_spread_to_rows),
+        ]
+        for name, new_fn, ref_fn in legalizer_pairs:
+            seconds = bench_legalizer(pd, new_fn, x0, y0, args.repeats)
+            ref_seconds = bench_legalizer(pd, ref_fn, x0, y0, args.repeats)
+            kernels[name] = {
+                "seconds": seconds,
+                "reference_seconds": ref_seconds,
+                "speedup": ref_seconds / seconds,
+                "cells_per_s": N_CELLS / seconds,
+            }
+            registry.gauge(f"bench.{name}.seconds").set(seconds)
+            registry.gauge(f"bench.{name}.cells_per_s").set(N_CELLS / seconds)
+            print(
+                f"{name:24s} {seconds * 1e3:8.2f} ms   "
+                f"(reference {ref_seconds * 1e3:8.2f} ms, "
+                f"{ref_seconds / seconds:4.2f}x)"
+            )
 
     # Topology kernels: measured on the current implementation only; the
     # committed baseline carries the pre-topology-cache numbers.
-    pd.x, pd.y = x0.copy(), y0.copy()
-    px, py = pd.pin_positions()
-    topo = pd.topology
-    for name, fn, reps in (
-        ("b2b_system", lambda: _b2b_system(pd, px, pd.x), args.repeats),
-        (
-            "per_pin_other_extents",
-            lambda: topo.per_pin_other_extents(py),
-            max(args.repeats, 10),
-        ),
-    ):
-        seconds = best_of(fn, reps)
-        kernels[name] = {
-            "seconds": seconds,
-            "baseline_seconds": BASELINE[name],
-            "speedup_vs_baseline": BASELINE[name] / seconds,
-            "cells_per_s": N_CELLS / seconds,
-        }
-        registry.gauge(f"bench.{name}.seconds").set(seconds)
+    if "topology" in groups:
+        pd.x, pd.y = x0.copy(), y0.copy()
+        px, py = pd.pin_positions()
+        topo = pd.topology
+        for name, fn, reps in (
+            ("b2b_system", lambda: _b2b_system(pd, px, pd.x), args.repeats),
+            (
+                "per_pin_other_extents",
+                lambda: topo.per_pin_other_extents(py),
+                max(args.repeats, 10),
+            ),
+        ):
+            seconds = best_of(fn, reps)
+            kernels[name] = {
+                "seconds": seconds,
+                "baseline_seconds": BASELINE[name],
+                "speedup_vs_baseline": BASELINE[name] / seconds,
+                "cells_per_s": N_CELLS / seconds,
+            }
+            registry.gauge(f"bench.{name}.seconds").set(seconds)
+            print(
+                f"{name:24s} {seconds * 1e3:8.2f} ms   "
+                f"(baseline {BASELINE[name] * 1e3:8.2f} ms, "
+                f"{BASELINE[name] / seconds:4.2f}x)"
+            )
+
+    # Sparse RAP engine vs dense build + solve, full-scale instance.
+    if "rap" in groups:
+        entry = bench_rap(library, args.repeats)
+        kernels["rap_solve"] = entry
+        registry.gauge("bench.rap_solve.seconds").set(entry["seconds"])
+        registry.gauge("bench.rap_solve.speedup").set(entry["speedup"])
         print(
-            f"{name:24s} {seconds * 1e3:8.2f} ms   "
-            f"(baseline {BASELINE[name] * 1e3:8.2f} ms, "
-            f"{BASELINE[name] / seconds:4.2f}x)"
+            f"{'rap_solve':24s} {entry['seconds'] * 1e3:8.2f} ms   "
+            f"(dense {entry['dense_seconds'] * 1e3:8.2f} ms, "
+            f"{entry['speedup']:4.2f}x, match={entry['objective_match']}, "
+            f"{entry['n_clusters']}x{entry['n_pairs']})"
         )
 
     # End-to-end flow (5) at the default sweep scale.
-    design = build_testcase(testcase_by_id(FLOW_TESTCASE), library, scale=DEFAULT_SCALE)
+    if "flow" in groups:
+        design = build_testcase(
+            testcase_by_id(FLOW_TESTCASE), library, scale=DEFAULT_SCALE
+        )
 
-    def run_flow():
-        initial = prepare_initial_placement(design, library)
-        FlowRunner(initial).run(FlowKind.FLOW5)
+        def run_flow():
+            initial = prepare_initial_placement(design, library)
+            FlowRunner(initial).run(FlowKind.FLOW5)
 
-    seconds = best_of(run_flow, args.repeats)
-    kernels["flow5_end_to_end"] = {
-        "seconds": seconds,
-        "n_cells": design.num_instances,
-        "baseline_seconds": BASELINE["flow5_seconds"],
-        "speedup_vs_baseline": BASELINE["flow5_seconds"] / seconds,
-        "cells_per_s": design.num_instances / seconds,
-    }
-    registry.gauge("bench.flow5_end_to_end.seconds").set(seconds)
-    print(
-        f"{'flow5_end_to_end':24s} {seconds * 1e3:8.2f} ms   "
-        f"(baseline {BASELINE['flow5_seconds'] * 1e3:8.2f} ms, "
-        f"{BASELINE['flow5_seconds'] / seconds:4.2f}x, "
-        f"{design.num_instances} cells)"
-    )
+        seconds = best_of(run_flow, args.repeats)
+        kernels["flow5_end_to_end"] = {
+            "seconds": seconds,
+            "n_cells": design.num_instances,
+            "baseline_seconds": BASELINE["flow5_seconds"],
+            "speedup_vs_baseline": BASELINE["flow5_seconds"] / seconds,
+            "cells_per_s": design.num_instances / seconds,
+        }
+        registry.gauge("bench.flow5_end_to_end.seconds").set(seconds)
+        print(
+            f"{'flow5_end_to_end':24s} {seconds * 1e3:8.2f} ms   "
+            f"(baseline {BASELINE['flow5_seconds'] * 1e3:8.2f} ms, "
+            f"{BASELINE['flow5_seconds'] / seconds:4.2f}x, "
+            f"{design.num_instances} cells)"
+        )
 
     payload = {
         "meta": {

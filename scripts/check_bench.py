@@ -8,6 +8,10 @@ when the current run misses the speedup floors this layer promises:
 
 * ``abacus_legalize``  >= 3.0x over the preserved scalar reference
 * ``flow5_end_to_end`` >= 2.0x over the pre-optimization baseline
+* ``rap_solve``        >= 2.0x over the dense model build + solve,
+  and its sparse objective must match the dense optimum
+  (``objective_match``) — a mismatch is a correctness failure, not a
+  performance one, and always fails the gate
 
 Record mode (``--record``) validates a flight-recorder
 ``run_record.json`` against the ``repro.run_record/1`` schema, and —
@@ -40,7 +44,13 @@ for p in (str(ROOT / "src"),):
 FLOORS = {
     ("abacus_legalize", "speedup"): 3.0,
     ("flow5_end_to_end", "speedup_vs_baseline"): 2.0,
+    ("rap_solve", "speedup"): 2.0,
 }
+
+#: Boolean invariants: (kernel, field) entries that must be true.
+INVARIANTS = (
+    ("rap_solve", "objective_match"),
+)
 
 
 def check_kernels(
@@ -56,6 +66,12 @@ def check_kernels(
             failures.append(
                 f"{kernel}: {field} {got:.2f}x below floor {floor:.1f}x"
             )
+    for kernel, field in INVARIANTS:
+        got = current["kernels"].get(kernel, {}).get(field)
+        if got is None:
+            failures.append(f"{kernel}: missing {field} in current run")
+        elif not got:
+            failures.append(f"{kernel}: invariant {field} is false")
 
     if committed_path and Path(committed_path).exists():
         committed = json.loads(Path(committed_path).read_text())

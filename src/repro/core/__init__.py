@@ -13,7 +13,18 @@ from repro.core.params import RCPPParams
 from repro.core.clustering import ClusteringResult, cluster_minority_cells, kmeans_2d
 from repro.core.cost import RapCosts, compute_rap_costs
 from repro.core.rap import RowAssignment, build_rap_model, solve_rap
-from repro.core.alternating import alternating_pattern, solve_fixed_pattern_rap
+from repro.core.sparse_rap import (
+    SparseRapModel,
+    SparseSolveStats,
+    adaptive_candidate_count,
+    build_sparse_rap_model,
+    solve_rap_sparse,
+)
+from repro.core.alternating import (
+    alternating_pattern,
+    solve_fixed_pattern_rap,
+    sweep_pattern_phases,
+)
 from repro.core.baseline import baseline_row_assignment
 from repro.core.fence import FenceRegions
 from repro.core.flows import FlowKind, FlowResult, run_flow
@@ -31,8 +42,14 @@ __all__ = [
     "RowAssignment",
     "build_rap_model",
     "solve_rap",
+    "SparseRapModel",
+    "SparseSolveStats",
+    "adaptive_candidate_count",
+    "build_sparse_rap_model",
+    "solve_rap_sparse",
     "alternating_pattern",
     "solve_fixed_pattern_rap",
+    "sweep_pattern_phases",
     "baseline_row_assignment",
     "RegionResult",
     "region_based_flow",

@@ -58,11 +58,15 @@ def solve_fixed_pattern_rap(
     minority_track: float = 7.5,
     backend: str = "highs",
     time_limit_s: float | None = None,
+    warm_assignment: np.ndarray | None = None,
 ) -> RowAssignment:
     """Optimal cluster -> pair assignment for a *fixed* minority pair set.
 
     This is Eqs. (1)-(4) restricted to the pattern's columns; exactly the
-    problem a FinFlex-style flow would solve.
+    problem a FinFlex-style flow would solve.  ``warm_assignment`` is a
+    prior cluster -> (dense) pair map — e.g. the free RAP's solution or a
+    neighboring phase's — encoded as the solver's starting point when
+    every assigned pair belongs to this pattern.
     """
     n_c, n_p = f.shape
     minority_pairs = np.asarray(minority_pairs, dtype=int)
@@ -93,7 +97,19 @@ def solve_fixed_pattern_rap(
         a_eq=a_eq,
         b_eq=np.ones(n_c),
     )
-    solution = solve_milp(model, backend=backend, time_limit_s=time_limit_s)
+    warm_vec = None
+    if warm_assignment is not None:
+        warm_vec = _encode_pattern_warm(
+            np.asarray(warm_assignment, dtype=int), minority_pairs, n_c, k
+        )
+        if warm_vec is not None and not model.is_feasible(warm_vec):
+            warm_vec = None
+    solution = solve_milp(
+        model,
+        backend=backend,
+        time_limit_s=time_limit_s,
+        warm_start=warm_vec,
+    )
     if not solution.ok or solution.x is None:
         raise InfeasibleError(f"fixed-pattern RAP failed: {solution.status}")
     x = np.round(solution.x).reshape(n_c, k)
@@ -114,3 +130,77 @@ def solve_fixed_pattern_rap(
         num_variables=n_x,
         solver_nodes=solution.nodes,
     )
+
+
+def _encode_pattern_warm(
+    assignment: np.ndarray,
+    minority_pairs: np.ndarray,
+    n_clusters: int,
+    k: int,
+) -> np.ndarray | None:
+    """Encode a dense cluster -> pair map over the pattern's columns."""
+    if assignment.shape != (n_clusters,):
+        return None
+    sub_of_pair = {int(p): s for s, p in enumerate(minority_pairs)}
+    x = np.zeros(n_clusters * k)
+    for c, p in enumerate(assignment):
+        s = sub_of_pair.get(int(p))
+        if s is None:  # prior uses a pair outside this pattern
+            return None
+        x[c * k + s] = 1.0
+    return x
+
+
+def sweep_pattern_phases(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority: int,
+    labels: np.ndarray,
+    phases: "list[int] | None" = None,
+    majority_track: float = 6.0,
+    minority_track: float = 7.5,
+    backend: str = "highs",
+    time_limit_s: float | None = None,
+    warm_assignment: np.ndarray | None = None,
+) -> tuple[RowAssignment, int]:
+    """Best fixed-pattern assignment over a set of pattern phases.
+
+    Each phase's solve is warm-started from the best assignment found so
+    far (or the caller's ``warm_assignment``, e.g. the free RAP's
+    solution) instead of cold-starting — phases mostly shift the pattern
+    by one pair, so the prior solution is usually near-feasible and
+    prunes the search immediately.  Returns ``(best, best_phase)``;
+    raises :class:`InfeasibleError` when no phase fits.
+    """
+    n_p = f.shape[1]
+    if phases is None:
+        stride = max(1, n_p // max(1, n_minority))
+        phases = list(range(stride))
+    best: RowAssignment | None = None
+    best_phase = -1
+    prior = warm_assignment
+    for phase in phases:
+        pattern = alternating_pattern(n_p, n_minority, phase=phase)
+        try:
+            result = solve_fixed_pattern_rap(
+                f,
+                cluster_width,
+                pair_capacity,
+                pattern,
+                labels,
+                majority_track=majority_track,
+                minority_track=minority_track,
+                backend=backend,
+                time_limit_s=time_limit_s,
+                warm_assignment=prior,
+            )
+        except InfeasibleError:
+            continue
+        if best is None or result.objective < best.objective:
+            best = result
+            best_phase = phase
+        prior = (best if best is not None else result).cluster_to_pair
+    if best is None:
+        raise InfeasibleError("no pattern phase admits a feasible fit")
+    return best, best_phase

@@ -26,6 +26,46 @@ from repro.placement.db import PlacedDesign
 from repro.utils.errors import ValidationError
 
 
+def group_sum(
+    values: np.ndarray, groups: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Scatter-add ``values`` rows into ``n_groups`` buckets via bincount.
+
+    Equivalent to ``np.add.at(out, groups, values)`` on a zero-initialized
+    ``out`` but built on :func:`np.bincount`, which reduces in C without
+    the per-index dispatch overhead of ``ufunc.at``.  ``values`` may be
+    1-D ``(n,)`` or 2-D ``(n, m)``; ``groups`` is ``(n,)`` int.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        return np.bincount(groups, weights=values, minlength=n_groups)
+    n_cols = values.shape[1]
+    flat = groups[:, None] * n_cols + np.arange(n_cols)[None, :]
+    return np.bincount(
+        flat.ravel(), weights=values.ravel(), minlength=n_groups * n_cols
+    ).reshape(n_groups, n_cols)
+
+
+def cheapest_pairs_mask(f: np.ndarray, k: int) -> np.ndarray:
+    """Boolean ``(N_C, N_P)`` mask keeping each cluster's k cheapest pairs.
+
+    The sparse RAP engine's candidate generator: ties are broken by pair
+    index (deterministic), and ``k >= N_P`` keeps everything.
+    """
+    n_c, n_p = f.shape
+    if k <= 0:
+        raise ValidationError(f"candidate k must be >= 1, got {k}")
+    mask = np.zeros((n_c, n_p), dtype=bool)
+    if k >= n_p:
+        mask[:] = True
+        return mask
+    # argsort (not argpartition) so equal-cost ties resolve to the lowest
+    # pair indices, keeping candidate sets stable across runs.
+    order = np.argsort(f, axis=1, kind="stable")[:, :k]
+    mask[np.arange(n_c)[:, None], order] = True
+    return mask
+
+
 @dataclass(frozen=True)
 class RapCosts:
     """Per-cluster cost matrices plus the width bookkeeping the ILP needs."""
@@ -99,16 +139,13 @@ def compute_rap_costs(
         o_hi = others_hi[pins][:, None]
         new_span = np.maximum(o_hi, new_y) - np.minimum(o_lo, new_y)
         delta = new_span - old_span[pins][:, None]
-        np.add.at(cell_dhpwl, cell_of_pin, delta)
+        cell_dhpwl = group_sum(delta, cell_of_pin, n_min)
 
     if original_widths.shape != (n_min,):
         raise ValidationError("original_widths must align with minority cells")
-    disp = np.zeros((n_clusters, n_pairs))
-    dhpwl = np.zeros((n_clusters, n_pairs))
-    width = np.zeros(n_clusters)
-    np.add.at(disp, labels, cell_disp)
-    np.add.at(dhpwl, labels, cell_dhpwl)
-    np.add.at(width, labels, original_widths)
+    disp = group_sum(cell_disp, labels, n_clusters)
+    dhpwl = group_sum(cell_dhpwl, labels, n_clusters)
+    width = group_sum(original_widths, labels, n_clusters)
 
     return RapCosts(
         disp=disp,

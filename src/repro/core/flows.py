@@ -281,6 +281,19 @@ class FlowRunner:
         self._ilp: (
             tuple[RowAssignment, float, float, int, FlowProvenance] | None
         ) = None
+        # Last successful cluster -> pair map; warm-starts the next RAP
+        # solve on this runner (e.g. after invalidate_assignments()).
+        self._rap_warm: np.ndarray | None = None
+
+    def invalidate_assignments(self) -> None:
+        """Drop the cached row assignments so the next call re-solves.
+
+        The warm-start seed (``_rap_warm``) survives on purpose: a
+        re-solve after a parameter tweak starts from the previous
+        solution instead of cold-starting.
+        """
+        self._baseline = None
+        self._ilp = None
 
     # -- row assignments (cached) -----------------------------------------
 
@@ -377,6 +390,10 @@ class FlowRunner:
                         "row_assign", deadline
                     ),
                     provenance=prov,
+                    sparse=params.rap_sparse,
+                    candidate_k=params.rap_candidates,
+                    workers=params.rap_workers,
+                    warm_assignment=self._rap_warm,
                 )
                 if assignment is None:
                     if not self.policy.fallback_enabled:
@@ -389,6 +406,8 @@ class FlowRunner:
                             provenance=prov,
                         )
                     assignment = self._baseline_rung(prov, deadline)
+                else:
+                    self._rap_warm = assignment.cluster_to_pair
             self._ilp = (
                 assignment,
                 times.stages["clustering"],

@@ -46,6 +46,17 @@ class RCPPParams:
       :class:`~repro.utils.errors.StageTimeoutError`.  ``None`` (the
       default) means unlimited — identical behavior to the plain
       reproduction path.
+
+    Sparse RAP engine knobs (see :mod:`repro.core.sparse_rap`):
+
+    * ``rap_sparse`` routes RAP solves through the sparse engine
+      (candidate pruning + pricing repair + component decomposition);
+      results are certified equal to the dense optimum.  Disabled, every
+      solve builds the dense cluster x row-pair model as before.
+    * ``rap_candidates`` forces the per-cluster candidate count ``k``;
+      ``None`` (default) adapts ``k`` to the capacity slack.
+    * ``rap_workers`` is the process-pool width for decomposed
+      component sub-solves (1 = always in-process).
     """
 
     alpha: float = 0.75
@@ -62,6 +73,9 @@ class RCPPParams:
     fallback: bool = True
     max_solver_retries: int = 1
     time_budget_s: float | None = None
+    rap_sparse: bool = True
+    rap_candidates: int | None = None
+    rap_workers: int = 1
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.alpha <= 1.0):
@@ -84,3 +98,7 @@ class RCPPParams:
             raise ValidationError("time_budget_s must be >= 0 when set")
         if self.solver_time_limit_s is not None and self.solver_time_limit_s < 0:
             raise ValidationError("solver_time_limit_s must be >= 0 when set")
+        if self.rap_candidates is not None and self.rap_candidates < 1:
+            raise ValidationError("rap_candidates must be >= 1 when forced")
+        if self.rap_workers < 1:
+            raise ValidationError("rap_workers must be >= 1")

@@ -22,6 +22,11 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.sparse_rap import (
+    SparseSolveStats,
+    solve_rap_sparse,
+    validate_rap_inputs,
+)
 from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
 from repro.utils.errors import (
@@ -79,18 +84,9 @@ def build_rap_model(
     Variable layout: ``x`` flattened row-major (cluster-major) first, then
     the ``y_r`` indicators.
     """
-    n_c, n_p = f.shape
-    if cluster_width.shape != (n_c,):
-        raise ValidationError("cluster_width shape mismatch")
-    if pair_capacity.shape != (n_p,):
-        raise ValidationError("pair_capacity shape mismatch")
-    if not (1 <= n_minority_rows <= n_p):
-        raise InfeasibleError(
-            f"N_minR={n_minority_rows} outside [1, {n_p}]"
-        )
-    if n_minority_rows > n_p:
-        raise InfeasibleError("more minority rows than rows")
-
+    n_c, n_p = validate_rap_inputs(
+        f, cluster_width, pair_capacity, n_minority_rows
+    )
     n_x = n_c * n_p
     n_vars = n_x + n_p
     c = np.concatenate([f.ravel(), np.zeros(n_p)])
@@ -150,7 +146,9 @@ def build_rap_model(
         b_ub=b_ub,
         a_eq=a_eq,
         b_eq=b_eq,
-        names=[f"x_{k // n_p}_{k % n_p}" for k in range(n_x)]
+        name_factory=lambda: [
+            f"x_{k // n_p}_{k % n_p}" for k in range(n_x)
+        ]
         + [f"y_{r}" for r in range(n_p)],
     )
 
@@ -266,25 +264,53 @@ def solve_rap(
     minority_track: float = 7.5,
     backend: str = "highs",
     time_limit_s: float | None = None,
+    sparse: bool = False,
+    candidate_k: int | None = None,
+    workers: int = 1,
 ) -> RowAssignment:
     """Build and solve the RAP; returns the decoded assignment.
 
     The own branch-and-bound backend is seeded with the greedy warm start
     (when it exists and opens exactly N_minR rows), which prunes most of
-    the search tree on typical instances.
+    the search tree on typical instances.  ``sparse=True`` routes through
+    :func:`repro.core.sparse_rap.solve_rap_sparse` (column pruning +
+    pricing repair + component decomposition); ``candidate_k`` /
+    ``workers`` tune that engine and are ignored on the dense path.
     """
-    model = build_rap_model(f, cluster_width, pair_capacity, n_minority_rows)
-    warm_vector = None
-    if backend == "bnb":
-        warm = greedy_rap(f, cluster_width, pair_capacity, n_minority_rows)
-        if warm is not None:
-            candidate = assignment_to_vector(warm, *f.shape)
-            if model.is_feasible(candidate):
-                warm_vector = candidate
-    solution = solve_milp(
-        model, backend=backend, time_limit_s=time_limit_s,
-        warm_start=warm_vector,
-    )
+    if sparse:
+        warm = (
+            greedy_rap(f, cluster_width, pair_capacity, n_minority_rows)
+            if backend == "bnb"
+            else None
+        )
+        solution, _ = solve_rap_sparse(
+            f,
+            cluster_width,
+            pair_capacity,
+            n_minority_rows,
+            backend=backend,
+            time_limit_s=time_limit_s,
+            warm_assignment=warm,
+            candidate_k=candidate_k,
+            workers=workers,
+        )
+    else:
+        model = build_rap_model(
+            f, cluster_width, pair_capacity, n_minority_rows
+        )
+        warm_vector = None
+        if backend == "bnb":
+            warm = greedy_rap(
+                f, cluster_width, pair_capacity, n_minority_rows
+            )
+            if warm is not None:
+                candidate = assignment_to_vector(warm, *f.shape)
+                if model.is_feasible(candidate):
+                    warm_vector = candidate
+        solution = solve_milp(
+            model, backend=backend, time_limit_s=time_limit_s,
+            warm_start=warm_vector,
+        )
     return solution_to_assignment(
         solution,
         n_clusters=f.shape[0],
@@ -295,14 +321,39 @@ def solve_rap(
     )
 
 
+def _valid_prior(
+    prior: np.ndarray | None, n_clusters: int, n_pairs: int
+) -> np.ndarray | None:
+    """A prior assignment, or None when its shape/range no longer fits."""
+    if prior is None:
+        return None
+    prior = np.asarray(prior, dtype=int)
+    if prior.shape != (n_clusters,):
+        return None
+    if np.any(prior < 0) or np.any(prior >= n_pairs):
+        return None
+    return prior
+
+
 def _warm_start_vector(
     model: MilpModel,
     f: np.ndarray,
     cluster_width: np.ndarray,
     usable_capacity: np.ndarray,
     n_minority_rows: int,
+    prior: np.ndarray | None = None,
 ) -> np.ndarray | None:
-    """Greedy warm start encoded as a model vector (B&B rung only)."""
+    """Warm start encoded as a model vector.
+
+    ``prior`` (the previous refinement iteration's assignment) wins when
+    it is still feasible for this instance; the greedy heuristic is the
+    fallback.
+    """
+    prior = _valid_prior(prior, *f.shape)
+    if prior is not None:
+        candidate = assignment_to_vector(prior, *f.shape)
+        if model.is_feasible(candidate):
+            return candidate
     warm = greedy_rap(f, cluster_width, usable_capacity, n_minority_rows)
     if warm is None:
         return None
@@ -324,6 +375,10 @@ def solve_rap_resilient(
     policy: ResiliencePolicy | None = None,
     deadline: Deadline | None = None,
     provenance: FlowProvenance | None = None,
+    sparse: bool = True,
+    candidate_k: int | None = None,
+    workers: int = 1,
+    warm_assignment: np.ndarray | None = None,
 ) -> RowAssignment | None:
     """Solve the RAP under a solver fallback chain with relaxation.
 
@@ -331,6 +386,15 @@ def solve_rap_resilient(
     capacity; ``row_fill`` is applied per relaxation level so a failed
     chain can retry with relaxed constraints (``row_fill`` → 1.0 first,
     then N_minR bumped while pairs remain).
+
+    ``sparse`` (the default) routes every exact rung through the sparse
+    engine (:mod:`repro.core.sparse_rap`) — candidate pruning with a
+    pricing/repair loop that certifies equality with the dense optimum —
+    and the heuristic rung straight onto the cost arrays with no model
+    build at all.  ``warm_assignment`` (e.g. the previous refinement
+    iteration's cluster -> pair map) seeds every rung's warm start;
+    without it the B&B rung falls back to the greedy heuristic as
+    before.
 
     Failure ladder per :class:`~repro.utils.resilience.ResiliencePolicy`:
 
@@ -369,9 +433,16 @@ def solve_rap_resilient(
     for fill, n_rows, relaxation in levels:
         usable = pair_capacity * fill
         try:
-            model = build_rap_model(f, cluster_width, usable, n_rows)
+            validate_rap_inputs(f, cluster_width, usable, n_rows)
         except InfeasibleError:
             continue  # not even modellable at this level; escalate
+        # Dense path only; the sparse engine builds restricted models
+        # per rung (and the heuristic rung builds none at all).
+        model = (
+            None
+            if sparse
+            else build_rap_model(f, cluster_width, usable, n_rows)
+        )
         if relaxation is not None:
             prov.relaxations.append(relaxation)
             logger.info("RAP escalating relaxation: %s", relaxation)
@@ -386,19 +457,53 @@ def solve_rap_resilient(
                 try:
                     with attempt_span:
                         policy.inject(stage)
-                        warm = (
-                            _warm_start_vector(
-                                model, f, cluster_width, usable, n_rows
+                        if sparse:
+                            warm = _valid_prior(warm_assignment, *f.shape)
+                            if warm is None and rung in ("highs", "bnb"):
+                                # Cheap incumbent: seeds bnb's search and
+                                # the sparse engine's reduced-cost fixing
+                                # (highs itself ignores warm starts).
+                                warm = greedy_rap(
+                                    f, cluster_width, usable, n_rows
+                                )
+                            solution, sparse_stats = solve_rap_sparse(
+                                f,
+                                cluster_width,
+                                usable,
+                                n_rows,
+                                backend=rung,
+                                time_limit_s=deadline.clamp(time_limit_s),
+                                warm_assignment=warm,
+                                candidate_k=candidate_k,
+                                workers=workers,
                             )
-                            if rung == "bnb"
-                            else None
-                        )
-                        solution = solve_milp(
-                            model,
-                            backend=rung,
-                            time_limit_s=deadline.clamp(time_limit_s),
-                            warm_start=warm,
-                        )
+                            attempt_span.annotate(
+                                sparse_rounds=sparse_stats.rounds,
+                                sparse_k=sparse_stats.k_final,
+                                sparse_candidates=sparse_stats.n_candidates,
+                                sparse_components=sparse_stats.n_components,
+                                sparse_certified=sparse_stats.certified,
+                            )
+                        else:
+                            warm = (
+                                _warm_start_vector(
+                                    model,
+                                    f,
+                                    cluster_width,
+                                    usable,
+                                    n_rows,
+                                    prior=warm_assignment,
+                                )
+                                if rung == "bnb"
+                                or warm_assignment is not None
+                                else None
+                            )
+                            solution = solve_milp(
+                                model,
+                                backend=rung,
+                                time_limit_s=deadline.clamp(time_limit_s),
+                                warm_start=warm,
+                            )
                 except StageTimeoutError as exc:
                     prov.record(
                         stage, rung, attempt, ok=False, error=exc,

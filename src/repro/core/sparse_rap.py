@@ -1,0 +1,1158 @@
+"""Sparse RAP engine: candidate pruning, pricing repair, decomposition.
+
+The dense RAP of :func:`repro.core.rap.build_rap_model` instantiates all
+``N_C x N_P`` assignment variables, so model build and solve cost grow
+quadratically with testcase size even though a cluster is never
+profitably assigned to a row pair across the die.  This module prunes
+that space end to end while staying *provably* equivalent to the dense
+optimum:
+
+* **Candidate generation** — the default strategy is reduced-cost
+  fixing: one LP relaxation of the *strengthened* dense model (see
+  below) plus an LP-guided rounding incumbent ``z_ub`` prove that any
+  column whose LP reduced cost satisfies ``z_lp + rc > z_ub`` cannot
+  appear in a solution better than the incumbent, so only the surviving
+  columns enter the MILP.  When the caller forces a per-cluster
+  candidate count ``k`` (or the LP is unavailable), the fallback keeps
+  each cluster's ``k`` cheapest row pairs
+  (:func:`repro.core.cost.cheapest_pairs_mask`), with ``k`` adaptive to
+  the capacity slack (:func:`adaptive_candidate_count`).  Either way the
+  result is a column-compressed :class:`~repro.solvers.milp.MilpModel`
+  (:class:`SparseRapModel`) carrying an index map back to the dense
+  variable layout; at ``k = N_P`` it is bit-identical to the dense
+  model.
+
+* **Pricing / repair loop** — when the restricted problem is infeasible
+  the candidate set widens (k doubles, terminating at the dense model).
+  When it solves to optimality with objective ``z``, pruned columns are
+  re-admitted iff their reduced-cost bound ``z_lp + rc`` does not exceed
+  ``z``: by LP duality every integer-feasible solution whose support
+  contains column ``j`` costs at least ``z_lp + rc_j``, so when no
+  pruned column passes the test the restricted optimum *is* the dense
+  optimum (certified).  Each admission strictly grows the candidate
+  set, so the loop terminates — in the worst case at the dense model
+  itself.
+
+* **Spatial decomposition** — when the pruned cluster<->row-pair
+  bipartite graph splits into independent connected components, each
+  component solves as its own sub-MILP (concurrently through
+  :func:`repro.utils.pool.parallel_map` — the sweep engine's worker
+  pool — when sizes warrant) and an exact DP over component capacities
+  apportions ``N_minR`` across components.
+
+*Strengthening.*  Restricted models carry two valid inequalities the
+paper's formulation implies but never states: the disaggregated linking
+rows ``x_cr <= y_r`` and the aggregate capacity cut ``sum_r cap_r y_r
+>= sum_c w_c``.  Neither changes the integer optimum, but together they
+close most of the LP/IP gap of the open-row choice — which is exactly
+where the dense solve spends its branch-and-bound time.  The cuts are
+omitted at a forced ``k = N_P`` so that configuration reproduces the
+dense model (and its solver trajectory) bit for bit.
+
+Exactness guarantees apply to the exact backends (``highs``, ``bnb``);
+the heuristic ``lagrangian`` backend skips the MILP entirely and runs
+its subgradient loop straight on the dense cost matrix (no model build
+at all), which is where its time went in the dense path.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+from scipy.sparse.csgraph import connected_components
+
+from repro.core.cost import cheapest_pairs_mask
+from repro.obs.convergence import observe
+from repro.obs.trace import span
+from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
+from repro.utils.errors import InfeasibleError, ValidationError
+from repro.utils.pool import parallel_map
+
+logger = logging.getLogger(__name__)
+
+#: Above this many (component, row-count) sub-MILP tasks the DP sweep
+#: would cost more than one joint solve; fall back to the whole model.
+MAX_DECOMPOSITION_TASKS = 96
+
+#: Fan the component sub-solves out over processes only when there are
+#: enough of them to amortize worker startup + model pickling.
+MIN_PARALLEL_TASKS = 4
+
+#: At or below this many dense variables the LP + rounding-incumbent
+#: machinery costs more than the dense solve it would prune, so the
+#: default strategy solves the full model directly (still exact).
+SMALL_PROBLEM_VARIABLES = 600
+
+_SAFETY_ROUNDS = 12
+
+
+@dataclass
+class SparseSolveStats:
+    """What the sparse engine did for one solve (telemetry + tests)."""
+
+    strategy: str = ""  # "rc-fixing" | "top-k" | "dense" | "lagrangian"
+    k_initial: int = 0
+    k_final: int = 0  # widest per-cluster candidate row in the final mask
+    n_candidates: int = 0  # x columns in the final restricted model
+    n_dense_variables: int = 0
+    n_components: int = 1
+    rounds: int = 0  # restricted solves performed
+    admitted_columns: int = 0  # columns re-admitted by the pricing test
+    certified: bool = False  # restricted optimum proven == dense optimum
+    lp_bound: float | None = None  # strengthened dense LP value
+    upper_bound: float | None = None  # incumbent used for rc fixing
+    build_s: float = 0.0
+    solve_s: float = 0.0
+
+    @property
+    def compression(self) -> float:
+        """Dense variables per restricted x column (>= 1)."""
+        if self.n_candidates <= 0:
+            return 1.0
+        return self.n_dense_variables / float(self.n_candidates)
+
+
+@dataclass(frozen=True)
+class SparseRapModel:
+    """Column-compressed RAP model plus the map back to dense layout.
+
+    ``x`` columns are the candidate (cluster, pair) entries in dense
+    row-major order; ``y`` columns cover only the union of candidate
+    pairs.  ``cand_cluster[j]`` / ``cand_pair[j]`` give x column ``j``'s
+    dense coordinates, ``union_pairs[s]`` y slot ``s``'s dense pair.
+    """
+
+    model: MilpModel
+    cand_cluster: np.ndarray
+    cand_pair: np.ndarray
+    union_pairs: np.ndarray
+    n_clusters: int
+    n_pairs: int
+
+    @property
+    def n_x(self) -> int:
+        return len(self.cand_cluster)
+
+    @property
+    def n_dense_vars(self) -> int:
+        return self.n_clusters * self.n_pairs + self.n_pairs
+
+    def to_dense_x(self, x: np.ndarray) -> np.ndarray:
+        """Expand a restricted solution vector to the dense layout."""
+        dense = np.zeros(self.n_dense_vars)
+        dense[self.cand_cluster * self.n_pairs + self.cand_pair] = x[: self.n_x]
+        dense[self.n_clusters * self.n_pairs + self.union_pairs] = x[self.n_x:]
+        return dense
+
+    def encode_assignment(self, assignment: np.ndarray) -> np.ndarray | None:
+        """Restricted (x, y) vector for a cluster -> pair map.
+
+        Returns ``None`` when some cluster's pair is not a candidate
+        column (the warm start is then simply dropped).
+        """
+        assignment = np.asarray(assignment, dtype=int)
+        if assignment.shape != (self.n_clusters,):
+            return None
+        if np.any(assignment < 0) or np.any(assignment >= self.n_pairs):
+            return None
+        keys = self.cand_cluster * self.n_pairs + self.cand_pair
+        want = np.arange(self.n_clusters) * self.n_pairs + assignment
+        idx = np.searchsorted(keys, want)
+        if np.any(idx >= len(keys)) or np.any(keys[idx] != want):
+            return None
+        x = np.zeros(self.model.num_vars)
+        x[idx] = 1.0
+        slots = np.searchsorted(self.union_pairs, np.unique(assignment))
+        x[self.n_x + slots] = 1.0
+        return x
+
+    def assignment_of(self, x: np.ndarray) -> np.ndarray:
+        """Decode a restricted solution into cluster -> dense pair."""
+        chosen = np.flatnonzero(np.round(x[: self.n_x]) > 0.5)
+        assignment = np.full(self.n_clusters, -1, dtype=int)
+        assignment[self.cand_cluster[chosen]] = self.cand_pair[chosen]
+        return assignment
+
+
+def validate_rap_inputs(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> tuple[int, int]:
+    """Shared input validation of the dense and sparse RAP builders."""
+    n_c, n_p = f.shape
+    if cluster_width.shape != (n_c,):
+        raise ValidationError("cluster_width shape mismatch")
+    if pair_capacity.shape != (n_p,):
+        raise ValidationError("pair_capacity shape mismatch")
+    if not (1 <= n_minority_rows <= n_p):
+        raise InfeasibleError(
+            f"N_minR={n_minority_rows} outside [1, {n_p}] "
+            f"(must open between 1 and all {n_p} row pairs)"
+        )
+    return n_c, n_p
+
+
+def adaptive_candidate_count(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> int:
+    """Pick per-cluster candidate count k from the capacity slack.
+
+    With ample slack (the ``N_minR`` biggest pairs hold the minority
+    width comfortably) the restricted problem is almost surely feasible
+    near ``k ~ N_minR``; as the slack vanishes, clusters must be able to
+    reach more fallback rows, so k grows up to ~4x before saturating at
+    ``N_P`` (the dense model).
+    """
+    _, n_p = f.shape
+    caps = np.sort(np.asarray(pair_capacity, dtype=float))[::-1]
+    need = max(float(np.asarray(cluster_width, dtype=float).sum()), 1e-12)
+    avail = float(caps[:n_minority_rows].sum())
+    slack = max(avail / need - 1.0, 0.0)
+    factor = 1.0 + 3.0 / (1.0 + 4.0 * slack)
+    k = int(np.ceil((n_minority_rows + 1) * factor))
+    return int(np.clip(k, min(4, n_p), n_p))
+
+
+def build_sparse_rap_model(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    mask: np.ndarray,
+    strengthen: bool = False,
+) -> SparseRapModel:
+    """Assemble the column-compressed MILP of Eqs. (1)-(5).
+
+    ``mask`` is the boolean candidate matrix; with ``mask`` all-true and
+    ``strengthen=False`` the produced model is bit-identical to
+    :func:`repro.core.rap.build_rap_model`'s dense layout (same variable
+    order, same constraint blocks, same coefficients).
+    ``strengthen=True`` appends the facility-location cuts described in
+    the module docstring — valid inequalities that leave the integer
+    optimum unchanged but sharply tighten the LP relaxation.
+    """
+    n_c, n_p = validate_rap_inputs(
+        f, cluster_width, pair_capacity, n_minority_rows
+    )
+    if mask.shape != (n_c, n_p):
+        raise ValidationError("candidate mask shape mismatch")
+    if not mask.any(axis=1).all():
+        raise ValidationError("every cluster needs at least one candidate")
+
+    cidx, pidx = np.nonzero(mask)  # row-major: cluster-major, pair ascending
+    union = np.unique(pidx)
+    slot_of_pair = np.full(n_p, -1, dtype=int)
+    slot_of_pair[union] = np.arange(len(union))
+    n_x = len(cidx)
+    n_y = len(union)
+    n_vars = n_x + n_y
+
+    c = np.concatenate([f[mask], np.zeros(n_y)])
+
+    # Eq. (3): each cluster assigned exactly once (over its candidates).
+    a_assign = sp.coo_matrix(
+        (np.ones(n_x), (cidx, np.arange(n_x))), shape=(n_c, n_vars)
+    )
+    b_assign = np.ones(n_c)
+
+    # Eq. (5): exactly N_minR minority pairs among the candidate union.
+    a_count = sp.coo_matrix(
+        (np.ones(n_y), (np.zeros(n_y), n_x + np.arange(n_y))),
+        shape=(1, n_vars),
+    )
+    b_count = np.array([float(n_minority_rows)])
+
+    # Eq. (4) + linking: sum_c w_c x_cr - cap_r y_r <= 0 per union pair.
+    x_rows = slot_of_pair[pidx]
+    x_cols = np.arange(n_x)
+    x_vals = cluster_width[cidx].astype(float)
+    y_rows = np.arange(n_y)
+    y_cols = n_x + np.arange(n_y)
+    y_vals = -pair_capacity[union].astype(float)
+    a_cap = sp.coo_matrix(
+        (
+            np.concatenate([x_vals, y_vals]),
+            (np.concatenate([x_rows, y_rows]), np.concatenate([x_cols, y_cols])),
+        ),
+        shape=(n_y, n_vars),
+    )
+    b_cap = np.zeros(n_y)
+
+    # Open rows must host a cluster: y_r <= sum_c x_cr.
+    a_host = sp.coo_matrix(
+        (
+            np.concatenate([-np.ones(n_x), np.ones(n_y)]),
+            (np.concatenate([x_rows, y_rows]), np.concatenate([x_cols, y_cols])),
+        ),
+        shape=(n_y, n_vars),
+    )
+    b_host = np.zeros(n_y)
+
+    ub_blocks = [a_cap, a_host]
+    b_ub_blocks = [b_cap, b_host]
+    if strengthen:
+        # Disaggregated linking: x_cr <= y_r per candidate column.
+        a_link = sp.coo_matrix(
+            (
+                np.concatenate([np.ones(n_x), -np.ones(n_x)]),
+                (
+                    np.concatenate([x_cols, x_cols]),
+                    np.concatenate([x_cols, n_x + x_rows]),
+                ),
+            ),
+            shape=(n_x, n_vars),
+        )
+        # Aggregate capacity: open rows must hold the whole width.
+        a_agg = sp.coo_matrix(
+            (
+                -pair_capacity[union].astype(float),
+                (np.zeros(n_y), n_x + np.arange(n_y)),
+            ),
+            shape=(1, n_vars),
+        )
+        ub_blocks += [a_link, a_agg]
+        b_ub_blocks += [
+            np.zeros(n_x),
+            np.array([-float(cluster_width.sum())]),
+        ]
+
+    model = MilpModel(
+        c=c,
+        integrality=np.ones(n_vars),
+        lb=np.zeros(n_vars),
+        ub=np.ones(n_vars),
+        a_ub=sp.vstack(ub_blocks).tocsr(),
+        b_ub=np.concatenate(b_ub_blocks),
+        a_eq=sp.vstack([a_assign, a_count]).tocsr(),
+        b_eq=np.concatenate([b_assign, b_count]),
+        name_factory=lambda: [
+            f"x_{c_}_{p_}" for c_, p_ in zip(cidx.tolist(), pidx.tolist())
+        ]
+        + [f"y_{p_}" for p_ in union.tolist()],
+    )
+    return SparseRapModel(
+        model=model,
+        cand_cluster=cidx,
+        cand_pair=pidx,
+        union_pairs=union,
+        n_clusters=n_c,
+        n_pairs=n_p,
+    )
+
+
+@dataclass(frozen=True)
+class _LpInfo:
+    """Strengthened dense LP relaxation: bound + reduced costs."""
+
+    objective: float
+    reduced_costs: np.ndarray  # (n_c, n_p) x-part reduced costs, >= 0
+    y_fractional: np.ndarray  # (n_p,) fractional open-row values
+    runtime_s: float
+
+
+def _dense_lp(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> _LpInfo | MilpSolution | None:
+    """Solve the strengthened dense LP relaxation.
+
+    Returns an :class:`_LpInfo` on success, an INFEASIBLE
+    :class:`MilpSolution` when the LP (hence the IP) is infeasible, and
+    ``None`` when the LP solver errors out (the caller then falls back
+    to top-k candidates and, if pricing is ever needed, the dense
+    model).
+
+    Validity of the reduced-cost bound: with optimal duals ``(y_ub <= 0,
+    y_eq)``, ``rc = c - A_ub' y_ub - A_eq' y_eq`` prices every feasible
+    point as ``c.x = z_lp + rc.(x - x_lp)`` with ``rc >= 0`` on
+    variables at their lower bound, so every integer-feasible solution
+    whose support contains column ``j`` costs at least ``z_lp + rc_j``.
+    """
+    n_c, n_p = f.shape
+    mask = np.ones((n_c, n_p), dtype=bool)
+    srm = build_sparse_rap_model(
+        f, cluster_width, pair_capacity, n_minority_rows, mask,
+        strengthen=True,
+    )
+    model = srm.model
+    t0 = time.perf_counter()
+    try:
+        lp = linprog(
+            model.c,
+            A_ub=model.a_ub,
+            b_ub=model.b_ub,
+            A_eq=model.a_eq,
+            b_eq=model.b_eq,
+            bounds=(0.0, 1.0),
+            method="highs",
+        )
+    except Exception:
+        logger.warning("sparse RAP dense LP raised; using top-k fallback")
+        return None
+    runtime = time.perf_counter() - t0
+    if lp.status == 2:  # LP infeasible => IP infeasible
+        return MilpSolution(
+            status=MilpStatus.INFEASIBLE,
+            x=None,
+            objective=np.inf,
+            runtime_s=runtime,
+        )
+    if lp.status != 0 or lp.x is None:
+        return None
+    rc = (
+        model.c
+        - model.a_ub.T @ lp.ineqlin.marginals
+        - model.a_eq.T @ lp.eqlin.marginals
+    )
+    n_x = srm.n_x
+    # rc can dip epsilon-negative at the optimum; clipping only weakens
+    # the bound (admits more columns), never threatens exactness.
+    return _LpInfo(
+        objective=float(lp.fun),
+        reduced_costs=np.maximum(rc[:n_x], 0.0).reshape(n_c, n_p),
+        y_fractional=np.asarray(lp.x[n_x:], dtype=float),
+        runtime_s=runtime,
+    )
+
+
+def _assignment_cost(f: np.ndarray, assignment: np.ndarray) -> float:
+    return float(f[np.arange(f.shape[0]), assignment].sum())
+
+
+def _feasible_assignment(
+    assignment: np.ndarray | None,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> np.ndarray | None:
+    """The assignment when it satisfies Eqs. (3)-(5), else ``None``."""
+    if assignment is None:
+        return None
+    assignment = np.asarray(assignment, dtype=int)
+    if assignment.shape != cluster_width.shape:
+        return None
+    if np.any(assignment < 0) or np.any(assignment >= len(pair_capacity)):
+        return None
+    if len(np.unique(assignment)) != n_minority_rows:
+        return None
+    load = np.bincount(
+        assignment, weights=cluster_width, minlength=len(pair_capacity)
+    )
+    if np.any(load > pair_capacity + 1e-9):
+        return None
+    return assignment
+
+
+def _lp_rounding_incumbent(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    y_fractional: np.ndarray,
+    backend: str,
+    time_limit_s: float | None,
+) -> tuple[np.ndarray, float, float] | None:
+    """Primal heuristic: open the rows the LP wants, assign optimally.
+
+    Fixing the ``N_minR`` pairs with the largest fractional ``y``
+    reduces the RAP to a tiny transportation MILP (``n_c x N_minR``
+    variables) whose optimum is a usually-tight incumbent for
+    reduced-cost fixing.  Returns ``(assignment, cost, solve_s)`` or
+    ``None`` when the fixed-row subproblem cannot fit the minority
+    width.
+    """
+    n_c, _ = f.shape
+    order = np.lexsort((-pair_capacity, -y_fractional))
+    open_pairs = np.sort(order[:n_minority_rows])
+    if pair_capacity[open_pairs].sum() < cluster_width.sum() - 1e-9:
+        return None
+    k = len(open_pairs)
+    sub_f = f[:, open_pairs]
+    n_x = n_c * k
+    a_eq = sp.coo_matrix(
+        (np.ones(n_x), (np.repeat(np.arange(n_c), k), np.arange(n_x))),
+        shape=(n_c, n_x),
+    ).tocsr()
+    a_ub = sp.coo_matrix(
+        (
+            np.repeat(cluster_width.astype(float), k),
+            (np.tile(np.arange(k), n_c), np.arange(n_x)),
+        ),
+        shape=(k, n_x),
+    ).tocsr()
+    model = MilpModel(
+        c=sub_f.ravel().astype(float),
+        integrality=np.ones(n_x),
+        lb=np.zeros(n_x),
+        ub=np.ones(n_x),
+        a_ub=a_ub,
+        b_ub=pair_capacity[open_pairs].astype(float),
+        a_eq=a_eq,
+        b_eq=np.ones(n_c),
+    )
+    solution = solve_milp(model, backend=backend, time_limit_s=time_limit_s)
+    if not solution.ok or solution.x is None:
+        return None
+    x = np.round(solution.x).reshape(n_c, k)
+    assignment = _feasible_assignment(
+        open_pairs[np.argmax(x, axis=1)],
+        cluster_width,
+        pair_capacity,
+        n_minority_rows,
+    )
+    if assignment is None:  # degenerate rounding left a pair unused
+        return None
+    return assignment, _assignment_cost(f, assignment), solution.runtime_s
+
+
+def _candidate_components(
+    mask: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Connected components of the cluster<->candidate-pair bigraph.
+
+    Returns ``[(cluster_ids, pair_ids), ...]``; pairs outside every
+    cluster's candidate set belong to no component (their ``y`` is
+    structurally zero).
+    """
+    n_c, n_p = mask.shape
+    cidx, pidx = np.nonzero(mask)
+    union = np.unique(pidx)
+    slot = np.full(n_p, -1, dtype=int)
+    slot[union] = np.arange(len(union))
+    n_nodes = n_c + len(union)
+    graph = sp.coo_matrix(
+        (np.ones(len(cidx)), (cidx, n_c + slot[pidx])),
+        shape=(n_nodes, n_nodes),
+    )
+    n_comp, labels = connected_components(graph, directed=False)
+    comps = []
+    for comp in range(n_comp):
+        nodes = np.flatnonzero(labels == comp)
+        clusters = nodes[nodes < n_c]
+        pairs = union[nodes[nodes >= n_c] - n_c]
+        if len(clusters):  # cluster-free components cannot open rows
+            comps.append((clusters, pairs))
+    return comps
+
+
+def _min_rows_for_width(width: float, caps: np.ndarray) -> int | None:
+    """Fewest pairs (by capacity, greedily) that can hold ``width``."""
+    caps = np.sort(np.asarray(caps, dtype=float))[::-1]
+    total = np.cumsum(caps)
+    fits = np.flatnonzero(total >= width - 1e-9)
+    if len(fits) == 0:
+        return None
+    return max(1, int(fits[0]) + 1)
+
+
+def _solve_component_job(payload: dict) -> dict:
+    """One (component, row-count) sub-MILP; module-level so it pickles."""
+    t0 = time.perf_counter()
+    try:
+        srm = build_sparse_rap_model(
+            payload["f"],
+            payload["w"],
+            payload["cap"],
+            payload["n_rows"],
+            payload["mask"],
+            strengthen=payload.get("strengthen", False),
+        )
+    except (InfeasibleError, ValidationError):
+        return {"status": "infeasible", "runtime_s": 0.0, "build_s": 0.0}
+    build_s = time.perf_counter() - t0
+    warm_vec = None
+    warm = payload.get("warm")
+    if warm is not None:
+        candidate = srm.encode_assignment(warm)
+        if candidate is not None and srm.model.is_feasible(candidate):
+            warm_vec = candidate
+    solution = solve_milp(
+        srm.model,
+        backend=payload["backend"],
+        time_limit_s=payload.get("time_limit_s"),
+        warm_start=warm_vec,
+    )
+    out = {
+        "status": solution.status.value,
+        "nodes": solution.nodes,
+        "runtime_s": solution.runtime_s,
+        "build_s": build_s,
+    }
+    if solution.ok and solution.x is not None:
+        out["objective"] = solution.objective
+        out["assignment"] = srm.assignment_of(solution.x)
+    return out
+
+
+def _solve_decomposed(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    mask: np.ndarray,
+    comps: list[tuple[np.ndarray, np.ndarray]],
+    backend: str,
+    time_limit_s: float | None,
+    warm_assignment: np.ndarray | None,
+    workers: int,
+    strengthen: bool,
+    stats: SparseSolveStats,
+) -> MilpSolution | None:
+    """Exact component-wise solve: sub-MILP sweep + row-apportion DP.
+
+    Returns a *dense-layout* solution, an INFEASIBLE solution when the
+    apportionment DP proves this candidate set cannot open ``N_minR``
+    rows, or ``None`` when the task sweep would be larger than one joint
+    solve (caller then solves the whole restricted model).
+    """
+    n_c, n_p = f.shape
+    bounds: list[tuple[int, int]] = []
+    for clusters, pairs in comps:
+        width = float(cluster_width[clusters].sum())
+        lb = _min_rows_for_width(width, pair_capacity[pairs])
+        ub = min(len(clusters), len(pairs))
+        if lb is None or lb > ub:
+            return MilpSolution(
+                status=MilpStatus.INFEASIBLE, x=None, objective=np.inf
+            )
+        bounds.append((lb, ub))
+    if (
+        sum(lb for lb, _ in bounds) > n_minority_rows
+        or sum(ub for _, ub in bounds) < n_minority_rows
+    ):
+        return MilpSolution(
+            status=MilpStatus.INFEASIBLE, x=None, objective=np.inf
+        )
+
+    tasks: list[tuple[int, int]] = [
+        (i, r)
+        for i, (lb, ub) in enumerate(bounds)
+        for r in range(lb, ub + 1)
+    ]
+    if len(tasks) > MAX_DECOMPOSITION_TASKS:
+        logger.info(
+            "RAP decomposition: %d sub-solves > %d cap; solving jointly",
+            len(tasks), MAX_DECOMPOSITION_TASKS,
+        )
+        return None
+
+    # Warm rows per component (usable only for the matching row count).
+    warm_rows: list[int | None] = [None] * len(comps)
+    if warm_assignment is not None:
+        for i, (clusters, _) in enumerate(comps):
+            warm_rows[i] = len(np.unique(warm_assignment[clusters]))
+
+    payloads = []
+    for i, r in tasks:
+        clusters, pairs = comps[i]
+        local_warm = None
+        if warm_assignment is not None and warm_rows[i] == r:
+            pair_slot = np.full(n_p, -1, dtype=int)
+            pair_slot[pairs] = np.arange(len(pairs))
+            local = pair_slot[warm_assignment[clusters]]
+            if np.all(local >= 0):
+                local_warm = local
+        payloads.append(
+            {
+                "f": f[np.ix_(clusters, pairs)],
+                "w": cluster_width[clusters],
+                "cap": pair_capacity[pairs],
+                "n_rows": r,
+                "mask": mask[np.ix_(clusters, pairs)],
+                "backend": backend,
+                "time_limit_s": time_limit_s,
+                "warm": local_warm,
+                "strengthen": strengthen,
+            }
+        )
+
+    pool_workers = (
+        workers if len(tasks) >= MIN_PARALLEL_TASKS else 1
+    )
+    with span(
+        "rap.sparse.decompose",
+        components=len(comps),
+        tasks=len(tasks),
+        workers=pool_workers,
+    ):
+        results = parallel_map(
+            _solve_component_job, payloads, workers=pool_workers
+        )
+
+    # cost[i][r] -> (objective, local assignment, optimal?)
+    table: list[dict[int, tuple[float, np.ndarray, bool]]] = [
+        {} for _ in comps
+    ]
+    nodes = 0
+    runtime_s = 0.0
+    for (i, r), res in zip(tasks, results):
+        nodes += int(res.get("nodes", 0))
+        runtime_s += float(res.get("runtime_s", 0.0))
+        stats.build_s += float(res.get("build_s", 0.0))
+        if "assignment" in res:
+            table[i][r] = (
+                float(res["objective"]),
+                res["assignment"],
+                res["status"] == MilpStatus.OPTIMAL.value,
+            )
+    stats.solve_s += runtime_s
+
+    # Exact DP over components: best total cost opening exactly N_minR.
+    INF = np.inf
+    dp = np.full(n_minority_rows + 1, INF)
+    dp[0] = 0.0
+    pick: list[np.ndarray] = []
+    for i in range(len(comps)):
+        new_dp = np.full(n_minority_rows + 1, INF)
+        choice = np.full(n_minority_rows + 1, -1, dtype=int)
+        for r, (cost, _, _) in table[i].items():
+            feasible = dp[: n_minority_rows + 1 - r] + cost
+            target = np.arange(r, n_minority_rows + 1)
+            better = feasible < new_dp[target]
+            new_dp[target[better]] = feasible[better]
+            choice[target[better]] = r
+        dp = new_dp
+        pick.append(choice)
+    if not np.isfinite(dp[n_minority_rows]):
+        return MilpSolution(
+            status=MilpStatus.INFEASIBLE,
+            x=None,
+            objective=np.inf,
+            nodes=nodes,
+            runtime_s=runtime_s,
+        )
+
+    # Backtrack the chosen row count per component; stitch assignments.
+    assignment = np.full(n_c, -1, dtype=int)
+    all_optimal = True
+    remaining = n_minority_rows
+    for i in range(len(comps) - 1, -1, -1):
+        r = int(pick[i][remaining])
+        _, local, optimal = table[i][r]
+        all_optimal = all_optimal and optimal
+        clusters, pairs = comps[i]
+        assignment[clusters] = pairs[local]
+        remaining -= r
+    x = np.zeros(n_c * n_p + n_p)
+    x[np.arange(n_c) * n_p + assignment] = 1.0
+    x[n_c * n_p + np.unique(assignment)] = 1.0
+    return MilpSolution(
+        status=MilpStatus.OPTIMAL if all_optimal else MilpStatus.FEASIBLE,
+        x=x,
+        objective=float(dp[n_minority_rows]),
+        nodes=nodes,
+        runtime_s=runtime_s,
+    )
+
+
+def _solve_lagrangian_direct(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    time_limit_s: float | None,
+    warm_assignment: np.ndarray | None,
+) -> MilpSolution:
+    """Heuristic rung without any MILP model build.
+
+    The dense path built the full model only for
+    ``rap_data_from_model`` to immediately decode it back; running the
+    subgradient loop straight on the arrays removes the quadratic model
+    build entirely and is bit-identical to the model round trip.
+    """
+    from repro.solvers.lagrangian import solve_rap_lagrangian
+
+    n_c, n_p = f.shape
+    solve_span = span("milp.lagrangian", n_vars=int(n_c * n_p + n_p))
+    try:
+        with solve_span:
+            result = solve_rap_lagrangian(
+                f,
+                cluster_width,
+                pair_capacity,
+                n_minority_rows,
+                time_limit_s=time_limit_s,
+                warm_assignment=warm_assignment,
+            )
+    except InfeasibleError:
+        return MilpSolution(
+            status=MilpStatus.INFEASIBLE,
+            x=None,
+            objective=np.inf,
+            nodes=0,
+            runtime_s=solve_span.duration_s,
+        )
+    x = np.zeros(n_c * n_p + n_p)
+    x[np.arange(n_c) * n_p + result.assignment] = 1.0
+    x[n_c * n_p + np.unique(result.assignment)] = 1.0
+    # c @ x, not f[arange, assignment].sum(): match the dense decode's
+    # accumulation order so the objective is bit-identical to it.
+    cost_vector = np.concatenate([f.ravel(), np.zeros(n_p)])
+    return MilpSolution(
+        status=MilpStatus.FEASIBLE,
+        x=x,
+        objective=float(cost_vector @ x),
+        nodes=result.iterations,
+        runtime_s=solve_span.duration_s,
+    )
+
+
+def _solve_small_dense(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    backend: str,
+    time_limit_s: float | None,
+    warm: np.ndarray | None,
+    stats: SparseSolveStats,
+) -> tuple[MilpSolution, SparseSolveStats]:
+    """One full-mask solve for tiny instances (no cuts, no LP)."""
+    n_c, n_p = f.shape
+    stats.strategy = "dense"
+    stats.k_initial = stats.k_final = n_p
+    stats.n_candidates = n_c * n_p
+    stats.n_components = 1
+    stats.rounds = 1
+    with span(
+        "rap.sparse",
+        backend=backend,
+        n_clusters=n_c,
+        n_pairs=n_p,
+        small=True,
+    ) as root:
+        t0 = time.perf_counter()
+        srm = build_sparse_rap_model(
+            f, cluster_width, pair_capacity, n_minority_rows,
+            np.ones((n_c, n_p), dtype=bool), strengthen=False,
+        )
+        stats.build_s = time.perf_counter() - t0
+        warm_vec = None
+        if warm is not None:
+            candidate = srm.encode_assignment(warm)
+            if candidate is not None and srm.model.is_feasible(candidate):
+                warm_vec = candidate
+        solution = solve_milp(
+            srm.model,
+            backend=backend,
+            time_limit_s=time_limit_s,
+            warm_start=warm_vec,
+        )
+        stats.solve_s = solution.runtime_s
+        # The full model is authoritative in either direction.
+        stats.certified = solution.status in (
+            MilpStatus.OPTIMAL, MilpStatus.INFEASIBLE
+        )
+        observe(
+            "rap.sparse",
+            round=1,
+            n_candidates=stats.n_candidates,
+            components=1,
+            objective=solution.objective if solution.ok else None,
+            admitted=0,
+        )
+        root.annotate(
+            outcome="dense",
+            objective=solution.objective if solution.ok else None,
+        )
+    return solution, stats
+
+
+def _coverage_mask(
+    f: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    total_width: float,
+    k: int,
+    extra: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Top-k candidate mask, widened until the union can open ``N_minR``
+    pairs holding the whole minority width."""
+    n_p = f.shape[1]
+    mask = cheapest_pairs_mask(f, k) | extra
+    while k < n_p:
+        union = np.unique(np.nonzero(mask)[1])
+        caps = pair_capacity[union]
+        if (
+            len(union) >= n_minority_rows
+            and float(caps.sum()) >= total_width - 1e-9
+        ):
+            break
+        k = min(n_p, k + max(1, k // 2))
+        mask = cheapest_pairs_mask(f, k) | extra
+    return mask, k
+
+
+def solve_rap_sparse(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+    backend: str = "highs",
+    time_limit_s: float | None = None,
+    warm_assignment: np.ndarray | None = None,
+    candidate_k: int | None = None,
+    workers: int = 1,
+) -> tuple[MilpSolution, SparseSolveStats]:
+    """Solve the RAP through the sparse engine.
+
+    Returns a solution in the **dense** variable layout (so the existing
+    decoders apply unchanged) plus the engine's :class:`SparseSolveStats`.
+    For exact backends the result is certified equal to the dense
+    optimum whenever ``stats.certified`` is true — which is every solve
+    that ran to optimality, by the reduced-cost argument in the module
+    docstring.  ``candidate_k`` forces the top-k strategy (with
+    ``candidate_k = N_P`` reproducing the dense model bit for bit);
+    ``None`` selects reduced-cost fixing with a top-k fallback, except
+    at or below :data:`SMALL_PROBLEM_VARIABLES` dense variables, where
+    one full-mask solve is cheaper than any pruning.
+    """
+    f = np.asarray(f, dtype=float)
+    cluster_width = np.asarray(cluster_width, dtype=float)
+    pair_capacity = np.asarray(pair_capacity, dtype=float)
+    n_c, n_p = validate_rap_inputs(
+        f, cluster_width, pair_capacity, n_minority_rows
+    )
+    stats = SparseSolveStats(n_dense_variables=n_c * n_p + n_p)
+
+    if backend == "lagrangian":
+        stats.strategy = "lagrangian"
+        solution = _solve_lagrangian_direct(
+            f, cluster_width, pair_capacity, n_minority_rows,
+            time_limit_s, warm_assignment,
+        )
+        stats.rounds = 1
+        stats.k_initial = stats.k_final = n_p
+        stats.n_candidates = n_c * n_p
+        stats.solve_s = solution.runtime_s
+        return solution, stats
+
+    forced = candidate_k is not None
+    # A forced k = N_P must reproduce the dense model (and its solver
+    # trajectory) exactly, so that configuration carries no cuts.
+    strengthen = not (forced and candidate_k >= n_p)
+    total_width = float(cluster_width.sum())
+    warm = _feasible_assignment(
+        warm_assignment, cluster_width, pair_capacity, n_minority_rows
+    )
+
+    if not forced and stats.n_dense_variables <= SMALL_PROBLEM_VARIABLES:
+        return _solve_small_dense(
+            f, cluster_width, pair_capacity, n_minority_rows,
+            backend, time_limit_s, warm, stats,
+        )
+
+    lp_info: _LpInfo | None = None
+    extra = np.zeros((n_c, n_p), dtype=bool)  # pricing re-admissions
+
+    with span(
+        "rap.sparse",
+        backend=backend,
+        n_clusters=n_c,
+        n_pairs=n_p,
+        forced_k=candidate_k,
+    ) as root:
+        if forced:
+            stats.strategy = "top-k"
+            k = int(np.clip(candidate_k, 1, n_p))
+            with span("rap.sparse.candidates", k=k, strategy="top-k"):
+                mask, k = _coverage_mask(
+                    f, pair_capacity, n_minority_rows, total_width, k, extra
+                )
+        else:
+            stats.strategy = "rc-fixing"
+            with span("rap.sparse.candidates") as cand_span:
+                lp = _dense_lp(
+                    f, cluster_width, pair_capacity, n_minority_rows
+                )
+                if isinstance(lp, MilpSolution):  # LP proves infeasibility
+                    root.annotate(outcome="infeasible")
+                    stats.solve_s += lp.runtime_s
+                    stats.certified = True
+                    return lp, stats
+                incumbent: tuple[np.ndarray, float] | None = None
+                if lp is not None:
+                    lp_info = lp
+                    stats.lp_bound = lp.objective
+                    stats.solve_s += lp.runtime_s
+                    rounded = _lp_rounding_incumbent(
+                        f, cluster_width, pair_capacity, n_minority_rows,
+                        lp.y_fractional, backend, time_limit_s,
+                    )
+                    if rounded is not None:
+                        stats.solve_s += rounded[2]
+                    z_warm = (
+                        _assignment_cost(f, warm)
+                        if warm is not None
+                        else np.inf
+                    )
+                    if rounded is not None and rounded[1] <= z_warm:
+                        incumbent = (rounded[0], rounded[1])
+                    elif warm is not None:
+                        incumbent = (warm, z_warm)
+                if lp_info is not None and incumbent is not None:
+                    z_ub = incumbent[1]
+                    stats.upper_bound = z_ub
+                    tol = 1e-6 * max(1.0, abs(z_ub))
+                    mask = (
+                        lp_info.objective + lp_info.reduced_costs
+                        <= z_ub + tol
+                    )
+                    # The incumbent's own columns always survive, which
+                    # keeps the restricted problem feasible by
+                    # construction; force them in against FP noise.
+                    mask[np.arange(n_c), incumbent[0]] = True
+                    k = int(mask.sum(axis=1).max())
+                    if warm is None:
+                        warm = incumbent[0]
+                    cand_span.annotate(
+                        strategy="rc-fixing",
+                        n_candidates=int(mask.sum()),
+                        lp_bound=lp_info.objective,
+                        upper_bound=z_ub,
+                    )
+                else:
+                    # No LP or no incumbent: adaptive top-k fallback.
+                    stats.strategy = "top-k"
+                    k = adaptive_candidate_count(
+                        f, cluster_width, pair_capacity, n_minority_rows
+                    )
+                    mask, k = _coverage_mask(
+                        f, pair_capacity, n_minority_rows, total_width,
+                        k, extra,
+                    )
+                    cand_span.annotate(strategy="top-k", k=k)
+        stats.k_initial = k
+
+        while True:
+            stats.rounds += 1
+            if stats.rounds > _SAFETY_ROUNDS:
+                mask = np.ones((n_c, n_p), dtype=bool)
+            comps = _candidate_components(mask)
+            stats.n_components = len(comps)
+            stats.n_candidates = int(mask.sum())
+            stats.k_final = int(mask.sum(axis=1).max())
+
+            solution: MilpSolution | None = None
+            if len(comps) > 1:
+                solution = _solve_decomposed(
+                    f, cluster_width, pair_capacity, n_minority_rows,
+                    mask, comps, backend, time_limit_s, warm,
+                    workers, strengthen, stats,
+                )
+            if solution is None:  # single component or oversized sweep
+                t0 = time.perf_counter()
+                srm = build_sparse_rap_model(
+                    f, cluster_width, pair_capacity, n_minority_rows, mask,
+                    strengthen=strengthen,
+                )
+                stats.build_s += time.perf_counter() - t0
+                warm_vec = None
+                if warm is not None:
+                    candidate = srm.encode_assignment(warm)
+                    if candidate is not None and srm.model.is_feasible(
+                        candidate
+                    ):
+                        warm_vec = candidate
+                restricted = solve_milp(
+                    srm.model,
+                    backend=backend,
+                    time_limit_s=time_limit_s,
+                    warm_start=warm_vec,
+                )
+                stats.solve_s += restricted.runtime_s
+                solution = MilpSolution(
+                    status=restricted.status,
+                    x=(
+                        srm.to_dense_x(restricted.x)
+                        if restricted.x is not None
+                        else None
+                    ),
+                    objective=restricted.objective,
+                    nodes=restricted.nodes,
+                    runtime_s=restricted.runtime_s,
+                )
+
+            observe(
+                "rap.sparse",
+                round=stats.rounds,
+                n_candidates=stats.n_candidates,
+                components=stats.n_components,
+                objective=(
+                    solution.objective if solution.ok else None
+                ),
+                admitted=stats.admitted_columns,
+            )
+
+            full = not (~mask).any()
+            if solution.status is MilpStatus.INFEASIBLE:
+                if full:
+                    root.annotate(outcome="infeasible")
+                    return solution, stats
+                k = min(n_p, 2 * max(k, 1))
+                with span("rap.sparse.candidates", k=k, escalated=True):
+                    mask, k = _coverage_mask(
+                        f, pair_capacity, n_minority_rows, total_width,
+                        k, extra | mask,
+                    )
+                continue
+            if not solution.ok or solution.x is None:
+                root.annotate(outcome=solution.status.value)
+                return solution, stats  # timeout/error: caller's problem
+
+            if full:
+                stats.certified = solution.status is MilpStatus.OPTIMAL
+                root.annotate(outcome="dense", objective=solution.objective)
+                return solution, stats
+            if solution.status is not MilpStatus.OPTIMAL:
+                # An incumbent under a time limit carries no optimality
+                # certificate, so the pricing test cannot run.
+                root.annotate(outcome="uncertified")
+                return solution, stats
+
+            # Pricing test: can any pruned column beat this optimum?
+            z = solution.objective
+            if lp_info is None:
+                lp = _dense_lp(
+                    f, cluster_width, pair_capacity, n_minority_rows
+                )
+                if isinstance(lp, _LpInfo):
+                    lp_info = lp
+                    stats.lp_bound = lp.objective
+                    stats.solve_s += lp.runtime_s
+            if lp_info is None:
+                # No pricing bound available: keep the exactness
+                # contract by solving the dense model (slow path).
+                logger.warning(
+                    "sparse RAP pricing unavailable; solving dense model"
+                )
+                mask = np.ones((n_c, n_p), dtype=bool)
+                continue
+            tol = 1e-6 * max(1.0, abs(z))
+            admit = (~mask) & (
+                lp_info.objective + lp_info.reduced_costs <= z + tol
+            )
+            if not admit.any():
+                stats.certified = True
+                root.annotate(outcome="certified", objective=z)
+                return solution, stats
+            n_admit = int(admit.sum())
+            stats.admitted_columns += n_admit
+            logger.info(
+                "RAP pricing re-admits %d pruned columns (z=%.6g)",
+                n_admit, z,
+            )
+            extra |= admit
+            mask = mask | admit

@@ -29,7 +29,6 @@ import dataclasses
 import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -47,6 +46,7 @@ from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import render_span_tree
 from repro.techlib.asap7 import make_asap7_library
 from repro.utils.errors import ReproError, StageTimeoutError, ValidationError
+from repro.utils.pool import parallel_map
 
 logger = logging.getLogger(__name__)
 
@@ -297,36 +297,23 @@ def run_sweep(
     ]
 
     merged = MetricsRegistry()
-    raw: dict[tuple[str, int], dict] = {}
+    done = [0]
+
+    def _on_done(index: int, out: dict) -> None:
+        done[0] += 1
+        merged.merge(out["metrics"])
+        if progress:
+            progress(_progress_line(out["job"], done[0], len(payloads)))
+
     t0 = time.perf_counter()
-    if config.workers > 1:
-        with ProcessPoolExecutor(max_workers=config.workers) as pool:
-            futures = {
-                pool.submit(_run_job, p): (p["testcase_id"], p["flow"])
-                for p in payloads
-            }
-            for fut in as_completed(futures):
-                out = fut.result()
-                key = futures[fut]
-                raw[key] = out["job"]
-                merged.merge(out["metrics"])
-                if progress:
-                    progress(_progress_line(out["job"], len(raw), len(payloads)))
-    else:
-        for p in payloads:
-            out = _run_job(p)
-            raw[(p["testcase_id"], p["flow"])] = out["job"]
-            merged.merge(out["metrics"])
-            if progress:
-                progress(_progress_line(out["job"], len(raw), len(payloads)))
+    outputs = parallel_map(
+        _run_job, payloads, workers=config.workers, progress=_on_done
+    )
     wall_s = time.perf_counter() - t0
 
-    # Deterministic job order regardless of worker completion order.
-    jobs = [
-        SweepJobResult.from_dict(raw[(tc, f)])
-        for tc in testcase_ids
-        for f in flow_values
-    ]
+    # parallel_map returns results in submission order regardless of
+    # worker completion order, so the job list is already deterministic.
+    jobs = [SweepJobResult.from_dict(out["job"]) for out in outputs]
     snapshot = merged.snapshot()
     counters = snapshot.get("counters", {})
     cache_stats = {

@@ -12,14 +12,20 @@ from repro.utils.errors import ReproError, SolverError
 
 
 def solve_with_highs(
-    model: MilpModel, time_limit_s: float | None = None
+    model: MilpModel,
+    time_limit_s: float | None = None,
+    warm_start: np.ndarray | None = None,
 ) -> MilpSolution:
     """Solve the model exactly with HiGHS branch-and-cut.
+
+    ``warm_start`` is accepted for dispatch uniformity but ignored:
+    scipy's ``milp`` wrapper exposes no MIP starting point.
 
     Any exception scipy/HiGHS raises is re-raised as
     :class:`~repro.utils.errors.SolverError`, keeping the "catch one base
     class at flow boundaries" contract of :mod:`repro.utils.errors`.
     """
+    del warm_start
     constraints = []
     if model.a_ub is not None:
         constraints.append(

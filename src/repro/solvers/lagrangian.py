@@ -48,12 +48,17 @@ def solve_rap_lagrangian(
     iterations: int = 120,
     step0: float = 2.0,
     time_limit_s: float | None = None,
+    warm_assignment: np.ndarray | None = None,
 ) -> LagrangianResult:
     """Run the subgradient loop; returns a feasible repaired assignment.
 
-    Raises :class:`InfeasibleError` when even the repair pass cannot fit
-    the clusters into ``n_minority_rows`` rows.  ``time_limit_s`` stops
-    the subgradient loop early (the best feasible found so far wins).
+    ``warm_assignment`` (cluster -> pair, e.g. the previous refinement
+    iteration's RAP solution) seeds the incumbent when it is feasible for
+    this instance, so a timeout can never return something worse than the
+    starting point.  Raises :class:`InfeasibleError` when even the repair
+    pass cannot fit the clusters into ``n_minority_rows`` rows.
+    ``time_limit_s`` stops the subgradient loop early (the best feasible
+    found so far wins).
     """
     n_c, n_p = f.shape
     if not (1 <= n_minority_rows <= n_p):
@@ -63,6 +68,11 @@ def solve_rap_lagrangian(
     best_feasible: np.ndarray | None = None
     best_cost = np.inf
     step = step0
+    if warm_assignment is not None and _assignment_feasible(
+        warm_assignment, cluster_width, pair_capacity, n_minority_rows
+    ):
+        best_feasible = np.asarray(warm_assignment, dtype=int).copy()
+        best_cost = float(f[np.arange(n_c), best_feasible].sum())
 
     it = 0
     with span("lagrangian.subgradient", max_iterations=iterations) as loop_span:
@@ -132,6 +142,26 @@ def solve_rap_lagrangian(
     )
 
 
+def _assignment_feasible(
+    assignment: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_minority_rows: int,
+) -> bool:
+    """Does a cluster -> pair map satisfy Eqs. (3)-(5)?"""
+    assignment = np.asarray(assignment, dtype=int)
+    if assignment.shape != cluster_width.shape:
+        return False
+    if np.any(assignment < 0) or np.any(assignment >= len(pair_capacity)):
+        return False
+    if len(np.unique(assignment)) != n_minority_rows:
+        return False
+    load = np.bincount(
+        assignment, weights=cluster_width, minlength=len(pair_capacity)
+    )
+    return bool(np.all(load <= pair_capacity + 1e-9))
+
+
 def rap_data_from_model(
     model: MilpModel,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
@@ -194,15 +224,23 @@ def solve_with_lagrangian(
     time_limit_s: float | None = None,
     iterations: int = 120,
     step0: float = 2.0,
+    warm_start: np.ndarray | None = None,
 ) -> MilpSolution:
     """``solve_milp`` adapter: heuristic solve of a RAP-shaped model.
 
-    The answer is always :attr:`MilpStatus.FEASIBLE` (the subgradient
-    loop never proves optimality); infeasibility of the repair pass maps
-    to :attr:`MilpStatus.INFEASIBLE`.
+    ``warm_start`` is a full (x, y) model vector; when it decodes to a
+    feasible assignment it seeds the subgradient loop's incumbent.  The
+    answer is always :attr:`MilpStatus.FEASIBLE` (the subgradient loop
+    never proves optimality); infeasibility of the repair pass maps to
+    :attr:`MilpStatus.INFEASIBLE`.
     """
     f, cluster_width, pair_capacity, n_min_rows = rap_data_from_model(model)
     n_c, n_p = f.shape
+    warm_assignment = None
+    if warm_start is not None and len(warm_start) == model.num_vars:
+        x = np.round(np.asarray(warm_start)[: n_c * n_p]).reshape(n_c, n_p)
+        if np.all(x.sum(axis=1) == 1):
+            warm_assignment = np.argmax(x, axis=1)
     solve_span = span("milp.lagrangian", n_vars=int(model.num_vars))
     try:
         with solve_span:
@@ -214,6 +252,7 @@ def solve_with_lagrangian(
                 iterations=iterations,
                 step0=step0,
                 time_limit_s=time_limit_s,
+                warm_assignment=warm_assignment,
             )
     except InfeasibleError:
         return MilpSolution(

@@ -7,7 +7,8 @@ chosen backend.  Minimization is assumed throughout.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -28,6 +29,12 @@ class MilpModel:
 
     ``integrality`` follows scipy's convention: 0 = continuous,
     1 = integer.
+
+    Variable names are optional and lazy: no backend reads them on the
+    hot path, so builders pass ``name_factory`` (a zero-argument callable
+    producing the full list) instead of eagerly materializing
+    ``n_vars`` strings.  :meth:`variable_names` resolves either form on
+    demand and caches the result.
     """
 
     c: np.ndarray
@@ -38,7 +45,8 @@ class MilpModel:
     b_ub: np.ndarray | None = None
     a_eq: sp.csr_matrix | None = None
     b_eq: np.ndarray | None = None
-    names: list[str] = field(default_factory=list)
+    names: list[str] | None = None
+    name_factory: Callable[[], list[str]] | None = None
 
     def __post_init__(self) -> None:
         n = len(self.c)
@@ -63,6 +71,24 @@ class MilpModel:
     @property
     def num_vars(self) -> int:
         return len(self.c)
+
+    def variable_names(self) -> list[str]:
+        """Resolve (and cache) the variable names.
+
+        Falls back to generic ``v_<i>`` names when the builder supplied
+        neither an explicit list nor a factory.
+        """
+        if self.names is None:
+            if self.name_factory is not None:
+                self.names = list(self.name_factory())
+            else:
+                self.names = [f"v_{i}" for i in range(self.num_vars)]
+            if len(self.names) != self.num_vars:
+                raise ValidationError(
+                    f"name_factory produced {len(self.names)} names for "
+                    f"{self.num_vars} variables"
+                )
+        return self.names
 
     def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
         """Check a point against all constraints (integrality included)."""
@@ -109,15 +135,18 @@ def solve_milp(
 ) -> MilpSolution:
     """Solve ``model`` with the named backend (see :data:`MILP_BACKENDS`).
 
-    ``warm_start`` (a feasible point) seeds the branch-and-bound incumbent;
-    the HiGHS backend ignores it (scipy's milp takes no starting point).
-    The "lagrangian" backend is heuristic and only accepts RAP-shaped
-    models (it raises :class:`ValidationError` otherwise).
+    ``warm_start`` (a feasible point) seeds the branch-and-bound
+    incumbent and the Lagrangian heuristic's best-feasible; the HiGHS
+    backend accepts and ignores it (scipy's milp takes no starting
+    point).  The "lagrangian" backend is heuristic and only accepts
+    RAP-shaped models (it raises :class:`ValidationError` otherwise).
     """
     if backend == "highs":
         from repro.solvers.highs import solve_with_highs
 
-        return solve_with_highs(model, time_limit_s=time_limit_s)
+        return solve_with_highs(
+            model, time_limit_s=time_limit_s, warm_start=warm_start
+        )
     if backend == "bnb":
         from repro.solvers.bnb import BranchAndBoundSolver
 
@@ -126,7 +155,9 @@ def solve_milp(
     if backend == "lagrangian":
         from repro.solvers.lagrangian import solve_with_lagrangian
 
-        return solve_with_lagrangian(model, time_limit_s=time_limit_s, **kwargs)  # type: ignore[arg-type]
+        return solve_with_lagrangian(
+            model, time_limit_s=time_limit_s, warm_start=warm_start, **kwargs  # type: ignore[arg-type]
+        )
     raise ValidationError(
         f"unknown MILP backend {backend!r}; valid backends: "
         + ", ".join(MILP_BACKENDS)

@@ -1,0 +1,57 @@
+"""Shared process-pool fan-out used by the sweep engine and sparse RAP.
+
+One helper, :func:`parallel_map`, owns the "inline when small, process
+pool when it pays" decision so every fan-out site in the codebase (sweep
+testcase×flow jobs, sparse-RAP component sub-MILPs) behaves identically:
+deterministic result ordering, progress callbacks on completion, and a
+plain serial loop for ``workers <= 1`` (no pool, no pickling, exceptions
+propagate at the failing item).
+
+``fn`` must be a module-level callable and every item picklable when
+``workers > 1`` (standard ``ProcessPoolExecutor`` rules).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    workers: int = 1,
+    progress: Callable[[int, R], None] | None = None,
+    min_items: int = 2,
+) -> list[R]:
+    """Map ``fn`` over ``items``, fanning out over a process pool.
+
+    Results come back in *submission order* regardless of completion
+    order.  ``progress`` (if given) fires once per finished item with
+    ``(index, result)`` — in completion order when pooled, submission
+    order inline.  The pool engages only when ``workers > 1`` **and**
+    there are at least ``min_items`` items; otherwise the map runs
+    inline in the calling process.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) < min_items:
+        results: list[R] = []
+        for i, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if progress is not None:
+                progress(i, result)
+        return results
+
+    slots: list[R | None] = [None] * len(items)
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
+        for future in as_completed(futures):
+            i = futures[future]
+            slots[i] = future.result()
+            if progress is not None:
+                progress(i, slots[i])
+    return slots  # type: ignore[return-value]

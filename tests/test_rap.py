@@ -43,8 +43,11 @@ class TestModel:
         f, w, cap = tiny_instance()
         model = build_rap_model(f, w, cap, 2)
         assert model.num_vars == 4 * 6 + 6
-        assert model.names[0] == "x_0_0"
-        assert model.names[-1] == "y_5"
+        # Names materialize lazily; the dense layout is x-major then y.
+        assert model.names is None
+        names = model.variable_names()
+        assert names[0] == "x_0_0"
+        assert names[-1] == "y_5"
 
     def test_infeasible_nminr_rejected(self):
         f, w, cap = tiny_instance()

@@ -1,0 +1,433 @@
+"""Sparse RAP engine: equivalence with the dense model, pricing, decomposition.
+
+The engine's contract is *provable equality* with the dense optimum:
+
+* at a forced ``candidate_k = N_P`` the restricted model (and hence the
+  decoded :class:`RowAssignment`) is bit-identical to the dense path on
+  every backend;
+* with pruning active, the reduced-cost pricing loop re-admits exactly
+  the columns that could still beat the restricted optimum, so certified
+  solves equal the dense objective;
+* component decomposition + the row-apportionment DP is exact under any
+  permutation of clusters and pairs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import cheapest_pairs_mask, group_sum
+from repro.core.params import RCPPParams
+from repro.core.rap import (
+    build_rap_model,
+    solve_rap,
+    solve_rap_resilient,
+)
+from repro.core.sparse_rap import (
+    adaptive_candidate_count,
+    build_sparse_rap_model,
+    solve_rap_sparse,
+    validate_rap_inputs,
+)
+from repro.solvers.milp import MilpStatus, solve_milp
+from repro.utils.errors import InfeasibleError, ValidationError
+
+EXACT_BACKENDS = ("highs", "bnb")
+ALL_BACKENDS = ("highs", "bnb", "lagrangian")
+
+
+@pytest.fixture(autouse=True)
+def _force_pruning_path(monkeypatch):
+    """Disable the tiny-instance full-mask shortcut so these tests
+    exercise the pruning/pricing machinery on small instances; the
+    shortcut itself is covered by ``TestSmallInstanceShortcut``."""
+    monkeypatch.setattr(
+        "repro.core.sparse_rap.SMALL_PROBLEM_VARIABLES", 0
+    )
+
+
+def random_instance(seed, n_c=None, n_p=None, tight=False):
+    """Continuous random RAP instance (no cost ties => unique optimum)."""
+    rng = np.random.default_rng(seed)
+    n_c = n_c or int(rng.integers(2, 9))
+    n_p = n_p or int(rng.integers(2, 8))
+    f = rng.uniform(0.0, 100.0, size=(n_c, n_p))
+    w = rng.uniform(1.0, 5.0, size=n_c)
+    if tight:
+        cap = np.full(n_p, float(w.max()) * 1.3)
+    else:
+        cap = rng.uniform(0.0, 10.0, size=n_p) + w.sum()
+    n_minr = int(rng.integers(1, min(n_c, n_p) + 1))
+    return f, w, cap, n_minr
+
+
+class TestValidation:
+    def test_shape_mismatches(self):
+        f = np.ones((3, 4))
+        with pytest.raises(ValidationError):
+            validate_rap_inputs(f, np.ones(2), np.ones(4), 1)
+        with pytest.raises(ValidationError):
+            validate_rap_inputs(f, np.ones(3), np.ones(5), 1)
+
+    def test_nminr_bounds_message(self):
+        f = np.ones((3, 4))
+        with pytest.raises(InfeasibleError, match=r"outside \[1, 4\]"):
+            validate_rap_inputs(f, np.ones(3), np.ones(4), 5)
+        with pytest.raises(InfeasibleError, match="all 4 row pairs"):
+            validate_rap_inputs(f, np.ones(3), np.ones(4), 0)
+
+    def test_mask_must_cover_every_cluster(self):
+        f, w, cap, n_minr = random_instance(0)
+        mask = np.ones(f.shape, dtype=bool)
+        mask[0, :] = False
+        with pytest.raises(ValidationError):
+            build_sparse_rap_model(f, w, cap, n_minr, mask)
+
+    def test_adaptive_count_saturates(self):
+        f, w, cap, n_minr = random_instance(1)
+        k = adaptive_candidate_count(f, w, cap, n_minr)
+        assert 1 <= k <= f.shape[1]
+        # Vanishing slack pushes k to the dense end.
+        scarce = np.full(f.shape[1], w.sum() / n_minr)
+        assert adaptive_candidate_count(f, w, scarce, n_minr) >= k
+
+
+class TestBitIdentity:
+    """candidate_k = N_P must reproduce the dense path exactly."""
+
+    def test_full_mask_model_matches_dense(self):
+        f, w, cap, n_minr = random_instance(2)
+        dense = build_rap_model(f, w, cap, n_minr)
+        srm = build_sparse_rap_model(
+            f, w, cap, n_minr, np.ones(f.shape, dtype=bool)
+        )
+        assert np.array_equal(dense.c, srm.model.c)
+        assert (dense.a_ub != srm.model.a_ub).nnz == 0
+        assert (dense.a_eq != srm.model.a_eq).nnz == 0
+        assert np.array_equal(dense.b_ub, srm.model.b_ub)
+        assert np.array_equal(dense.b_eq, srm.model.b_eq)
+        assert dense.variable_names() == srm.model.variable_names()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_k_equals_np_identical_assignment(self, seed):
+        f, w, cap, n_minr = random_instance(seed)
+        labels = np.arange(f.shape[0])
+        for backend in ALL_BACKENDS:
+            dense = solve_rap(
+                f, w, cap, n_minr, labels, backend=backend, sparse=False
+            )
+            sparse = solve_rap(
+                f, w, cap, n_minr, labels, backend=backend,
+                sparse=True, candidate_k=f.shape[1],
+            )
+            assert np.array_equal(
+                dense.cluster_to_pair, sparse.cluster_to_pair
+            ), backend
+            assert dense.objective == sparse.objective
+
+    def test_forced_full_k_skips_cuts(self):
+        # The strengthened model has extra a_ub rows; a forced k = N_P
+        # restricted model must carry exactly the dense row count.
+        f, w, cap, n_minr = random_instance(3)
+        dense = build_rap_model(f, w, cap, n_minr)
+        plain = build_sparse_rap_model(
+            f, w, cap, n_minr, np.ones(f.shape, dtype=bool), strengthen=False
+        )
+        cut = build_sparse_rap_model(
+            f, w, cap, n_minr, np.ones(f.shape, dtype=bool), strengthen=True
+        )
+        assert plain.model.a_ub.shape[0] == dense.a_ub.shape[0]
+        assert cut.model.a_ub.shape[0] > dense.a_ub.shape[0]
+
+
+class TestExactness:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_default_strategy_matches_dense(self, seed):
+        """Reduced-cost fixing: same objective as dense, certified."""
+        f, w, cap, n_minr = random_instance(seed)
+        dense = solve_milp(
+            build_rap_model(f, w, cap, n_minr), backend="highs"
+        )
+        for backend in EXACT_BACKENDS:
+            solution, stats = solve_rap_sparse(
+                f, w, cap, n_minr, backend=backend
+            )
+            if dense.status is MilpStatus.OPTIMAL:
+                assert solution.ok
+                assert solution.objective == pytest.approx(
+                    dense.objective, abs=1e-6
+                )
+                assert stats.certified
+            else:
+                assert solution.status is MilpStatus.INFEASIBLE
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_tight_capacity_matches_dense(self, seed):
+        """Near-critical capacity exercises escalation + admission."""
+        f, w, cap, n_minr = random_instance(seed, tight=True)
+        dense = solve_milp(
+            build_rap_model(f, w, cap, n_minr), backend="highs"
+        )
+        solution, stats = solve_rap_sparse(f, w, cap, n_minr, candidate_k=1)
+        if dense.status is MilpStatus.OPTIMAL:
+            assert solution.objective == pytest.approx(
+                dense.objective, abs=1e-6
+            )
+            assert stats.certified
+        else:
+            assert solution.status is MilpStatus.INFEASIBLE
+
+    def test_pricing_readmits_pruned_optimum_column(self):
+        """Directed: the dense optimum routes cluster 0 through its
+        *third*-cheapest pair, which a forced k=2 prunes; only the
+        reduced-cost admission loop can recover it."""
+        f = np.array([[0.0, 0.1, 0.5], [9.0, 8.0, 0.2]])
+        w = np.array([1.0, 1.0])
+        cap = np.array([2.0, 2.0, 2.0])
+        dense = solve_milp(build_rap_model(f, w, cap, 1), backend="highs")
+        assert dense.objective == pytest.approx(0.7)
+        solution, stats = solve_rap_sparse(f, w, cap, 1, candidate_k=2)
+        assert solution.objective == pytest.approx(dense.objective)
+        assert stats.admitted_columns > 0  # the repair loop fired
+        assert stats.rounds > 1
+        assert stats.certified
+
+    def test_infeasible_after_pruning_escalates(self):
+        """Hall violation the coverage check cannot see: clusters 0-2
+        only know the two small pairs (combined capacity 5 < their
+        width 6), yet the union/aggregate-capacity screens pass because
+        cluster 3 brings the big pair into the union.  The engine must
+        double k until the full mask exposes pair 2 to everyone."""
+        f = np.array(
+            [
+                [0.0, 1.0, 50.0],
+                [0.1, 1.1, 50.0],
+                [0.2, 1.2, 50.0],
+                [40.0, 41.0, 0.3],
+            ]
+        )
+        w = np.full(4, 2.0)
+        cap = np.array([2.5, 2.5, 10.0])
+        dense = solve_milp(build_rap_model(f, w, cap, 2), backend="highs")
+        solution, stats = solve_rap_sparse(f, w, cap, 2, candidate_k=1)
+        assert solution.status is MilpStatus.OPTIMAL
+        assert solution.objective == pytest.approx(dense.objective)
+        assert stats.k_final > stats.k_initial
+        assert stats.rounds > 1
+
+    def test_infeasible_instance_reported(self):
+        f = np.ones((3, 2))
+        w = np.full(3, 10.0)
+        cap = np.full(2, 1.0)  # nothing fits
+        solution, stats = solve_rap_sparse(f, w, cap, 1)
+        assert solution.status is MilpStatus.INFEASIBLE
+        assert stats.certified  # infeasibility proven at the dense LP
+
+    def test_lagrangian_direct_matches_model_path(self):
+        f, w, cap, n_minr = random_instance(7)
+        labels = np.arange(f.shape[0])
+        dense = solve_rap(
+            f, w, cap, n_minr, labels, backend="lagrangian", sparse=False
+        )
+        sparse = solve_rap(
+            f, w, cap, n_minr, labels, backend="lagrangian", sparse=True
+        )
+        assert np.array_equal(dense.cluster_to_pair, sparse.cluster_to_pair)
+
+
+class TestSmallInstanceShortcut:
+    """Tiny instances skip the LP machinery and solve the full mask."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_cutoff(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.sparse_rap.SMALL_PROBLEM_VARIABLES", 600
+        )
+
+    def test_small_takes_dense_route_and_matches(self):
+        for seed in range(5):
+            f, w, cap, n_minr = random_instance(seed)
+            dense = solve_milp(
+                build_rap_model(f, w, cap, n_minr), backend="highs"
+            )
+            solution, stats = solve_rap_sparse(f, w, cap, n_minr)
+            assert stats.strategy == "dense"
+            assert stats.certified
+            assert solution.objective == pytest.approx(dense.objective)
+
+    def test_small_infeasible_certified(self):
+        f = np.ones((3, 2))
+        w = np.full(3, 10.0)
+        cap = np.full(2, 1.0)
+        solution, stats = solve_rap_sparse(f, w, cap, 1)
+        assert stats.strategy == "dense"
+        assert solution.status is MilpStatus.INFEASIBLE
+        assert stats.certified
+
+    def test_forced_k_bypasses_shortcut(self):
+        f, w, cap, n_minr = random_instance(3)
+        _, stats = solve_rap_sparse(f, w, cap, n_minr, candidate_k=2)
+        assert stats.strategy == "top-k"
+
+
+class TestDecomposition:
+    def _two_block(self, permute_seed=None):
+        rng = np.random.default_rng(13)
+        f = np.full((9, 7), 1e9)
+        f[:4, :3] = rng.uniform(0, 10, size=(4, 3))
+        f[4:, 3:] = rng.uniform(0, 10, size=(5, 4))
+        w = rng.uniform(0.5, 1.5, size=9)
+        cap = np.full(7, w.sum())
+        if permute_seed is not None:
+            prng = np.random.default_rng(permute_seed)
+            cperm = prng.permutation(9)
+            pperm = prng.permutation(7)
+            f = f[np.ix_(cperm, pperm)]
+            w = w[cperm]
+            cap = cap[pperm]
+        return f, w, cap
+
+    @pytest.mark.parametrize("permute_seed", [None, 1, 2])
+    def test_shuffled_components_exact(self, permute_seed):
+        """Block structure must be found and solved exactly under any
+        relabeling of clusters and pairs."""
+        f, w, cap = self._two_block(permute_seed)
+        dense = solve_milp(build_rap_model(f, w, cap, 3), backend="highs")
+        solution, stats = solve_rap_sparse(
+            f, w, cap, 3, candidate_k=3, workers=2
+        )
+        assert stats.n_components == 2
+        assert solution.objective == pytest.approx(dense.objective)
+
+    def test_component_row_split_infeasible(self):
+        """Two components each need an open pair, but N_minR = 1 and no
+        single pair holds the whole width: the apportionment DP rejects
+        the split and the escalated dense model confirms."""
+        f, w, cap = self._two_block()
+        cap = np.full_like(cap, w.sum() * 0.6)
+        solution, _ = solve_rap_sparse(f, w, cap, 1, candidate_k=3)
+        assert solution.status is MilpStatus.INFEASIBLE
+        dense = solve_milp(build_rap_model(f, w, cap, 1), backend="highs")
+        assert dense.status is MilpStatus.INFEASIBLE
+
+
+class TestWarmStarts:
+    def test_warm_assignment_threads_through(self):
+        f, w, cap, n_minr = random_instance(21)
+        base, _ = solve_rap_sparse(f, w, cap, n_minr)
+        assert base.x is not None
+        warm = np.argmax(base.x[: f.size].reshape(f.shape), axis=1)
+        for backend in ALL_BACKENDS:
+            solution, _ = solve_rap_sparse(
+                f, w, cap, n_minr, backend=backend, warm_assignment=warm
+            )
+            assert solution.ok
+            if backend != "lagrangian":
+                assert solution.objective == pytest.approx(
+                    base.objective, abs=1e-6
+                )
+
+    def test_invalid_warm_ignored(self):
+        f, w, cap, n_minr = random_instance(22)
+        bogus = np.full(f.shape[0], f.shape[1] + 3)
+        solution, stats = solve_rap_sparse(
+            f, w, cap, n_minr, warm_assignment=bogus
+        )
+        assert solution.ok and stats.certified
+
+    def test_resilient_accepts_prior(self):
+        f, w, cap, n_minr = random_instance(23)
+        labels = np.arange(f.shape[0])
+        first = solve_rap_resilient(f, w, cap, n_minr, labels, row_fill=1.0)
+        assert first is not None
+        again = solve_rap_resilient(
+            f, w, cap, n_minr, labels, row_fill=1.0,
+            warm_assignment=first.cluster_to_pair,
+        )
+        assert again is not None
+        assert again.objective == pytest.approx(first.objective, abs=1e-6)
+
+
+class TestKernels:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_group_sum_equals_ufunc_at(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m, groups_n = 50, 4, 7
+        groups = rng.integers(0, groups_n, size=n)
+        for values in (rng.normal(size=n), rng.normal(size=(n, m))):
+            expected = np.zeros(
+                (groups_n,) + values.shape[1:], dtype=float
+            )
+            np.add.at(expected, groups, values)
+            got = group_sum(values, groups, groups_n)
+            np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_cheapest_pairs_mask_ties_deterministic(self):
+        f = np.array([[1.0, 1.0, 2.0], [3.0, 2.0, 2.0]])
+        mask = cheapest_pairs_mask(f, 1)
+        assert mask[0].tolist() == [True, False, False]  # lowest index wins
+        assert mask[1].tolist() == [False, True, False]
+
+
+class TestSweepSetEquivalence:
+    """ISSUE acceptance: sparse == dense objective on the default sweep
+    set (small scale keeps the instances fast but structurally real)."""
+
+    @pytest.mark.parametrize(
+        "testcase_id", ["aes_400", "ldpc_350", "des3_210"]
+    )
+    def test_sparse_matches_dense(self, testcase_id):
+        from repro.core.clustering import cluster_minority_cells
+        from repro.core.cost import compute_rap_costs
+        from repro.core.flows import prepare_initial_placement
+        from repro.core.rap import required_minority_pairs
+        from repro.experiments.testcases import build_testcase, testcase_by_id
+        from repro.techlib.asap7 import make_asap7_library
+
+        params = RCPPParams()
+        library = make_asap7_library()
+        design = build_testcase(
+            testcase_by_id(testcase_id), library, scale=1 / 48
+        )
+        init = prepare_initial_placement(design, library)
+        cx = init.placed.x[init.minority_indices] + init.placed.widths[
+            init.minority_indices
+        ] / 2.0
+        cy = init.placed.y[init.minority_indices] + init.placed.heights[
+            init.minority_indices
+        ] / 2.0
+        clustering = cluster_minority_cells(
+            cx, cy, params.s, params.kmeans_max_iterations
+        )
+        costs = compute_rap_costs(
+            init.placed,
+            init.minority_indices,
+            clustering.labels,
+            clustering.n_clusters,
+            init.pair_center_y,
+            init.minority_widths_original,
+        )
+        f = costs.combine(params.alpha)
+        cap = init.pair_capacity * params.row_fill
+        n_minr = required_minority_pairs(
+            float(init.minority_widths_original.sum()),
+            float(init.pair_capacity.min()),
+            params.minority_fill_target,
+        )
+        dense = solve_milp(
+            build_rap_model(f, costs.cluster_width, cap, n_minr),
+            backend="highs",
+        )
+        solution, stats = solve_rap_sparse(
+            f, costs.cluster_width, cap, n_minr
+        )
+        assert dense.status is MilpStatus.OPTIMAL
+        assert solution.objective == pytest.approx(
+            dense.objective, rel=1e-9, abs=1e-6
+        )
+        assert stats.certified
