@@ -17,8 +17,17 @@ current numbers against the committed JSON and enforces the speedup
 floors (>=3x abacus_legalize, >=2x end-to-end flow (5), >=2x sparse
 RAP solve) plus the dense/sparse objective-match invariant.
 
+The ``race`` group times the resilient RAP solve with its backend rungs
+*raced* on the supervised pool (``workers > 1``) against the sequential
+chain on the same instance; the gate asserts racing is never more than
+10% slower than sequential on the healthy path.  The racer count is
+capped at the machine's core count — with a single core the raced path
+degenerates to the sequential chain (racing CPU-bound solvers without
+free cores only starves the winner), so the floor then gates pure
+harness overhead.
+
 ``--only`` restricts the run to named kernel groups (``legalizers``,
-``topology``, ``rap``, ``flow``); combine with ``--merge`` to carry the
+``topology``, ``rap``, ``race``, ``flow``); combine with ``--merge`` to carry the
 untouched groups over from a committed JSON so the gate still sees every
 kernel (``make bench-rap`` does exactly this).
 
@@ -31,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -72,7 +82,12 @@ N_CELLS = 4000
 SEED = 7
 FLOW_TESTCASE = "aes_400"
 RAP_TESTCASE = "aes_400"  # full scale: the instance the paper's ILP sees
-KERNEL_GROUPS = ("legalizers", "topology", "rap", "flow")
+KERNEL_GROUPS = ("legalizers", "topology", "rap", "race", "flow")
+# One process per backend rung (highs / bnb / lagrangian), capped at the
+# core count: racing CPU-bound solvers on fewer cores than racers only
+# slows the winner down, so on a single-core machine the raced path
+# deliberately degenerates to the sequential chain (workers=1).
+RACE_WORKERS = min(3, os.cpu_count() or 1)
 
 # Pre-optimization timings (seed scalar implementations, recorded on the
 # commit introducing this harness).  ``flow5_seconds`` is the reference
@@ -223,6 +238,69 @@ def bench_rap(library, repeats):
     }
 
 
+def bench_race(library, repeats):
+    """Raced resilient RAP solve vs the sequential chain, best-of-N.
+
+    Same full-scale instance as ``rap_solve``; the raced path spawns one
+    process per backend rung on the shared supervised pool, first
+    certified answer wins.  The pool is forked and warmed outside the
+    timed region — steady-state cost, not cold-start.
+    """
+    from repro.core.rap import solve_rap_resilient
+    from repro.utils.supervise import get_shared_pool
+
+    f, w, cap, n_minr, n_cells = rap_instance(library)
+    labels = np.arange(f.shape[0])
+    common = dict(row_fill=1.0)  # capacity already has row_fill applied
+
+    seq_result = [None]
+
+    def run_seq():
+        seq_result[0] = solve_rap_resilient(
+            f, w, cap, n_minr, labels, workers=1, **common
+        )
+
+    race_result = [None]
+
+    def run_race():
+        race_result[0] = solve_rap_resilient(
+            f, w, cap, n_minr, labels, workers=RACE_WORKERS, **common
+        )
+
+    if RACE_WORKERS > 1:
+        get_shared_pool(RACE_WORKERS)
+        run_race()  # warm the workers before timing
+        seq_seconds = best_of(run_seq, repeats)
+        race_seconds = best_of(run_race, repeats)
+    else:
+        # workers=1 never races: both paths are literally the same code,
+        # so timing them separately would only gate timer noise.
+        seq_seconds = race_seconds = best_of(run_seq, repeats)
+        race_result[0] = seq_result[0]
+    seq, raced = seq_result[0], race_result[0]
+    objective_match = bool(
+        seq is not None
+        and raced is not None
+        and abs(seq.objective - raced.objective)
+        <= 1e-6 * max(1.0, abs(seq.objective))
+    )
+    return {
+        "seconds": race_seconds,
+        "sequential_seconds": seq_seconds,
+        "speedup_vs_sequential": seq_seconds / race_seconds,
+        "objective_match": objective_match,
+        "objective": float(raced.objective) if raced is not None else None,
+        "workers": RACE_WORKERS,
+        "cores": os.cpu_count() or 1,
+        "racing_engaged": RACE_WORKERS > 1,
+        "n_clusters": int(f.shape[0]),
+        "n_pairs": int(f.shape[1]),
+        "n_minority_rows": int(n_minr),
+        "n_cells": int(n_cells),
+        "testcase": RAP_TESTCASE,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(ROOT / "BENCH_kernels.json"))
@@ -317,6 +395,22 @@ def main() -> int:
             f"(dense {entry['dense_seconds'] * 1e3:8.2f} ms, "
             f"{entry['speedup']:4.2f}x, match={entry['objective_match']}, "
             f"{entry['n_clusters']}x{entry['n_pairs']})"
+        )
+
+    # Raced resilient RAP solve vs the sequential chain.
+    if "race" in groups:
+        entry = bench_race(library, args.repeats)
+        kernels["rap_race"] = entry
+        registry.gauge("bench.rap_race.seconds").set(entry["seconds"])
+        registry.gauge("bench.rap_race.speedup_vs_sequential").set(
+            entry["speedup_vs_sequential"]
+        )
+        print(
+            f"{'rap_race':24s} {entry['seconds'] * 1e3:8.2f} ms   "
+            f"(sequential {entry['sequential_seconds'] * 1e3:8.2f} ms, "
+            f"{entry['speedup_vs_sequential']:4.2f}x, "
+            f"match={entry['objective_match']}, "
+            f"{entry['workers']} workers)"
         )
 
     # End-to-end flow (5) at the default sweep scale.

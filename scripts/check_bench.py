@@ -12,6 +12,11 @@ when the current run misses the speedup floors this layer promises:
   and its sparse objective must match the dense optimum
   (``objective_match``) — a mismatch is a correctness failure, not a
   performance one, and always fails the gate
+* ``rap_race``         >= 0.9x vs the sequential chain (racing the
+  backend rungs may never cost more than 10% on the healthy path) and
+  the raced objective must match the sequential one; the bench caps
+  racers at the core count, so on a single-core machine this gates the
+  degenerate (sequential) path's overhead only
 
 Record mode (``--record``) validates a flight-recorder
 ``run_record.json`` against the ``repro.run_record/1`` schema, and —
@@ -45,11 +50,15 @@ FLOORS = {
     ("abacus_legalize", "speedup"): 3.0,
     ("flow5_end_to_end", "speedup_vs_baseline"): 2.0,
     ("rap_solve", "speedup"): 2.0,
+    # Racing the backend rungs must stay within 10% of the sequential
+    # chain on the healthy path (pool overhead is the only difference).
+    ("rap_race", "speedup_vs_sequential"): 0.9,
 }
 
 #: Boolean invariants: (kernel, field) entries that must be true.
 INVARIANTS = (
     ("rap_solve", "objective_match"),
+    ("rap_race", "objective_match"),
 )
 
 

@@ -57,8 +57,18 @@ from repro.utils.resilience import (
     ResiliencePolicy,
     RetryPolicy,
 )
+from repro.utils.supervise import (
+    CancelToken,
+    RaceEntry,
+    RaceResult,
+    SupervisedPool,
+    TaskOutcome,
+    race,
+    supervised_map,
+)
 
 __all__ = [
+    "CancelToken",
     "ConvergenceSeries",
     "Deadline",
     "FaultPlan",
@@ -70,6 +80,8 @@ __all__ = [
     "InitialPlacement",
     "MetricsRegistry",
     "RCPPParams",
+    "RaceEntry",
+    "RaceResult",
     "ResiliencePolicy",
     "RetryPolicy",
     "RowAssignment",
@@ -77,16 +89,20 @@ __all__ = [
     "RowConstraintResult",
     "RunConfig",
     "Span",
+    "SupervisedPool",
     "SweepJobResult",
     "SweepResult",
+    "TaskOutcome",
     "Tracer",
     "__version__",
     "make_asap7_library",
     "prepare_initial_placement",
+    "race",
     "render_span_tree",
     "run_flow",
     "run_sweep",
     "span",
+    "supervised_map",
 ]
 
 

@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--tree", action="store_true",
         help="print each job's span tree after the sweep",
     )
+    sweep.add_argument(
+        "--journal", default=None,
+        help="crash-safe JSONL checkpoint: one line per completed job",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs already in --journal (same config required)",
+    )
     add_run_config_args(sweep, workers=True)
 
     for name in _EXPERIMENTS:
@@ -203,6 +211,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config=config,
         cache_dir=cache_dir,
         progress=print,
+        journal=args.journal,
+        resume=args.resume,
     )
     out = result.write_json(args.out)
     print(

@@ -143,6 +143,7 @@ class RunConfig:
                 args, "retries", defaults.max_solver_retries
             ),
             time_budget_s=getattr(args, "budget_s", None),
+            rap_workers=getattr(args, "rap_workers", defaults.rap_workers),
         )
         scale_denom = getattr(args, "scale_denom", None)
         scale = (
@@ -192,6 +193,13 @@ def add_run_config_args(
     parser.add_argument(
         "--retries", type=int, default=defaults.max_solver_retries,
         help="attempts per solver rung for transient failures",
+    )
+    parser.add_argument(
+        "--rap-workers", type=int, default=defaults.rap_workers,
+        help=(
+            "RAP solver processes: >1 races the backend rungs "
+            "concurrently (first certified answer wins)"
+        ),
     )
     if workers:
         parser.add_argument(

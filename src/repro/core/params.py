@@ -55,8 +55,12 @@ class RCPPParams:
       solve builds the dense cluster x row-pair model as before.
     * ``rap_candidates`` forces the per-cluster candidate count ``k``;
       ``None`` (default) adapts ``k`` to the capacity slack.
-    * ``rap_workers`` is the process-pool width for decomposed
-      component sub-solves (1 = always in-process).
+    * ``rap_workers`` is the RAP's process budget.  At 1 everything runs
+      in-process.  Above 1 the resilient solve *races* its backend rungs
+      concurrently on a supervised pool (first certified answer wins —
+      see :func:`repro.core.rap.solve_rap_resilient`); plain
+      ``solve_rap`` calls instead spend the workers on decomposed
+      component sub-solves.
     """
 
     alpha: float = 0.75

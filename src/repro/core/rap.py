@@ -27,6 +27,7 @@ from repro.core.sparse_rap import (
     solve_rap_sparse,
     validate_rap_inputs,
 )
+from repro.obs.convergence import observe
 from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
 from repro.utils.errors import (
@@ -35,7 +36,19 @@ from repro.utils.errors import (
     StageTimeoutError,
     ValidationError,
 )
-from repro.utils.resilience import Deadline, FlowProvenance, ResiliencePolicy
+from repro.utils.resilience import (
+    EXACT_BACKENDS,
+    Deadline,
+    FlowProvenance,
+    ResiliencePolicy,
+)
+from repro.utils.supervise import (
+    CancelToken,
+    RaceCancelled,
+    RaceEntry,
+    get_shared_pool,
+    race,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -361,6 +374,275 @@ def _warm_start_vector(
     return candidate if model.is_feasible(candidate) else None
 
 
+def _race_rung_job(payload: dict) -> dict:
+    """One backend rung's full RAP solve (module-level so it pickles).
+
+    Runs inside a :class:`~repro.utils.supervise.SupervisedPool` worker;
+    the embedded engine always runs with ``workers=1`` (no nested pools
+    inside a racing worker).  Returns the raw :class:`MilpSolution` plus
+    engine stats; decoding happens in the parent, where ``labels`` and
+    the track heights live.
+    """
+    rung = payload["rung"]
+    cancel = payload.get("cancel")
+    if payload["sparse"]:
+        solution, stats = solve_rap_sparse(
+            payload["f"],
+            payload["w"],
+            payload["cap"],
+            payload["n_rows"],
+            backend=rung,
+            time_limit_s=payload.get("time_limit_s"),
+            warm_assignment=payload.get("warm"),
+            candidate_k=payload.get("candidate_k"),
+            workers=1,
+            cancel=cancel,
+        )
+        return {"rung": rung, "solution": solution, "stats": stats}
+    model = build_rap_model(
+        payload["f"], payload["w"], payload["cap"], payload["n_rows"]
+    )
+    warm_vec = None
+    warm = payload.get("warm")
+    if warm is not None:
+        candidate = assignment_to_vector(warm, *payload["f"].shape)
+        if model.is_feasible(candidate):
+            warm_vec = candidate
+    solution = solve_milp(
+        model,
+        backend=rung,
+        time_limit_s=payload.get("time_limit_s"),
+        warm_start=warm_vec,
+        cancel=cancel,
+    )
+    return {"rung": rung, "solution": solution, "stats": None}
+
+
+def _certified_exact(rung: str, solution: MilpSolution) -> bool:
+    """The race's certification rule: exact backend + proven optimum."""
+    return rung in EXACT_BACKENDS and solution.status is MilpStatus.OPTIMAL
+
+
+def _race_rap_level(
+    rungs: tuple[str, ...],
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    usable: np.ndarray,
+    n_rows: int,
+    labels: np.ndarray,
+    majority_track: float,
+    minority_track: float,
+    backend: str,
+    time_limit_s: float | None,
+    sparse: bool,
+    candidate_k: int | None,
+    warm_assignment: np.ndarray | None,
+    workers: int,
+    policy: ResiliencePolicy,
+    deadline: Deadline,
+    prov: FlowProvenance,
+    relaxation: str | None,
+) -> tuple[str, RowAssignment | None]:
+    """Race all backend rungs of one relaxation level concurrently.
+
+    First *certified* answer wins (see :func:`_certified_exact`); losers
+    are cancelled — their pool workers killed, cooperative solvers
+    additionally observing the shared :class:`CancelToken`.  When nothing
+    certifies, the surviving outcomes are scanned in rung-preference
+    order, mirroring the sequential chain.
+
+    Returns a verdict and (for ``"win"``) the decoded assignment:
+
+    * ``("win", assignment)`` — a rung answered; provenance updated;
+    * ``("escalate", None)`` — some rung proved infeasibility, move to
+      the next relaxation level;
+    * ``("fallback", None)`` — nothing usable came back, run this
+      level's sequential rung loop instead (worker-only faults do not
+      fire inline, so the sequential pass is also the degraded-mode
+      last resort).
+
+    A certified-exact winner is *not* marked degraded even when it is
+    not the requested backend: both exact backends prove the same
+    optimum, so the answer is bit-equivalent to the sequential chain's.
+    (The sequential chain marks any non-primary rung degraded because
+    there a fallback implies the primary *failed*; in a race losing on
+    latency is not a failure.)
+    """
+    stage = "rap.race"
+    deadline.check(stage, provenance=prov)
+    limit = deadline.clamp(time_limit_s)
+    # A healthy rung obeys ``limit`` internally; supervision only has to
+    # catch wedged workers, so the kill deadline gets a generous margin.
+    task_timeout_s = None if limit is None else max(5.0, 3.0 * limit)
+
+    warm_prior = _valid_prior(warm_assignment, *f.shape)
+    greedy: np.ndarray | None = None
+    cancel = CancelToken()
+    entries = []
+    for rung in rungs:
+        warm = warm_prior
+        if warm is None and rung in EXACT_BACKENDS:
+            if greedy is None:
+                greedy = greedy_rap(f, cluster_width, usable, n_rows)
+            warm = greedy
+        entries.append(
+            RaceEntry(
+                label=rung,
+                fn=_race_rung_job,
+                item={
+                    "rung": rung,
+                    "f": f,
+                    "w": cluster_width,
+                    "cap": usable,
+                    "n_rows": n_rows,
+                    "time_limit_s": limit,
+                    "warm": warm,
+                    "candidate_k": candidate_k,
+                    "sparse": sparse,
+                    "cancel": cancel,
+                },
+                fault_stage=f"rap.{rung}",
+            )
+        )
+
+    def certify(i: int, value: dict) -> bool:
+        if _certified_exact(rungs[i], value["solution"]):
+            cancel.set()  # cooperative losers stop before the kill lands
+            return True
+        return False
+
+    pool = get_shared_pool(min(workers, len(entries)))
+    pool.fault_plan = policy.fault_plan
+    pool.task_timeout_s = task_timeout_s
+    try:
+        with span(
+            stage,
+            rungs=",".join(rungs),
+            workers=pool.workers,
+            relaxation=relaxation,
+        ) as race_span:
+            result = race(entries, certify, pool=pool)
+            race_span.annotate(
+                winner=result.winner,
+                wall_s=result.wall_s,
+                cancel_latency_s=result.cancel_latency_s,
+                crashes=result.crashes,
+                hangs=result.hangs,
+                cancelled=result.n_cancelled,
+            )
+            # Convergence points are numeric-only; the winner label and
+            # relaxation string live on the span attributes above.
+            observe(
+                stage,
+                winner_index=(
+                    -1.0
+                    if result.winner_index is None
+                    else float(result.winner_index)
+                ),
+                wall_s=result.wall_s,
+                cancel_latency_s=result.cancel_latency_s,
+                crashes=result.crashes,
+                hangs=result.hangs,
+                cancelled=result.n_cancelled,
+            )
+    finally:
+        cancel.clear()
+
+    # Preference order: the certified winner if any, else the first rung
+    # (in chain order) that returned a usable solution.
+    order = list(range(len(rungs)))
+    if result.winner_index is not None:
+        order.remove(result.winner_index)
+        order.insert(0, result.winner_index)
+    chosen: int | None = None
+    assignment: RowAssignment | None = None
+    infeasible_seen = False
+    decode_errors: dict[int, BaseException] = {}
+    for i in order:
+        outcome = result.outcomes[i]
+        if not outcome.ok:
+            continue
+        solution: MilpSolution = outcome.value["solution"]
+        if solution.status is MilpStatus.INFEASIBLE:
+            infeasible_seen = True
+            continue
+        if not solution.ok or solution.x is None:
+            continue
+        try:
+            assignment = solution_to_assignment(
+                solution,
+                n_clusters=f.shape[0],
+                n_pairs=f.shape[1],
+                labels=labels,
+                majority_track=majority_track,
+                minority_track=minority_track,
+            )
+        except InfeasibleError as exc:
+            decode_errors[i] = exc
+            continue
+        chosen = i
+        break
+
+    for i, rung in enumerate(rungs):
+        outcome = result.outcomes[i]
+        attempt = max(1, outcome.attempts)
+        if i == chosen:
+            prov.record(
+                f"rap.{rung}", rung, attempt, ok=True,
+                runtime_s=outcome.wall_s, relaxation=relaxation,
+            )
+            continue
+        if outcome.ok:
+            solution = outcome.value["solution"]
+            if solution.status is MilpStatus.INFEASIBLE:
+                error: BaseException = InfeasibleError("model infeasible")
+            elif i in decode_errors:
+                error = decode_errors[i]
+            elif not solution.ok or solution.x is None:
+                error = SolverError(
+                    f"no incumbent (status {solution.status.value})"
+                )
+            else:
+                error = SolverError("lost race: uncertified answer")
+            prov.record(
+                f"rap.{rung}", rung, attempt, ok=False, error=error,
+                runtime_s=outcome.wall_s, relaxation=relaxation,
+            )
+        else:
+            # TaskOutcome carries the error as (type name, message)
+            # strings; rebuild something record() can stringify while
+            # keeping cancellations recognizable.
+            if outcome.status == "cancelled":
+                error = RaceCancelled(outcome.error or "lost race")
+            else:
+                error = SolverError(
+                    f"[{outcome.error_type}] {outcome.error}"
+                )
+            prov.record(
+                f"rap.{rung}", rung, attempt, ok=False,
+                error=error, runtime_s=outcome.wall_s,
+                relaxation=relaxation,
+            )
+
+    if chosen is not None:
+        rung = rungs[chosen]
+        prov.backend = rung
+        certified = chosen == result.winner_index
+        prov.degraded = bool(
+            (not certified and rung != backend)
+            or relaxation is not None
+            or result.outcomes[chosen].ran_inline
+        )
+        return "win", assignment
+    if infeasible_seen:
+        return "escalate", None
+    logger.warning(
+        "RAP race produced no usable answer; falling back to the "
+        "sequential chain for this level"
+    )
+    return "fallback", None
+
+
 def solve_rap_resilient(
     f: np.ndarray,
     cluster_width: np.ndarray,
@@ -395,6 +677,18 @@ def solve_rap_resilient(
     iteration's cluster -> pair map) seeds every rung's warm start;
     without it the B&B rung falls back to the greedy heuristic as
     before.
+
+    ``workers > 1`` switches the chain from sequential to *racing*: all
+    rungs of a relaxation level run concurrently on a supervised,
+    crash-tolerant process pool (:mod:`repro.utils.supervise`) and the
+    first certified answer — an exact backend proving optimality — wins,
+    cancelling the others.  Healthy-path answers are identical to the
+    sequential chain's (both exact backends prove the same optimum); a
+    failure merely stops costing the failed rung's wall-clock.  Race
+    outcomes land in ``provenance``, a ``rap.race`` span, and a
+    FlightRecorder observation.  Each racing rung runs its internal
+    engine single-threaded; leave ``workers`` at 1 to instead spend them
+    on the sparse engine's component fan-out.
 
     Failure ladder per :class:`~repro.utils.resilience.ResiliencePolicy`:
 
@@ -446,6 +740,32 @@ def solve_rap_resilient(
         if relaxation is not None:
             prov.relaxations.append(relaxation)
             logger.info("RAP escalating relaxation: %s", relaxation)
+        if workers > 1 and len(rungs) > 1:
+            verdict, assignment = _race_rap_level(
+                rungs,
+                f,
+                cluster_width,
+                usable,
+                n_rows,
+                labels,
+                majority_track,
+                minority_track,
+                backend,
+                time_limit_s,
+                sparse,
+                candidate_k,
+                warm_assignment,
+                workers,
+                policy,
+                deadline,
+                prov,
+                relaxation,
+            )
+            if verdict == "win":
+                return assignment
+            if verdict == "escalate":
+                continue
+            # "fallback": run this level's sequential rung loop below.
         escalate = False
         for rung in rungs:
             stage = f"rap.{rung}"

@@ -36,9 +36,9 @@ optimum:
 * **Spatial decomposition** — when the pruned cluster<->row-pair
   bipartite graph splits into independent connected components, each
   component solves as its own sub-MILP (concurrently through
-  :func:`repro.utils.pool.parallel_map` — the sweep engine's worker
-  pool — when sizes warrant) and an exact DP over component capacities
-  apportions ``N_minR`` across components.
+  :func:`repro.utils.supervise.supervised_map` — a crash- and
+  hang-tolerant worker pool — when sizes warrant) and an exact DP over
+  component capacities apportions ``N_minR`` across components.
 
 *Strengthening.*  Restricted models carry two valid inequalities the
 paper's formulation implies but never states: the disaggregated linking
@@ -71,7 +71,7 @@ from repro.obs.convergence import observe
 from repro.obs.trace import span
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
 from repro.utils.errors import InfeasibleError, ValidationError
-from repro.utils.pool import parallel_map
+from repro.utils.supervise import supervised_map
 
 logger = logging.getLogger(__name__)
 
@@ -463,6 +463,7 @@ def _lp_rounding_incumbent(
     y_fractional: np.ndarray,
     backend: str,
     time_limit_s: float | None,
+    cancel: object | None = None,
 ) -> tuple[np.ndarray, float, float] | None:
     """Primal heuristic: open the rows the LP wants, assign optimally.
 
@@ -502,7 +503,9 @@ def _lp_rounding_incumbent(
         a_eq=a_eq,
         b_eq=np.ones(n_c),
     )
-    solution = solve_milp(model, backend=backend, time_limit_s=time_limit_s)
+    solution = solve_milp(
+        model, backend=backend, time_limit_s=time_limit_s, cancel=cancel
+    )
     if not solution.ok or solution.x is None:
         return None
     x = np.round(solution.x).reshape(n_c, k)
@@ -583,6 +586,7 @@ def _solve_component_job(payload: dict) -> dict:
         backend=payload["backend"],
         time_limit_s=payload.get("time_limit_s"),
         warm_start=warm_vec,
+        cancel=payload.get("cancel"),
     )
     out = {
         "status": solution.status.value,
@@ -609,6 +613,7 @@ def _solve_decomposed(
     workers: int,
     strengthen: bool,
     stats: SparseSolveStats,
+    cancel: object | None = None,
 ) -> MilpSolution | None:
     """Exact component-wise solve: sub-MILP sweep + row-apportion DP.
 
@@ -675,6 +680,7 @@ def _solve_decomposed(
                 "time_limit_s": time_limit_s,
                 "warm": local_warm,
                 "strengthen": strengthen,
+                "cancel": cancel,
             }
         )
 
@@ -687,7 +693,7 @@ def _solve_decomposed(
         tasks=len(tasks),
         workers=pool_workers,
     ):
-        results = parallel_map(
+        results = supervised_map(
             _solve_component_job, payloads, workers=pool_workers
         )
 
@@ -764,6 +770,7 @@ def _solve_lagrangian_direct(
     n_minority_rows: int,
     time_limit_s: float | None,
     warm_assignment: np.ndarray | None,
+    cancel: object | None = None,
 ) -> MilpSolution:
     """Heuristic rung without any MILP model build.
 
@@ -818,6 +825,7 @@ def _solve_small_dense(
     time_limit_s: float | None,
     warm: np.ndarray | None,
     stats: SparseSolveStats,
+    cancel: object | None = None,
 ) -> tuple[MilpSolution, SparseSolveStats]:
     """One full-mask solve for tiny instances (no cuts, no LP)."""
     n_c, n_p = f.shape
@@ -849,6 +857,7 @@ def _solve_small_dense(
             backend=backend,
             time_limit_s=time_limit_s,
             warm_start=warm_vec,
+            cancel=cancel,
         )
         stats.solve_s = solution.runtime_s
         # The full model is authoritative in either direction.
@@ -905,6 +914,7 @@ def solve_rap_sparse(
     warm_assignment: np.ndarray | None = None,
     candidate_k: int | None = None,
     workers: int = 1,
+    cancel: object | None = None,
 ) -> tuple[MilpSolution, SparseSolveStats]:
     """Solve the RAP through the sparse engine.
 
@@ -918,6 +928,12 @@ def solve_rap_sparse(
     ``None`` selects reduced-cost fixing with a top-k fallback, except
     at or below :data:`SMALL_PROBLEM_VARIABLES` dense variables, where
     one full-mask solve is cheaper than any pruning.
+
+    ``cancel`` is a cooperative cancellation flag (``is_set() -> bool``,
+    picklable — e.g. :class:`repro.utils.supervise.CancelToken`) threaded
+    down to every iterative sub-solve, including component sub-MILPs in
+    pool workers; a cancelled solve stops early with its incumbent, like
+    a time-limit expiry.
     """
     f = np.asarray(f, dtype=float)
     cluster_width = np.asarray(cluster_width, dtype=float)
@@ -931,7 +947,7 @@ def solve_rap_sparse(
         stats.strategy = "lagrangian"
         solution = _solve_lagrangian_direct(
             f, cluster_width, pair_capacity, n_minority_rows,
-            time_limit_s, warm_assignment,
+            time_limit_s, warm_assignment, cancel=cancel,
         )
         stats.rounds = 1
         stats.k_initial = stats.k_final = n_p
@@ -951,7 +967,7 @@ def solve_rap_sparse(
     if not forced and stats.n_dense_variables <= SMALL_PROBLEM_VARIABLES:
         return _solve_small_dense(
             f, cluster_width, pair_capacity, n_minority_rows,
-            backend, time_limit_s, warm, stats,
+            backend, time_limit_s, warm, stats, cancel=cancel,
         )
 
     lp_info: _LpInfo | None = None
@@ -990,6 +1006,7 @@ def solve_rap_sparse(
                     rounded = _lp_rounding_incumbent(
                         f, cluster_width, pair_capacity, n_minority_rows,
                         lp.y_fractional, backend, time_limit_s,
+                        cancel=cancel,
                     )
                     if rounded is not None:
                         stats.solve_s += rounded[2]
@@ -1050,7 +1067,7 @@ def solve_rap_sparse(
                 solution = _solve_decomposed(
                     f, cluster_width, pair_capacity, n_minority_rows,
                     mask, comps, backend, time_limit_s, warm,
-                    workers, strengthen, stats,
+                    workers, strengthen, stats, cancel=cancel,
                 )
             if solution is None:  # single component or oversized sweep
                 t0 = time.perf_counter()
@@ -1071,6 +1088,7 @@ def solve_rap_sparse(
                     backend=backend,
                     time_limit_s=time_limit_s,
                     warm_start=warm_vec,
+                    cancel=cancel,
                 )
                 stats.solve_s += restricted.runtime_s
                 solution = MilpSolution(

@@ -1,7 +1,12 @@
 """Instrumented parallel sweep engine: testcase × flow fan-out.
 
 One sweep is a grid of (testcase, flow) jobs executed over a
-``ProcessPoolExecutor`` (``config.workers > 1``) or inline.  Each job
+supervised, crash-tolerant process pool
+(:class:`~repro.utils.supervise.SupervisedPool`, ``config.workers > 1``)
+or inline.  A crashed or hung worker costs one job retry, never the
+sweep; a job that fails every pool attempt runs once inline and, failing
+that, lands as an ``"error"`` row instead of aborting the batch.  Each
+job
 
 * derives a deterministic seed (:meth:`RunConfig.job_seed` — stable
   across runs, machines and worker scheduling),
@@ -20,12 +25,20 @@ The parent merges all job snapshots into one registry and wraps
 everything in a :class:`SweepResult`, which exports ``BENCH_sweep.json``
 and a Table IV-layout CSV (displacement / HPWL / runtime blocks per
 flow).
+
+Crash-safe checkpointing: pass ``journal=`` to append one JSONL line per
+completed job as it finishes; re-running with ``resume=True`` skips
+every journaled job (validated against a config fingerprint) so a
+killed sweep restarts where it died and still produces the exact same
+rows — job seeds derive from (testcase, flow), not from scheduling.
 """
 
 from __future__ import annotations
 
 import csv
 import dataclasses
+import hashlib
+import json
 import logging
 import os
 import time
@@ -46,7 +59,7 @@ from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import render_span_tree
 from repro.techlib.asap7 import make_asap7_library
 from repro.utils.errors import ReproError, StageTimeoutError, ValidationError
-from repro.utils.pool import parallel_map
+from repro.utils.supervise import SupervisedPool, TaskOutcome
 
 logger = logging.getLogger(__name__)
 
@@ -76,6 +89,8 @@ class SweepJobResult:
     provenance: dict | None = None
     spans: dict | None = None  # Tracer.to_dict() of the whole job
     record: dict | None = None  # flight-recorder run record (no spans/metrics)
+    supervisor: dict | None = None  # pool supervision (attempts/crashes/...)
+    resumed: bool = False  # loaded from a journal, not re-run
 
     @property
     def ok(self) -> bool:
@@ -264,18 +279,102 @@ def _run_job(payload: dict) -> dict:
     return {"job": job.to_dict(), "metrics": recorder.registry.snapshot()}
 
 
+#: Journal line schema (first line of every sweep journal).
+SWEEP_JOURNAL_SCHEMA = "repro.sweep_journal/1"
+
+
+def sweep_fingerprint(config: RunConfig) -> str:
+    """Stable digest of everything that shapes a job's numbers.
+
+    Two sweeps with the same fingerprint produce identical rows for any
+    (testcase, flow) they share — seeds derive from (testcase, flow) and
+    the config, never from scheduling — which is what makes journaled
+    jobs safe to reuse on ``resume``.
+    """
+    blob = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _load_journal(path: Path, fingerprint: str) -> dict[tuple[str, int], dict]:
+    """Completed jobs from a sweep journal, keyed by (testcase, flow).
+
+    A truncated trailing line (the sweep died mid-write) is skipped; a
+    fingerprint mismatch raises — resuming under a different config
+    would silently mix rows from two different experiments.
+    """
+    completed: dict[tuple[str, int], dict] = {}
+    try:
+        lines = path.read_text().splitlines()
+    except FileNotFoundError:
+        return completed
+    if not lines:
+        return completed
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"corrupt sweep journal header: {path}") from exc
+    if header.get("schema") != SWEEP_JOURNAL_SCHEMA:
+        raise ValidationError(
+            f"not a sweep journal (schema {header.get('schema')!r}): {path}"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise ValidationError(
+            "sweep journal was written under a different config "
+            f"(fingerprint {header.get('fingerprint')} != {fingerprint}); "
+            "delete it or drop --resume"
+        )
+    for line in lines[1:]:
+        try:
+            out = json.loads(line)
+        except json.JSONDecodeError:
+            logger.warning("skipping truncated journal line in %s", path)
+            continue
+        job = out.get("job", {})
+        if "testcase_id" in job and "flow" in job:
+            completed[(job["testcase_id"], int(job["flow"]))] = out
+    return completed
+
+
+def _failed_job_out(payload: dict, config: RunConfig, outcome) -> dict:
+    """An ``"error"`` row for a job the pool gave up on."""
+    job = SweepJobResult(
+        testcase_id=payload["testcase_id"],
+        flow=int(payload["flow"]),
+        status="error",
+        seed=config.job_seed(payload["testcase_id"], int(payload["flow"])),
+        error=f"[{outcome.error_type}] {outcome.error}",
+    )
+    return {"job": job.to_dict(), "metrics": {}}
+
+
 def run_sweep(
     testcase_ids: Sequence[str] = QUICK_SUBSET_IDS,
     flows: Sequence[int | FlowKind] = DEFAULT_SWEEP_FLOWS,
     config: RunConfig | None = None,
     cache_dir: str | os.PathLike | None = DEFAULT_CACHE_DIR,
     progress: Callable[[str], None] | None = None,
+    journal: str | os.PathLike | None = None,
+    resume: bool = False,
+    task_timeout_s: float | None = None,
 ) -> SweepResult:
     """Run the testcase × flow grid and collect one :class:`SweepResult`.
 
     ``config.workers`` picks the execution mode: 1 runs jobs inline in
-    submission order; >1 fans out over a process pool.  ``cache_dir=None``
-    disables the artifact cache entirely.
+    submission order; >1 fans out over a :class:`SupervisedPool` that
+    survives worker crashes and hangs (each failure costs one retry;
+    exhausted jobs run inline once, then land as ``"error"`` rows).
+    ``cache_dir=None`` disables the artifact cache entirely.
+
+    ``journal`` appends one JSONL line per completed job, making the
+    sweep crash-safe: with ``resume=True`` jobs already in the journal
+    are loaded instead of re-run (their rows are bit-identical — seeds
+    derive from (testcase, flow), not scheduling).  The journal header
+    pins a config fingerprint; resuming under a different config raises
+    :class:`~repro.utils.errors.ValidationError`.
+
+    ``task_timeout_s`` arms the pool's hung-job kill: a worker that
+    exceeds it is SIGKILLed and the job retried (then run inline).  Off
+    by default — legitimate jobs have no universal upper bound.
     """
     config = config or RunConfig()
     flow_values = [f.value if isinstance(f, FlowKind) else int(f) for f in flows]
@@ -283,8 +382,15 @@ def run_sweep(
         raise ValidationError("sweep needs at least one testcase")
     if not flow_values:
         raise ValidationError("sweep needs at least one flow")
+    if resume and journal is None:
+        raise ValidationError("resume=True needs a journal path")
     for tc in testcase_ids:
         testcase_by_id(tc)  # fail fast on typos, before spawning workers
+
+    fingerprint = sweep_fingerprint(config)
+    completed: dict[tuple[str, int], dict] = {}
+    if resume:
+        completed = _load_journal(Path(journal), fingerprint)
     payloads = [
         {
             "testcase_id": tc,
@@ -294,26 +400,87 @@ def run_sweep(
         }
         for tc in testcase_ids
         for f in flow_values
+        if (tc, f) not in completed
     ]
 
-    merged = MetricsRegistry()
-    done = [0]
+    journal_fh = None
+    if journal is not None:
+        journal_path = Path(journal)
+        journal_path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not (resume and journal_path.exists())
+        journal_fh = open(journal_path, "w" if fresh else "a")
+        if fresh:
+            journal_fh.write(
+                json.dumps(
+                    {
+                        "schema": SWEEP_JOURNAL_SCHEMA,
+                        "fingerprint": fingerprint,
+                    }
+                )
+                + "\n"
+            )
+            journal_fh.flush()
 
-    def _on_done(index: int, out: dict) -> None:
+    merged = MetricsRegistry()
+    outputs_by_key: dict[tuple[str, int], dict] = {}
+    for key, out in completed.items():
+        out["job"]["resumed"] = True
+        outputs_by_key[key] = out
+        merged.merge(out.get("metrics", {}))
+    total = len(payloads) + len(completed)
+    done = [len(completed)]
+
+    def _collect(payload: dict, out: dict) -> None:
         done[0] += 1
-        merged.merge(out["metrics"])
+        key = (payload["testcase_id"], int(payload["flow"]))
+        outputs_by_key[key] = out
+        merged.merge(out.get("metrics", {}))
+        if journal_fh is not None:
+            # One self-contained line per job, flushed immediately: a
+            # killed sweep loses at most the in-flight jobs.
+            journal_fh.write(json.dumps(out, default=str) + "\n")
+            journal_fh.flush()
         if progress:
-            progress(_progress_line(out["job"], done[0], len(payloads)))
+            progress(_progress_line(out["job"], done[0], total))
 
     t0 = time.perf_counter()
-    outputs = parallel_map(
-        _run_job, payloads, workers=config.workers, progress=_on_done
-    )
+    try:
+        if config.workers > 1 and len(payloads) >= 2:
+            pool = SupervisedPool(
+                workers=config.workers,
+                fault_plan=config.fault_plan,
+                task_timeout_s=task_timeout_s,
+            )
+            try:
+                outcomes = pool.map(
+                    _run_job,
+                    payloads,
+                    progress=lambda i, outcome: _collect(
+                        payloads[i], _outcome_to_out(payloads[i], config, outcome)
+                    ),
+                    fault_stages=[
+                        f"sweep.{p['testcase_id']}.flow{p['flow']}"
+                        for p in payloads
+                    ],
+                )
+            finally:
+                pool.shutdown()
+            del outcomes  # everything already collected via progress
+        else:
+            for payload in payloads:
+                _collect(payload, _run_job(payload))
+    finally:
+        if journal_fh is not None:
+            journal_fh.close()
     wall_s = time.perf_counter() - t0
 
-    # parallel_map returns results in submission order regardless of
-    # worker completion order, so the job list is already deterministic.
-    jobs = [SweepJobResult.from_dict(out["job"]) for out in outputs]
+    # Grid order regardless of completion order, so the job list is
+    # deterministic (resumed and fresh jobs interleave seamlessly).
+    jobs = [
+        SweepJobResult.from_dict(outputs_by_key[(tc, f)]["job"])
+        for tc in testcase_ids
+        for f in flow_values
+    ]
     snapshot = merged.snapshot()
     counters = snapshot.get("counters", {})
     cache_stats = {
@@ -332,6 +499,26 @@ def run_sweep(
         cache=cache_stats,
         metrics=snapshot,
     )
+
+
+def _outcome_to_out(
+    payload: dict, config: RunConfig, outcome: TaskOutcome
+) -> dict:
+    """Adapt one pool :class:`TaskOutcome` to the job-output dict shape.
+
+    A job the supervisor gave up on (crashed/hung through every retry
+    and the inline last resort) becomes an ``"error"`` row; survivors
+    carry their supervision trail in ``job["supervisor"]``.
+    """
+    out = outcome.value if outcome.ok else _failed_job_out(
+        payload, config, outcome
+    )
+    sup = outcome.to_dict()
+    out["job"]["supervisor"] = {
+        k: sup[k]
+        for k in ("status", "attempts", "crashes", "hangs", "ran_inline")
+    }
+    return out
 
 
 def _progress_line(job: dict, done: int, total: int) -> str:

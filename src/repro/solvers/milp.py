@@ -131,6 +131,7 @@ def solve_milp(
     backend: str = "highs",
     time_limit_s: float | None = None,
     warm_start: "np.ndarray | None" = None,
+    cancel: object | None = None,
     **kwargs: object,
 ) -> MilpSolution:
     """Solve ``model`` with the named backend (see :data:`MILP_BACKENDS`).
@@ -140,6 +141,15 @@ def solve_milp(
     backend accepts and ignores it (scipy's milp takes no starting
     point).  The "lagrangian" backend is heuristic and only accepts
     RAP-shaped models (it raises :class:`ValidationError` otherwise).
+
+    ``cancel`` is a cooperative cancellation flag (anything with an
+    ``is_set() -> bool`` method, e.g.
+    :class:`repro.utils.supervise.CancelToken`): the iterative backends
+    poll it — ``bnb`` once per node, ``lagrangian`` once per subgradient
+    step — and stop early with their best incumbent, exactly like a
+    time-limit expiry.  HiGHS runs inside one opaque native call and
+    cannot observe it mid-solve; racing relies on process kills for that
+    backend.
     """
     if backend == "highs":
         from repro.solvers.highs import solve_with_highs
@@ -150,13 +160,16 @@ def solve_milp(
     if backend == "bnb":
         from repro.solvers.bnb import BranchAndBoundSolver
 
-        solver = BranchAndBoundSolver(time_limit_s=time_limit_s, **kwargs)  # type: ignore[arg-type]
+        solver = BranchAndBoundSolver(
+            time_limit_s=time_limit_s, cancel=cancel, **kwargs  # type: ignore[arg-type]
+        )
         return solver.solve(model, warm_start=warm_start)
     if backend == "lagrangian":
         from repro.solvers.lagrangian import solve_with_lagrangian
 
         return solve_with_lagrangian(
-            model, time_limit_s=time_limit_s, warm_start=warm_start, **kwargs  # type: ignore[arg-type]
+            model, time_limit_s=time_limit_s, warm_start=warm_start,
+            cancel=cancel, **kwargs  # type: ignore[arg-type]
         )
     raise ValidationError(
         f"unknown MILP backend {backend!r}; valid backends: "

@@ -1,4 +1,4 @@
-"""Shared utilities: seeded RNG, timers, errors, resilience policies."""
+"""Shared utilities: RNG, timers, errors, resilience, pool supervision."""
 
 from repro.utils.errors import (
     CapacityError,
@@ -17,6 +17,19 @@ from repro.utils.resilience import (
     RungRecord,
 )
 from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.supervise import (
+    CancelToken,
+    PoolGaveUp,
+    PoolStats,
+    RaceCancelled,
+    RaceEntry,
+    RaceResult,
+    SupervisedPool,
+    TaskOutcome,
+    get_shared_pool,
+    race,
+    supervised_map,
+)
 from repro.utils.timer import StageTimes, Timer
 
 __all__ = [
@@ -32,6 +45,17 @@ __all__ = [
     "ResiliencePolicy",
     "RetryPolicy",
     "RungRecord",
+    "CancelToken",
+    "PoolGaveUp",
+    "PoolStats",
+    "RaceCancelled",
+    "RaceEntry",
+    "RaceResult",
+    "SupervisedPool",
+    "TaskOutcome",
+    "get_shared_pool",
+    "race",
+    "supervised_map",
     "make_rng",
     "spawn_rngs",
     "StageTimes",

@@ -13,8 +13,12 @@ propagate at the failing item).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import logging
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -35,6 +39,12 @@ def parallel_map(
     order inline.  The pool engages only when ``workers > 1`` **and**
     there are at least ``min_items`` items; otherwise the map runs
     inline in the calling process.
+
+    A worker crash breaks the whole ``ProcessPoolExecutor``; instead of
+    propagating :class:`BrokenProcessPool` (which used to abort the
+    batch), the unfinished items re-run inline in the calling process.
+    For retry/backoff, hung-task kills and per-task supervision, use
+    :func:`repro.utils.supervise.supervised_map` instead.
     """
     items = list(items)
     if workers <= 1 or len(items) < min_items:
@@ -47,11 +57,29 @@ def parallel_map(
         return results
 
     slots: list[R | None] = [None] * len(items)
+    finished = [False] * len(items)
+    broken = False
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
         futures = {pool.submit(fn, item): i for i, item in enumerate(items)}
         for future in as_completed(futures):
             i = futures[future]
-            slots[i] = future.result()
+            try:
+                slots[i] = future.result()
+            except (BrokenProcessPool, CancelledError):
+                broken = True
+                break
+            finished[i] = True
+            if progress is not None:
+                progress(i, slots[i])
+    if broken:
+        remaining = [i for i in range(len(items)) if not finished[i]]
+        logger.warning(
+            "process pool broke (worker died); re-running %d remaining "
+            "item(s) inline", len(remaining),
+        )
+        for i in remaining:
+            slots[i] = fn(items[i])
+            finished[i] = True
             if progress is not None:
                 progress(i, slots[i])
     return slots  # type: ignore[return-value]

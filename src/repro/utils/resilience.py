@@ -25,11 +25,13 @@ holds the policy objects the flow runner threads through every stage:
 
 from __future__ import annotations
 
+import os
+import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.utils.errors import StageTimeoutError
+from repro.utils.errors import StageTimeoutError, ValidationError
 
 #: Solver rungs tried in order when the primary backend fails.  The
 #: baseline heuristic assignment is the terminal rung and lives at the
@@ -108,17 +110,47 @@ class RetryPolicy:
 
     Infeasibility is never retried (it is deterministic); only
     :class:`~repro.utils.errors.SolverError`-class failures are.
+
+    ``jitter`` spreads the backoff uniformly within ``±jitter`` (as a
+    fraction of the computed delay) so concurrent racers that failed
+    together don't retry in lockstep.  It defaults to 0.0 — fully
+    deterministic delays — and draws from ``rng`` (or the module-level
+    :mod:`random` state) only when enabled.
     """
 
     max_attempts: int = 1
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    jitter: float = 0.0
 
-    def delay(self, attempt: int) -> float:
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: "random.Random | None" = None) -> float:
         """Sleep before retry number ``attempt + 1`` (attempts are 1-based)."""
         if self.backoff_s <= 0.0:
             return 0.0
-        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter <= 0.0:
+            return base
+        uniform = (rng or random).uniform(-self.jitter, self.jitter)
+        return max(0.0, base * (1.0 + uniform))
+
+
+#: Fault kinds that only fire inside pool worker processes (guarded by
+#: ``check(worker=True)``): crashing the interpreter, wedging the task,
+#: or delaying it are all process-level behaviors that must never hit
+#: the parent.
+WORKER_FAULT_KINDS: tuple[str, ...] = (
+    "worker_crash",
+    "worker_hang",
+    "slow_solver",
+)
+
+#: Exit code used by injected ``worker_crash`` faults (recognizable in
+#: supervisor logs; any abnormal exit breaks the pool the same way).
+WORKER_CRASH_EXIT_CODE = 86
 
 
 @dataclass
@@ -126,6 +158,8 @@ class _Fault:
     exc: object  # exception instance, class, or (stage, attempt) -> exception
     on_attempt: int | None
     remaining: int | None  # None = every matching attempt
+    kind: str = "raise"
+    delay_s: float = 0.0  # slow_solver delay / worker_hang duration
 
 
 class FaultPlan:
@@ -134,10 +168,29 @@ class FaultPlan:
     >>> plan = FaultPlan().fail("rap.highs", SolverError)
     >>> plan.check("rap.highs")          # doctest: +SKIP  (raises)
 
-    ``check(stage)`` counts one attempt at ``stage`` and raises the first
+    ``check(stage)`` counts one attempt at ``stage`` and fires the first
     registered fault that matches the attempt number.  Stages with no
     registered fault always pass, so a plan can be threaded through a
     whole flow unconditionally.
+
+    Beyond the default exception-raising faults, a plan can simulate
+    process-level failures *inside pool workers* (the
+    :class:`~repro.utils.supervise.SupervisedPool` wrapper calls
+    ``check(stage, attempt=..., worker=True)`` before running each task):
+
+    * ``kind="worker_crash"`` — ``os._exit`` the worker (a segfault
+      stand-in; the parent sees ``BrokenProcessPool``);
+    * ``kind="worker_hang"`` — sleep ``delay_s`` (default: effectively
+      forever) so the supervisor's deadline kill must fire;
+    * ``kind="slow_solver"`` — sleep ``delay_s`` and *continue*, so a
+      healthy-but-slow backend loses races without failing.
+
+    Worker faults never fire with ``worker=False`` (the parent-process
+    call sites), so a plan mixing both kinds is safe to thread through a
+    whole flow.  Plans are pickled into workers, whose attempt counters
+    are therefore per-copy; pass the parent-side ``attempt`` explicitly
+    to pin a fault to "first pool attempt only" semantics across
+    retries.
     """
 
     def __init__(self) -> None:
@@ -150,6 +203,8 @@ class FaultPlan:
         exc: object = None,
         on_attempt: int | None = None,
         times: int | None = None,
+        kind: str = "raise",
+        delay_s: float = 0.0,
     ) -> "FaultPlan":
         """Register a fault (chainable).
 
@@ -157,28 +212,61 @@ class FaultPlan:
         callable ``(stage, attempt) -> Exception``; default is
         :class:`~repro.utils.errors.SolverError`.  ``on_attempt`` pins
         the fault to one attempt number; ``times`` caps how often it
-        fires (default: every matching attempt).
+        fires (default: every matching attempt).  ``kind`` selects one
+        of the worker fault kinds (see class docstring); ``delay_s``
+        parameterizes ``slow_solver`` / ``worker_hang``.
         """
+        if kind not in ("raise",) + WORKER_FAULT_KINDS:
+            raise ValidationError(f"unknown fault kind {kind!r}")
         if exc is None:
             from repro.utils.errors import SolverError
 
             exc = SolverError
         self._faults.setdefault(stage, []).append(
-            _Fault(exc=exc, on_attempt=on_attempt, remaining=times)
+            _Fault(
+                exc=exc,
+                on_attempt=on_attempt,
+                remaining=times,
+                kind=kind,
+                delay_s=delay_s,
+            )
         )
         return self
 
-    def check(self, stage: str) -> None:
-        """Count an attempt at ``stage``; raise its matching fault if any."""
-        attempt = self._attempts.get(stage, 0) + 1
-        self._attempts[stage] = attempt
+    def check(
+        self,
+        stage: str,
+        attempt: int | None = None,
+        worker: bool = False,
+    ) -> None:
+        """Count an attempt at ``stage``; fire its matching fault if any.
+
+        ``attempt`` overrides the plan's own (per-process) counter — the
+        supervised pool passes its parent-side attempt number so worker
+        faults stay deterministic across pickled plan copies.  Worker
+        fault kinds fire only when ``worker`` is True.
+        """
+        counted = self._attempts.get(stage, 0) + 1
+        self._attempts[stage] = counted
+        if attempt is None:
+            attempt = counted
         for fault in self._faults.get(stage, ()):
             if fault.on_attempt is not None and fault.on_attempt != attempt:
+                continue
+            if fault.kind in WORKER_FAULT_KINDS and not worker:
                 continue
             if fault.remaining is not None:
                 if fault.remaining <= 0:
                     continue
                 fault.remaining -= 1
+            if fault.kind == "worker_crash":
+                os._exit(WORKER_CRASH_EXIT_CODE)
+            if fault.kind == "worker_hang":
+                time.sleep(fault.delay_s if fault.delay_s > 0 else 3600.0)
+                continue
+            if fault.kind == "slow_solver":
+                time.sleep(fault.delay_s)
+                continue
             raise self._materialize(fault.exc, stage, attempt)
 
     def attempts(self, stage: str) -> int:
