@@ -2,13 +2,18 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race report examples clean
+.PHONY: install test lint-heights test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-test:
+test: lint-heights
 	$(PYTHON) -m pytest tests/
+
+# Grep-lint: new code must speak HeightSpec, not the legacy
+# minority/majority vocabulary (the shim keeps old callers working).
+lint-heights:
+	$(PYTHON) scripts/lint_heights.py
 
 # Failure-injection / resilience suite only (FaultPlan, fallback chains).
 test-faults:
@@ -64,6 +69,16 @@ bench-rap:
 # gates that racing is never >10% slower than sequential when healthy.
 bench-race:
 	$(PYTHON) scripts/bench_kernels.py --only race --merge BENCH_kernels.json \
+	  --out BENCH_kernels.json.new
+	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
+	  || (rm -f BENCH_kernels.json.new; exit 1)
+	mv BENCH_kernels.json.new BENCH_kernels.json
+
+# Joint N-height (N=3) RAP rebench (aes3h_340, sweep scale): refreshes
+# the rap_nheight entry — height-indexed sparse engine vs the dense joint
+# model — and gates the N=3 objective-match invariant.
+bench-nheight:
+	$(PYTHON) scripts/bench_kernels.py --only nheight --merge BENCH_kernels.json \
 	  --out BENCH_kernels.json.new
 	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
 	  || (rm -f BENCH_kernels.json.new; exit 1)

@@ -26,10 +26,17 @@ degenerates to the sequential chain (racing CPU-bound solvers without
 free cores only starves the winner), so the floor then gates pure
 harness overhead.
 
+The ``nheight`` group times the joint N-height RAP layer (three track
+heights, ``aes3h_340`` at the sweep scale): the height-indexed sparse
+engine against the dense joint model build + solve.  The gate enforces
+the ``objective_match`` invariant at N=3 — the generalized layer must
+reproduce the dense joint optimum exactly.
+
 ``--only`` restricts the run to named kernel groups (``legalizers``,
-``topology``, ``rap``, ``race``, ``flow``); combine with ``--merge`` to carry the
-untouched groups over from a committed JSON so the gate still sees every
-kernel (``make bench-rap`` does exactly this).
+``topology``, ``rap``, ``race``, ``nheight``, ``flow``); combine with
+``--merge`` to carry the untouched groups over from a committed JSON so
+the gate still sees every kernel (``make bench-rap`` and
+``make bench-nheight`` do exactly this).
 
 Usage:
     python scripts/bench_kernels.py [--out BENCH_kernels.json] [--repeats 3]
@@ -82,7 +89,8 @@ N_CELLS = 4000
 SEED = 7
 FLOW_TESTCASE = "aes_400"
 RAP_TESTCASE = "aes_400"  # full scale: the instance the paper's ILP sees
-KERNEL_GROUPS = ("legalizers", "topology", "rap", "race", "flow")
+NHEIGHT_TESTCASE = "aes3h_340"  # three-height twin, sweep scale
+KERNEL_GROUPS = ("legalizers", "topology", "rap", "race", "nheight", "flow")
 # One process per backend rung (highs / bnb / lagrangian), capped at the
 # core count: racing CPU-bound solvers on fewer cores than racers only
 # slows the winner down, so on a single-core machine the raced path
@@ -301,6 +309,112 @@ def bench_race(library, repeats):
     }
 
 
+def nheight_instance():
+    """N=3 joint RAP arrays of ``NHEIGHT_TESTCASE`` at the sweep scale.
+
+    Exactly the instance ``FlowRunner._ilp_assignment_nheight`` hands to
+    the joint solver (default params, ``row_fill`` already applied):
+    per-class cost matrices and widths in spec order, the shared pair
+    capacity, and the per-class row-pair budgets.
+    """
+    from repro.core.clustering import cluster_minority_cells
+    from repro.core.cost import compute_rap_costs
+    from repro.core.heights import HeightSpec
+    from repro.core.params import RCPPParams
+    from repro.experiments.testcases import (
+        NHEIGHT_TESTCASES,
+        build_nheight_testcase,
+    )
+    from repro.techlib.asap7 import TRACK_6T, TRACK_75T, TRACK_9T
+
+    spec3 = next(s for s in NHEIGHT_TESTCASES if s.name == NHEIGHT_TESTCASE)
+    heights = HeightSpec(TRACK_6T, tuple(sorted(spec3.minority_tracks)))
+    library = make_asap7_library(tracks=(TRACK_6T, TRACK_75T, TRACK_9T))
+    params = RCPPParams(heights=heights)
+    design = build_nheight_testcase(spec3, library, scale=DEFAULT_SCALE)
+    init = prepare_initial_placement(design, library, heights=heights)
+    runner = FlowRunner(init, params)
+    budgets = runner.row_budgets
+    f_by, w_by = [], []
+    for track, indices, widths in runner._classes:
+        cx = init.placed.x[indices] + init.placed.widths[indices] / 2.0
+        cy = init.placed.y[indices] + init.placed.heights[indices] / 2.0
+        clustering = cluster_minority_cells(
+            cx, cy, params.s, params.kmeans_max_iterations
+        )
+        costs = compute_rap_costs(
+            init.placed,
+            indices,
+            clustering.labels,
+            clustering.n_clusters,
+            init.pair_center_y,
+            widths,
+        )
+        f_by.append(costs.combine(params.alpha))
+        w_by.append(costs.cluster_width)
+    return (
+        f_by,
+        w_by,
+        init.pair_capacity * params.row_fill,
+        [budgets[t] for t, _, _ in runner._classes],
+        [t for t, _, _ in runner._classes],
+        design.num_instances,
+    )
+
+
+def bench_nheight(repeats):
+    """Joint N=3 solve: height-indexed sparse engine vs dense model."""
+    from repro.core.heights import build_nheight_rap_model, solve_rap_nheight
+    from repro.solvers.milp import solve_milp
+
+    f_by, w_by, cap, budget_list, tracks, n_cells = nheight_instance()
+    dense_build = [0.0]
+    dense_solution = [None]
+
+    def run_dense():
+        t0 = time.perf_counter()
+        model = build_nheight_rap_model(f_by, w_by, cap, budget_list)
+        dense_build[0] = time.perf_counter() - t0
+        dense_solution[0] = solve_milp(model, backend="highs")
+
+    sparse_stats = [None]
+    sparse_solution = [None]
+    sparse_assignment = [None]
+
+    def run_sparse():
+        sparse_solution[0], sparse_assignment[0], sparse_stats[0] = (
+            solve_rap_nheight(f_by, w_by, cap, budget_list, backend="highs")
+        )
+
+    dense_seconds = best_of(run_dense, repeats)
+    sparse_seconds = best_of(run_sparse, repeats)
+    stats = sparse_stats[0]
+    objective_match = bool(
+        dense_solution[0].ok
+        and sparse_solution[0].ok
+        and sparse_assignment[0] is not None
+        and abs(dense_solution[0].objective - sparse_solution[0].objective)
+        <= 1e-6 * max(1.0, abs(dense_solution[0].objective))
+    )
+    return {
+        "seconds": sparse_seconds,
+        "dense_seconds": dense_seconds,
+        "dense_build_seconds": dense_build[0],
+        "speedup": dense_seconds / sparse_seconds,
+        "objective_match": objective_match,
+        "objective": float(sparse_solution[0].objective),
+        "certified": bool(stats.certified),
+        "strategy": stats.strategy,
+        "n_classes": len(f_by),
+        "tracks": [float(t) for t in tracks],
+        "budgets": [int(b) for b in budget_list],
+        "n_clusters": int(sum(f.shape[0] for f in f_by)),
+        "n_pairs": int(f_by[0].shape[1]),
+        "n_cells": int(n_cells),
+        "testcase": NHEIGHT_TESTCASE,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(ROOT / "BENCH_kernels.json"))
@@ -411,6 +525,20 @@ def main() -> int:
             f"{entry['speedup_vs_sequential']:4.2f}x, "
             f"match={entry['objective_match']}, "
             f"{entry['workers']} workers)"
+        )
+
+    # Joint N-height (N=3) RAP: sparse engine vs dense joint model.
+    if "nheight" in groups:
+        entry = bench_nheight(args.repeats)
+        kernels["rap_nheight"] = entry
+        registry.gauge("bench.rap_nheight.seconds").set(entry["seconds"])
+        registry.gauge("bench.rap_nheight.speedup").set(entry["speedup"])
+        print(
+            f"{'rap_nheight':24s} {entry['seconds'] * 1e3:8.2f} ms   "
+            f"(dense {entry['dense_seconds'] * 1e3:8.2f} ms, "
+            f"{entry['speedup']:4.2f}x, match={entry['objective_match']}, "
+            f"K={entry['n_classes']}, "
+            f"{entry['n_clusters']}x{entry['n_pairs']})"
         )
 
     # End-to-end flow (5) at the default sweep scale.

@@ -17,6 +17,9 @@ when the current run misses the speedup floors this layer promises:
   the raced objective must match the sequential one; the bench caps
   racers at the core count, so on a single-core machine this gates the
   degenerate (sequential) path's overhead only
+* ``rap_nheight``      the joint N=3 sparse solve's objective must match
+  the dense joint model's optimum (``objective_match``) — the
+  generalized height-indexed layer may never drift from the exact model
 
 Record mode (``--record``) validates a flight-recorder
 ``run_record.json`` against the ``repro.run_record/1`` schema, and —
@@ -59,6 +62,7 @@ FLOORS = {
 INVARIANTS = (
     ("rap_solve", "objective_match"),
     ("rap_race", "objective_match"),
+    ("rap_nheight", "objective_match"),
 )
 
 

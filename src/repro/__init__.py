@@ -25,9 +25,10 @@ by ``tests/test_api_surface.py`` — ``dir(repro)`` is the documented
 surface, nothing more.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core.config import RunConfig
+from repro.core.heights import HeightClass, HeightSpec
 from repro.core.flows import (
     FlowKind,
     FlowResult,
@@ -77,6 +78,8 @@ __all__ = [
     "FlowProvenance",
     "FlowResult",
     "FlowRunner",
+    "HeightClass",
+    "HeightSpec",
     "InitialPlacement",
     "MetricsRegistry",
     "RCPPParams",

@@ -58,7 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     place = sub.add_parser("place", help="run the proposed pipeline")
     place.add_argument("--cells", type=int, default=2000)
     place.add_argument("--clock-ps", type=float, default=500.0)
-    place.add_argument("--minority", type=float, default=0.12)
+    place.add_argument(
+        "--minority", type=float, default=0.12,
+        help="total minority-cell fraction; with --heights listing more "
+        "than one minority track it is split evenly across them",
+    )
     add_run_config_args(place)
 
     flows = sub.add_parser("flows", help="compare the five flows")
@@ -143,11 +147,16 @@ def _cmd_place(args: argparse.Namespace) -> int:
     from repro.netlist import (
         GeneratorSpec,
         generate_netlist,
+        size_to_height_fractions,
         size_to_minority_fraction,
     )
 
     config = RunConfig.from_args(args)
-    library = make_asap7_library()
+    spec = config.params.heights
+    if spec is not None:
+        library = make_asap7_library(tracks=tuple(sorted(spec.tracks)))
+    else:
+        library = make_asap7_library()
     design = generate_netlist(
         GeneratorSpec(
             name="cli",
@@ -157,7 +166,13 @@ def _cmd_place(args: argparse.Namespace) -> int:
         ),
         library,
     )
-    size_to_minority_fraction(design, args.minority)
+    if spec is not None and spec.n_classes > 1:
+        per_class = args.minority / spec.n_classes
+        size_to_height_fractions(
+            design, {t: per_class for t in spec.minority_tracks}
+        )
+    else:
+        size_to_minority_fraction(design, args.minority)
     result = RowConstraintPlacer(library, config.params).place(design)
     print(f"minority rows: {result.assignment.n_minority_rows}")
     print(f"HPWL: {result.hpwl / 1e6:.3f} mm "
@@ -181,7 +196,7 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         testcase_by_id(args.testcase), library, scale=config.scale
     )
     runner = FlowRunner(
-        prepare_initial_placement(design, library),
+        prepare_initial_placement(design, library, heights=config.params.heights),
         config.params,
     )
     rows = []
@@ -245,7 +260,9 @@ def _cmd_render(args: argparse.Namespace) -> int:
     design = build_testcase(
         testcase_by_id(args.testcase), library, scale=config.scale
     )
-    initial = prepare_initial_placement(design, library)
+    initial = prepare_initial_placement(
+        design, library, heights=config.params.heights
+    )
     flow = FlowRunner(initial, config.params).run(FlowKind.FLOW5)
     fences = FenceRegions.from_floorplan(flow.placed.floorplan, 7.5)
     save_placement_svg(
@@ -311,7 +328,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         },
     )
     with recorder.attach():
-        initial = prepare_initial_placement(design, library)
+        initial = prepare_initial_placement(
+            design, library, heights=config.params.heights
+        )
         runner = FlowRunner(initial, config.params)
         flow = runner.run(kind)
         if kind.row_assignment == "ilp" and not args.no_crosscheck:

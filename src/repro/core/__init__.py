@@ -10,6 +10,15 @@ flows of Table III are orchestrated by :mod:`flows`;
 """
 
 from repro.core.params import RCPPParams
+from repro.core.heights import (
+    HeightClass,
+    HeightSpec,
+    anneal_nheight,
+    build_nheight_rap_model,
+    greedy_nheight,
+    solve_rap_nheight,
+    solve_rap_nheight_resilient,
+)
 from repro.core.clustering import ClusteringResult, cluster_minority_cells, kmeans_2d
 from repro.core.cost import RapCosts, compute_rap_costs
 from repro.core.rap import RowAssignment, build_rap_model, solve_rap
@@ -25,7 +34,10 @@ from repro.core.alternating import (
     solve_fixed_pattern_rap,
     sweep_pattern_phases,
 )
-from repro.core.baseline import baseline_row_assignment
+from repro.core.baseline import (
+    baseline_row_assignment,
+    baseline_row_assignment_nheight,
+)
 from repro.core.fence import FenceRegions
 from repro.core.flows import FlowKind, FlowResult, run_flow
 from repro.core.rcpp import RowConstraintPlacer, RowConstraintResult
@@ -34,6 +46,13 @@ from repro.core.swap import SwapResult, swap_track_heights
 
 __all__ = [
     "RCPPParams",
+    "HeightClass",
+    "HeightSpec",
+    "anneal_nheight",
+    "build_nheight_rap_model",
+    "greedy_nheight",
+    "solve_rap_nheight",
+    "solve_rap_nheight_resilient",
     "ClusteringResult",
     "cluster_minority_cells",
     "kmeans_2d",
@@ -51,6 +70,7 @@ __all__ = [
     "solve_fixed_pattern_rap",
     "sweep_pattern_phases",
     "baseline_row_assignment",
+    "baseline_row_assignment_nheight",
     "RegionResult",
     "region_based_flow",
     "SwapResult",

@@ -17,9 +17,31 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.heights import HeightSpec
 from repro.core.rap import RowAssignment
 from repro.solvers.milp import MilpModel, solve_milp
 from repro.utils.errors import InfeasibleError, ValidationError
+
+
+def _resolve_pattern_tracks(
+    heights: HeightSpec | None,
+    majority_track: float,
+    minority_track: float,
+) -> tuple[float, float]:
+    """Fold an optional HeightSpec into the pattern's two track heights.
+
+    Fixed alternating patterns are defined for two-height designs (the
+    FinFlex N3E style the paper cites); N-height specs are rejected until
+    a published N-height pattern exists to model.
+    """
+    if heights is None:
+        return majority_track, minority_track
+    if not heights.is_two_height:
+        raise ValidationError(
+            "fixed-pattern RAP supports two-height specs only; got "
+            f"{len(heights.minority)} minority classes"
+        )
+    return heights.majority, heights.minority_tracks[0]
 
 
 def alternating_pattern(
@@ -59,6 +81,7 @@ def solve_fixed_pattern_rap(
     backend: str = "highs",
     time_limit_s: float | None = None,
     warm_assignment: np.ndarray | None = None,
+    heights: HeightSpec | None = None,
 ) -> RowAssignment:
     """Optimal cluster -> pair assignment for a *fixed* minority pair set.
 
@@ -66,8 +89,12 @@ def solve_fixed_pattern_rap(
     problem a FinFlex-style flow would solve.  ``warm_assignment`` is a
     prior cluster -> (dense) pair map — e.g. the free RAP's solution or a
     neighboring phase's — encoded as the solver's starting point when
-    every assigned pair belongs to this pattern.
+    every assigned pair belongs to this pattern.  ``heights`` (two-height
+    specs only) overrides ``majority_track``/``minority_track``.
     """
+    majority_track, minority_track = _resolve_pattern_tracks(
+        heights, majority_track, minority_track
+    )
     n_c, n_p = f.shape
     minority_pairs = np.asarray(minority_pairs, dtype=int)
     k = len(minority_pairs)
@@ -163,6 +190,7 @@ def sweep_pattern_phases(
     backend: str = "highs",
     time_limit_s: float | None = None,
     warm_assignment: np.ndarray | None = None,
+    heights: HeightSpec | None = None,
 ) -> tuple[RowAssignment, int]:
     """Best fixed-pattern assignment over a set of pattern phases.
 
@@ -173,6 +201,9 @@ def sweep_pattern_phases(
     prunes the search immediately.  Returns ``(best, best_phase)``;
     raises :class:`InfeasibleError` when no phase fits.
     """
+    majority_track, minority_track = _resolve_pattern_tracks(
+        heights, majority_track, minority_track
+    )
     n_p = f.shape[1]
     if phases is None:
         stride = max(1, n_p // max(1, n_minority))

@@ -140,3 +140,109 @@ def baseline_row_assignment(
         ilp_runtime_s=0.0,
         num_variables=0,
     )
+
+
+def baseline_row_assignment_nheight(
+    class_y: list[np.ndarray],
+    class_widths: list[np.ndarray],
+    pair_center_y: np.ndarray,
+    pair_capacity: np.ndarray,
+    budgets: list[int],
+    minority_tracks: list[float],
+    majority_track: float = 6.0,
+    row_fill: float = 1.0,
+) -> RowAssignment:
+    """The [10]-style heuristic generalized to ``K`` minority classes.
+
+    Per-class k-means + nearest-pair claim + capacity spill, exactly the
+    two-height rules, with one shared "taken" set so no pair hosts two
+    track heights.  Classes claim in widest-total-width-first order (the
+    fullest class gets first pick of pairs); the returned
+    :class:`RowAssignment` carries the per-class maps in ``by_track``.
+    """
+    K = len(class_y)
+    if not (K == len(class_widths) == len(budgets) == len(minority_tracks)):
+        raise ValidationError("per-class inputs must align")
+    n_pairs = len(pair_center_y)
+    if sum(budgets) > n_pairs:
+        raise InfeasibleError("more minority rows required than rows exist")
+    usable = pair_capacity.astype(float) * row_fill
+
+    taken = np.zeros(n_pairs, dtype=bool)
+    per_class: list[tuple[np.ndarray, np.ndarray] | None] = [None] * K
+    claim_order = np.argsort(
+        -np.array([float(w.sum()) for w in class_widths]), kind="stable"
+    )
+    for h in claim_order:
+        ys = np.asarray(class_y[h], dtype=float)
+        widths = np.asarray(class_widths[h], dtype=float)
+        if len(ys) == 0:
+            raise ValidationError(f"class {h}: no minority cells")
+        k = min(budgets[h], len(ys))
+        labels, centers = _kmeans_1d(ys, k)
+        order = np.argsort(centers, kind="stable")
+        cluster_to_pair = np.full(k, -1, dtype=int)
+        for cluster in order:
+            want = int(np.argmin(np.abs(pair_center_y - centers[cluster])))
+            best, best_dist = -1, np.inf
+            for p in range(n_pairs):
+                if taken[p]:
+                    continue
+                dist = abs(p - want)
+                if dist < best_dist:
+                    best, best_dist = p, dist
+            if best < 0:
+                raise InfeasibleError("ran out of row pairs")
+            taken[best] = True
+            cluster_to_pair[cluster] = best
+        cell_to_pair = cluster_to_pair[labels]
+
+        load = np.zeros(n_pairs)
+        np.add.at(load, cell_to_pair, widths)
+        opened = np.unique(cell_to_pair)
+        for p in opened:
+            while load[p] > usable[p]:
+                members = np.flatnonzero(cell_to_pair == p)
+                if len(members) <= 1:
+                    break
+                spill = members[
+                    int(np.argmax(np.abs(ys[members] - pair_center_y[p])))
+                ]
+                targets = [
+                    q
+                    for q in opened
+                    if q != p and load[q] + widths[spill] <= usable[q]
+                ]
+                if not targets:
+                    raise InfeasibleError(
+                        "baseline capacity repair failed: "
+                        f"{minority_tracks[h]}T rows too full"
+                    )
+                q = min(
+                    targets,
+                    key=lambda t: abs(pair_center_y[t] - ys[spill]),
+                )
+                cell_to_pair[spill] = q
+                load[p] -= widths[spill]
+                load[q] += widths[spill]
+        per_class[h] = (cluster_to_pair, cell_to_pair)
+
+    pair_tracks = [majority_track] * n_pairs
+    by_track: dict[float, tuple[np.ndarray, np.ndarray]] = {}
+    opened_all = []
+    for h in range(K):
+        cluster_to_pair, cell_to_pair = per_class[h]
+        for p in np.unique(cell_to_pair).tolist():
+            pair_tracks[p] = minority_tracks[h]
+        by_track[minority_tracks[h]] = (cluster_to_pair, cell_to_pair)
+        opened_all.append(np.unique(cell_to_pair))
+    return RowAssignment(
+        pair_tracks=pair_tracks,
+        minority_pairs=np.unique(np.concatenate(opened_all)),
+        cluster_to_pair=np.concatenate([per_class[h][0] for h in range(K)]),
+        cell_to_pair=np.concatenate([per_class[h][1] for h in range(K)]),
+        objective=float("nan"),
+        ilp_runtime_s=0.0,
+        num_variables=0,
+        by_track=by_track,
+    )

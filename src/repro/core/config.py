@@ -19,9 +19,11 @@ import argparse
 import dataclasses
 import hashlib
 import json
+import warnings
 import zlib
 from dataclasses import dataclass, field
 
+from repro.core.heights import HeightSpec
 from repro.core.params import RCPPParams
 from repro.utils.errors import ValidationError
 from repro.utils.resilience import FaultPlan, ResiliencePolicy
@@ -90,13 +92,18 @@ class RunConfig:
         solver/legalization knobs deliberately do not, so all flows of one
         testcase share a cache entry.
         """
-        return {
+        out = {
             "scale": self.scale,
             "seed": self.seed,
             "utilization": self.utilization,
             "aspect_ratio": self.aspect_ratio,
             "minority_track": self.params.minority_track,
         }
+        # Only non-legacy specs extend the key material, so every
+        # pre-HeightSpec cache entry keeps its hash.
+        if self.params.heights is not None:
+            out["heights"] = self.params.heights.to_dict()
+        return out
 
     def content_hash(self) -> str:
         """Hash of the initial-placement fingerprint (cache key part)."""
@@ -124,6 +131,33 @@ class RunConfig:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Rebuild from a :meth:`to_dict` snapshot (policy is dropped —
+        it summarizes, not serializes).  Legacy two-height keyword
+        values round-trip without re-warning."""
+        params_data = dict(data.get("params", {}))
+        heights_data = params_data.pop("heights", None)
+        heights = (
+            None if heights_data is None
+            else HeightSpec.from_dict(heights_data)
+        )
+        field_names = {f.name for f in dataclasses.fields(RCPPParams)}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            params = RCPPParams(
+                heights=heights,
+                **{k: v for k, v in params_data.items() if k in field_names},
+            )
+        return cls(
+            scale=float(data.get("scale", DEFAULT_SCALE)),
+            params=params,
+            seed=data.get("seed"),
+            workers=int(data.get("workers", 1)),
+            utilization=float(data.get("utilization", 0.60)),
+            aspect_ratio=float(data.get("aspect_ratio", 1.0)),
+        )
+
     # -- CLI integration ---------------------------------------------------
 
     @classmethod
@@ -134,9 +168,17 @@ class RunConfig:
         helper composes with subcommands that only add a subset.
         """
         defaults = RCPPParams()
+        heights_text = getattr(args, "heights", None)
+        heights = (
+            None if not heights_text
+            else HeightSpec.parse(
+                heights_text, getattr(args, "row_budgets", None)
+            )
+        )
         params = RCPPParams(
             alpha=getattr(args, "alpha", defaults.alpha),
             s=getattr(args, "s", defaults.s),
+            heights=heights,
             solver_backend=getattr(args, "solver", defaults.solver_backend),
             fallback=not getattr(args, "no_fallback", False),
             max_solver_retries=getattr(
@@ -178,6 +220,20 @@ def add_run_config_args(
     )
     parser.add_argument("--alpha", type=float, default=defaults.alpha)
     parser.add_argument("--s", type=float, default=defaults.s)
+    parser.add_argument(
+        "--heights", type=str, default=None, metavar="T0,T1[,T2...]",
+        help=(
+            "track heights, majority first (e.g. 6,7.5,9); omitted = the "
+            "paper's two-height 6/7.5 setting"
+        ),
+    )
+    parser.add_argument(
+        "--row-budgets", type=str, default=None, metavar="T=N[,T=N...]",
+        help=(
+            "forced row-pair budgets per minority track (e.g. 7.5=3,9=2 "
+            "or positional 3,2); omitted budgets derive from area"
+        ),
+    )
     parser.add_argument(
         "--solver", choices=("highs", "bnb", "lagrangian"),
         default=defaults.solver_backend,

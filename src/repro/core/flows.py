@@ -25,11 +25,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.baseline import baseline_row_assignment
+from repro.core.baseline import (
+    baseline_row_assignment,
+    baseline_row_assignment_nheight,
+)
 from repro.core.clustering import cluster_minority_cells
 from repro.core.cost import compute_rap_costs
-from repro.core.legalize_abacus_rc import abacus_rc_legalize
-from repro.core.legalize_rc import fence_region_legalize
+from repro.core.heights import (
+    HeightSpec,
+    build_nheight_rap_model,
+    solve_rap_nheight_resilient,
+)
+from repro.core.legalize_abacus_rc import (
+    abacus_rc_legalize,
+    abacus_rc_legalize_nheight,
+)
+from repro.core.legalize_rc import (
+    fence_region_legalize,
+    fence_region_legalize_nheight,
+)
 from repro.core.params import RCPPParams
 from repro.core.rap import (
     RowAssignment,
@@ -95,7 +109,15 @@ class FlowKind(enum.Enum):
 
 @dataclass
 class InitialPlacement:
-    """The shared Flow-(1) artifact every constrained flow starts from."""
+    """The shared Flow-(1) artifact every constrained flow starts from.
+
+    For N-height preparation (``heights`` given), ``minority_track`` /
+    ``minority_indices`` / ``minority_widths_original`` describe the
+    *first* minority class (legacy views); ``class_indices`` /
+    ``class_widths_original`` carry every class keyed by track.  Legacy
+    two-height artifacts (``heights is None``) populate the per-class
+    dicts with their single class.
+    """
 
     design: Design
     library: StdCellLibrary
@@ -109,6 +131,25 @@ class InitialPlacement:
     minority_widths_original: np.ndarray  # un-mLEF widths (capacity rule)
     pair_center_y: np.ndarray
     pair_capacity: np.ndarray
+    heights: HeightSpec | None = None
+    class_indices: dict[float, np.ndarray] = field(default_factory=dict)
+    class_widths_original: dict[float, np.ndarray] = field(
+        default_factory=dict
+    )
+
+    def classes(self) -> dict[float, tuple[np.ndarray, np.ndarray]]:
+        """Track -> (instance indices, original widths), every class.
+
+        Falls back to the single legacy class for artifacts predating
+        the per-class fields (e.g. old cache pickles).
+        """
+        indices = getattr(self, "class_indices", None) or {
+            self.minority_track: self.minority_indices
+        }
+        widths = getattr(self, "class_widths_original", None) or {
+            self.minority_track: self.minority_widths_original
+        }
+        return {t: (indices[t], widths[t]) for t in indices}
 
 
 @dataclass
@@ -142,15 +183,23 @@ def prepare_initial_placement(
     utilization: float = 0.60,
     aspect_ratio: float = 1.0,
     placer_params: GlobalPlacerParams | None = None,
+    heights: HeightSpec | None = None,
 ) -> InitialPlacement:
     """mLEF + floorplan + global place + legalize: the Flow-(1) placement.
 
     On return the design's masters are back to the originals; the returned
     ``placed`` snapshot retains the mLEF geometry it was placed with.
+
+    ``heights`` switches to N-height preparation: every minority class of
+    the spec is located and recorded per track (``minority_track`` is
+    ignored in that case — the spec is the source of truth).
     """
+    tracks = (
+        (minority_track,) if heights is None else heights.minority_tracks
+    )
     logger.info(
-        "preparing initial placement: %d cells, minority track %gT",
-        design.num_instances, minority_track,
+        "preparing initial placement: %d cells, minority track(s) %s",
+        design.num_instances, "/".join(f"{t:g}T" for t in tracks),
     )
     with span(
         "prepare_initial_placement", n_cells=design.num_instances
@@ -162,6 +211,7 @@ def prepare_initial_placement(
             utilization=utilization,
             aspect_ratio=aspect_ratio,
             placer_params=placer_params,
+            heights=heights,
         )
     root.annotate(hpwl=result.hpwl)
     record_qor(
@@ -181,17 +231,30 @@ def _prepare_initial_placement(
     utilization: float,
     aspect_ratio: float,
     placer_params: GlobalPlacerParams | None,
+    heights: HeightSpec | None = None,
 ) -> InitialPlacement:
     times = StageTimes()
-    minority_mask = np.array(design.minority_mask(minority_track))
-    if not minority_mask.any():
-        raise ValidationError(
-            f"design has no {minority_track}T cells; nothing to row-constrain"
-        )
-    minority_indices = np.flatnonzero(minority_mask)
-    original_widths = np.array(
-        [design.instances[i].master.width for i in minority_indices], dtype=float
+    minority_tracks = (
+        (minority_track,) if heights is None else heights.minority_tracks
     )
+    class_indices: dict[float, np.ndarray] = {}
+    class_widths: dict[float, np.ndarray] = {}
+    for track in minority_tracks:
+        mask = np.array(design.minority_mask(track))
+        if not mask.any():
+            raise ValidationError(
+                f"design has no {track}T cells; nothing to row-constrain"
+            )
+        class_indices[track] = np.flatnonzero(mask)
+        class_widths[track] = np.array(
+            [
+                design.instances[i].master.width
+                for i in class_indices[track]
+            ],
+            dtype=float,
+        )
+    minority_indices = class_indices[minority_tracks[0]]
+    original_widths = class_widths[minority_tracks[0]]
 
     with times.measure("mlef"):
         mlef = make_mlef_library(library, design.area_by_track())
@@ -237,11 +300,14 @@ def _prepare_initial_placement(
         placed=placed,
         hpwl=hpwl_total(placed),
         times=times,
-        minority_track=minority_track,
+        minority_track=minority_tracks[0],
         minority_indices=minority_indices,
         minority_widths_original=original_widths,
         pair_center_y=np.array([p.center_y for p in pairs]),
         pair_capacity=np.array([float(p.capacity_width) for p in pairs]),
+        heights=heights,
+        class_indices=class_indices,
+        class_widths_original=class_widths,
     )
 
 
@@ -268,22 +334,69 @@ class FlowRunner:
             self.policy = dataclasses.replace(
                 self.policy, fault_plan=fault_plan
             )
-        if self.params.minority_track != initial.minority_track:
-            raise ValidationError("params/initial minority track mismatch")
-        tracks = initial.library.track_heights
-        others = [t for t in tracks if t != initial.minority_track]
-        if len(others) != 1:
-            raise ValidationError(
-                f"library must have exactly one majority track, got {tracks}"
+        spec = self.params.heights or getattr(initial, "heights", None)
+        if spec is None:
+            # Legacy two-height configuration: validation (and therefore
+            # behavior) identical to the pre-HeightSpec runner.
+            if self.params.minority_track != initial.minority_track:
+                raise ValidationError("params/initial minority track mismatch")
+            tracks = initial.library.track_heights
+            others = [t for t in tracks if t != initial.minority_track]
+            if len(others) != 1:
+                raise ValidationError(
+                    f"library must have exactly one majority track, got {tracks}"
+                )
+            self.majority_track = others[0]
+            spec = HeightSpec.two_height(
+                majority_track=self.majority_track,
+                minority_track=initial.minority_track,
+                n_minority_rows=self.params.n_minority_rows,
+                minority_fill_target=self.params.minority_fill_target,
             )
-        self.majority_track = others[0]
+        else:
+            init_spec = getattr(initial, "heights", None)
+            if (
+                self.params.heights is not None
+                and init_spec is not None
+                and set(self.params.heights.minority_tracks)
+                != set(init_spec.minority_tracks)
+            ):
+                raise ValidationError(
+                    "params/initial height spec mismatch: "
+                    f"{self.params.heights.minority_tracks} vs "
+                    f"{init_spec.minority_tracks}"
+                )
+            lib_tracks = set(initial.library.track_heights)
+            missing = set(spec.tracks) - lib_tracks
+            if missing:
+                raise ValidationError(
+                    f"library lacks spec tracks {sorted(missing)} "
+                    f"(has {sorted(lib_tracks)})"
+                )
+            prepared = set(initial.classes())
+            unprepared = set(spec.minority_tracks) - prepared
+            if unprepared:
+                raise ValidationError(
+                    "initial placement was not prepared for minority "
+                    f"tracks {sorted(unprepared)} (prepared: "
+                    f"{sorted(prepared)}); pass heights= to "
+                    "prepare_initial_placement"
+                )
+            self.majority_track = spec.majority
+        self.spec = spec
+        classes = initial.classes()
+        #: (track, instance indices, original widths) in spec order.
+        self._classes: list[tuple[float, np.ndarray, np.ndarray]] = [
+            (t, classes[t][0], classes[t][1]) for t in spec.minority_tracks
+        ]
         self._baseline: tuple[RowAssignment, float] | None = None
         self._ilp: (
             tuple[RowAssignment, float, float, int, FlowProvenance] | None
         ) = None
-        # Last successful cluster -> pair map; warm-starts the next RAP
+        # Last successful cluster -> pair map(s); warm-starts the next RAP
         # solve on this runner (e.g. after invalidate_assignments()).
-        self._rap_warm: np.ndarray | None = None
+        # An ndarray for two-height runners, a per-class list for N-height.
+        self._rap_warm: np.ndarray | list[np.ndarray] | None = None
 
     def invalidate_assignments(self) -> None:
         """Drop the cached row assignments so the next call re-solves.
@@ -298,15 +411,30 @@ class FlowRunner:
     # -- row assignments (cached) -----------------------------------------
 
     @property
-    def n_minority_rows(self) -> int:
-        """N_minR: forced value, else derived from minority area (= Flow 2)."""
-        if self.params.n_minority_rows is not None:
-            return self.params.n_minority_rows
-        return required_minority_pairs(
-            float(self.initial.minority_widths_original.sum()),
+    def row_budgets(self) -> dict[float, int]:
+        """Per-class row-pair budget (track -> N_minR), spec-resolved."""
+        return self.spec.budgets(
+            {t: float(w.sum()) for t, _, w in self._classes},
             float(self.initial.pair_capacity.min()),
-            self.params.minority_fill_target,
         )
+
+    @property
+    def n_minority_rows(self) -> int:
+        """N_minR: forced value, else derived from minority area (= Flow 2).
+
+        For N-height runners this is the total over all classes; the
+        per-class split is :attr:`row_budgets`.
+        """
+        if len(self._classes) == 1:
+            cls = self.spec.minority[0]
+            if cls.n_rows is not None:
+                return cls.n_rows
+            return required_minority_pairs(
+                float(self._classes[0][2].sum()),
+                float(self.initial.pair_capacity.min()),
+                cls.fill_target,
+            )
+        return sum(self.row_budgets.values())
 
     def baseline_assignment(self) -> tuple[RowAssignment, float]:
         """[10]-style assignment and its runtime (seconds)."""
@@ -314,20 +442,37 @@ class FlowRunner:
             init = self.initial
             times = StageTimes()
             with times.measure("row_assign"):
-                centers_y = (
-                    init.placed.y[init.minority_indices]
-                    + init.placed.heights[init.minority_indices] / 2.0
-                )
-                assignment = baseline_row_assignment(
-                    centers_y,
-                    init.minority_widths_original,
-                    init.pair_center_y,
-                    init.pair_capacity,
-                    n_minority_rows=self.n_minority_rows,
-                    majority_track=self.majority_track,
-                    minority_track=init.minority_track,
-                    row_fill=self.params.row_fill,
-                )
+                if len(self._classes) == 1:
+                    track, indices, widths = self._classes[0]
+                    centers_y = (
+                        init.placed.y[indices]
+                        + init.placed.heights[indices] / 2.0
+                    )
+                    assignment = baseline_row_assignment(
+                        centers_y,
+                        widths,
+                        init.pair_center_y,
+                        init.pair_capacity,
+                        n_minority_rows=self.n_minority_rows,
+                        majority_track=self.majority_track,
+                        minority_track=track,
+                        row_fill=self.params.row_fill,
+                    )
+                else:
+                    budgets = self.row_budgets
+                    assignment = baseline_row_assignment_nheight(
+                        [
+                            init.placed.y[i] + init.placed.heights[i] / 2.0
+                            for _, i, _ in self._classes
+                        ],
+                        [w for _, _, w in self._classes],
+                        init.pair_center_y,
+                        init.pair_capacity,
+                        [budgets[t] for t, _, _ in self._classes],
+                        [t for t, _, _ in self._classes],
+                        majority_track=self.majority_track,
+                        row_fill=self.params.row_fill,
+                    )
             self._baseline = (assignment, times.total)
         return self._baseline
 
@@ -353,69 +498,155 @@ class FlowRunner:
                 requested_backend=params.solver_backend,
                 budget_s=deadline.budget_s,
             )
-            with times.measure("clustering"):
+            if len(self._classes) == 1:
+                with times.measure("clustering"):
+                    cx = (
+                        init.placed.x[init.minority_indices]
+                        + init.placed.widths[init.minority_indices] / 2.0
+                    )
+                    cy = (
+                        init.placed.y[init.minority_indices]
+                        + init.placed.heights[init.minority_indices] / 2.0
+                    )
+                    clustering = cluster_minority_cells(
+                        cx, cy, params.s, params.kmeans_max_iterations
+                    )
+                    costs = compute_rap_costs(
+                        init.placed,
+                        init.minority_indices,
+                        clustering.labels,
+                        clustering.n_clusters,
+                        init.pair_center_y,
+                        init.minority_widths_original,
+                    )
+                n_clusters = clustering.n_clusters
+                with times.measure("rap_ilp"):
+                    assignment = solve_rap_resilient(
+                        costs.combine(params.alpha),
+                        costs.cluster_width,
+                        init.pair_capacity,
+                        self.n_minority_rows,
+                        clustering.labels,
+                        majority_track=self.majority_track,
+                        minority_track=init.minority_track,
+                        backend=params.solver_backend,
+                        time_limit_s=params.solver_time_limit_s,
+                        row_fill=params.row_fill,
+                        policy=self.policy,
+                        deadline=self.policy.stage_deadline(
+                            "row_assign", deadline
+                        ),
+                        provenance=prov,
+                        sparse=params.rap_sparse,
+                        candidate_k=params.rap_candidates,
+                        workers=params.rap_workers,
+                        warm_assignment=self._rap_warm,
+                    )
+                    if assignment is None:
+                        if not self.policy.fallback_enabled:
+                            failed = (
+                                prov.attempts[-1] if prov.attempts else None
+                            )
+                            raise SolverError(
+                                "row assignment failed and fallback is "
+                                "disabled"
+                                + (f": [{failed.error_type}] {failed.error}"
+                                   if failed else ""),
+                                provenance=prov,
+                            )
+                        assignment = self._baseline_rung(prov, deadline)
+                    else:
+                        self._rap_warm = assignment.cluster_to_pair
+            else:
+                assignment, n_clusters = self._ilp_assignment_nheight(
+                    prov, deadline, times
+                )
+            self._ilp = (
+                assignment,
+                times.stages["clustering"],
+                times.stages["rap_ilp"],
+                n_clusters,
+                prov,
+            )
+        return self._ilp
+
+    def _ilp_assignment_nheight(
+        self,
+        prov: FlowProvenance,
+        deadline: Deadline,
+        times: StageTimes,
+    ) -> tuple[RowAssignment, int]:
+        """Per-class clustering + the joint N-height resilient solve."""
+        init = self.initial
+        params = self.params
+        budgets = self.row_budgets
+        with times.measure("clustering"):
+            f_by, w_by, labels_by = [], [], []
+            n_clusters = 0
+            for track, indices, widths in self._classes:
                 cx = (
-                    init.placed.x[init.minority_indices]
-                    + init.placed.widths[init.minority_indices] / 2.0
+                    init.placed.x[indices]
+                    + init.placed.widths[indices] / 2.0
                 )
                 cy = (
-                    init.placed.y[init.minority_indices]
-                    + init.placed.heights[init.minority_indices] / 2.0
+                    init.placed.y[indices]
+                    + init.placed.heights[indices] / 2.0
                 )
                 clustering = cluster_minority_cells(
                     cx, cy, params.s, params.kmeans_max_iterations
                 )
                 costs = compute_rap_costs(
                     init.placed,
-                    init.minority_indices,
+                    indices,
                     clustering.labels,
                     clustering.n_clusters,
                     init.pair_center_y,
-                    init.minority_widths_original,
+                    widths,
                 )
-            with times.measure("rap_ilp"):
-                assignment = solve_rap_resilient(
-                    costs.combine(params.alpha),
-                    costs.cluster_width,
-                    init.pair_capacity,
-                    self.n_minority_rows,
-                    clustering.labels,
-                    majority_track=self.majority_track,
-                    minority_track=init.minority_track,
-                    backend=params.solver_backend,
-                    time_limit_s=params.solver_time_limit_s,
-                    row_fill=params.row_fill,
-                    policy=self.policy,
-                    deadline=self.policy.stage_deadline(
-                        "row_assign", deadline
-                    ),
-                    provenance=prov,
-                    sparse=params.rap_sparse,
-                    candidate_k=params.rap_candidates,
-                    workers=params.rap_workers,
-                    warm_assignment=self._rap_warm,
-                )
-                if assignment is None:
-                    if not self.policy.fallback_enabled:
-                        failed = prov.attempts[-1] if prov.attempts else None
-                        raise SolverError(
-                            "row assignment failed and fallback is "
-                            "disabled"
-                            + (f": [{failed.error_type}] {failed.error}"
-                               if failed else ""),
-                            provenance=prov,
-                        )
-                    assignment = self._baseline_rung(prov, deadline)
-                else:
-                    self._rap_warm = assignment.cluster_to_pair
-            self._ilp = (
-                assignment,
-                times.stages["clustering"],
-                times.stages["rap_ilp"],
-                clustering.n_clusters,
-                prov,
+                f_by.append(costs.combine(params.alpha))
+                w_by.append(costs.cluster_width)
+                labels_by.append(clustering.labels)
+                n_clusters += clustering.n_clusters
+        with times.measure("rap_ilp"):
+            assignment = solve_rap_nheight_resilient(
+                f_by,
+                w_by,
+                init.pair_capacity,
+                [budgets[t] for t, _, _ in self._classes],
+                labels_by,
+                [t for t, _, _ in self._classes],
+                majority_track=self.majority_track,
+                backend=params.solver_backend,
+                time_limit_s=params.solver_time_limit_s,
+                row_fill=params.row_fill,
+                policy=self.policy,
+                deadline=self.policy.stage_deadline("row_assign", deadline),
+                provenance=prov,
+                sparse=params.rap_sparse,
+                candidate_k=params.rap_candidates,
+                workers=params.rap_workers,
+                warm_assignment=(
+                    self._rap_warm
+                    if isinstance(self._rap_warm, list)
+                    else None
+                ),
+                sa_seed=params.seed,
             )
-        return self._ilp
+            if assignment is None:
+                if not self.policy.fallback_enabled:
+                    failed = prov.attempts[-1] if prov.attempts else None
+                    raise SolverError(
+                        "row assignment failed and fallback is disabled"
+                        + (f": [{failed.error_type}] {failed.error}"
+                           if failed else ""),
+                        provenance=prov,
+                    )
+                assignment = self._baseline_rung(prov, deadline)
+            else:
+                self._rap_warm = [
+                    assignment.by_track[t][0] for t, _, _ in self._classes
+                ]
+        return assignment, n_clusters
 
     def rap_model(self):
         """Build the RAP MILP of this runner's ILP configuration.
@@ -428,30 +659,36 @@ class FlowRunner:
         """
         init = self.initial
         params = self.params
-        cx = (
-            init.placed.x[init.minority_indices]
-            + init.placed.widths[init.minority_indices] / 2.0
-        )
-        cy = (
-            init.placed.y[init.minority_indices]
-            + init.placed.heights[init.minority_indices] / 2.0
-        )
-        clustering = cluster_minority_cells(
-            cx, cy, params.s, params.kmeans_max_iterations
-        )
-        costs = compute_rap_costs(
-            init.placed,
-            init.minority_indices,
-            clustering.labels,
-            clustering.n_clusters,
-            init.pair_center_y,
-            init.minority_widths_original,
-        )
-        return build_rap_model(
-            costs.combine(params.alpha),
-            costs.cluster_width,
+        budgets = self.row_budgets
+        f_by, w_by = [], []
+        for track, indices, widths in self._classes:
+            cx = init.placed.x[indices] + init.placed.widths[indices] / 2.0
+            cy = init.placed.y[indices] + init.placed.heights[indices] / 2.0
+            clustering = cluster_minority_cells(
+                cx, cy, params.s, params.kmeans_max_iterations
+            )
+            costs = compute_rap_costs(
+                init.placed,
+                indices,
+                clustering.labels,
+                clustering.n_clusters,
+                init.pair_center_y,
+                widths,
+            )
+            f_by.append(costs.combine(params.alpha))
+            w_by.append(costs.cluster_width)
+        if len(self._classes) == 1:
+            return build_rap_model(
+                f_by[0],
+                w_by[0],
+                init.pair_capacity * params.row_fill,
+                self.n_minority_rows,
+            )
+        return build_nheight_rap_model(
+            f_by,
+            w_by,
             init.pair_capacity * params.row_fill,
-            self.n_minority_rows,
+            [budgets[t] for t, _, _ in self._classes],
         )
 
     def _baseline_rung(
@@ -569,10 +806,16 @@ class FlowRunner:
             prov = row_prov.clone()
             prov.budget_s = deadline.budget_s
 
+        qor_extra = (
+            {"n_height_classes": len(self._classes)}
+            if len(self._classes) > 1
+            else {}
+        )
         record_qor(
             f"flow{kind.value}.row_assign",
             n_minority_rows=assignment.n_minority_rows,
             n_clusters=n_clusters,
+            **qor_extra,
         )
         placed, result = self._legalize_resilient(
             kind, assignment, prov, deadline
@@ -606,6 +849,21 @@ class FlowRunner:
         assignment: RowAssignment,
         deadline: Deadline,
     ):
+        if len(self._classes) > 1:
+            if name == "abacus_rc":
+                return abacus_rc_legalize_nheight(
+                    placed,
+                    {
+                        t: (indices, assignment.by_track[t][1])
+                        for t, indices, _ in self._classes
+                    },
+                )
+            return fence_region_legalize_nheight(
+                placed,
+                {t: indices for t, indices, _ in self._classes},
+                refine_iterations=self.params.refine_iterations,
+                deadline=deadline,
+            )
         if name == "abacus_rc":
             return abacus_rc_legalize(
                 placed,

@@ -6,8 +6,10 @@ Defaults are the paper's chosen operating point: clustering resolution
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
+from repro.core.heights import HeightSpec
 from repro.utils.errors import ValidationError
 
 
@@ -20,8 +22,17 @@ class RCPPParams:
     * ``s`` is the clustering resolution: ``N_C = ceil(s * N_minC)``
       clusters of minority cells (0 < s <= 1; s = 1 disables clustering in
       effect because every cell becomes its own cluster).
+    * ``heights`` is the first-class track-height specification
+      (:class:`~repro.core.heights.HeightSpec`): majority track plus one
+      or more minority classes, each with a forced or area-derived row
+      budget.  ``None`` (the default) resolves to a two-entry spec from
+      the legacy knobs below — see :meth:`resolved_heights`.
     * ``minority_track`` selects which track height forms row islands
-      (7.5T in the paper; no more than ~30% of instances).
+      (7.5T in the paper; no more than ~30% of instances).  Deprecated
+      alongside ``minority_fill_target`` / ``n_minority_rows``: the
+      trio is the two-height special case of ``heights`` and setting any
+      of them to a non-default value emits a ``DeprecationWarning``.
+      They cannot be combined with an explicit ``heights``.
     * ``row_fill`` is the usable fraction of a row pair's width in the
       capacity constraint (Eq. 4; the paper uses the full w(r), i.e. 1.0).
     * ``minority_fill_target`` sets how full minority rows are allowed to
@@ -65,6 +76,7 @@ class RCPPParams:
 
     alpha: float = 0.75
     s: float = 0.2
+    heights: HeightSpec | None = None
     minority_track: float = 7.5
     row_fill: float = 0.9
     minority_fill_target: float = 0.6
@@ -81,7 +93,53 @@ class RCPPParams:
     rap_candidates: int | None = None
     rap_workers: int = 1
 
+    #: Legacy two-height knobs and their defaults, shimmed onto
+    #: ``heights``; non-default use warns, combining with ``heights``
+    #: raises.
+    _LEGACY_HEIGHT_FIELDS = {
+        "minority_track": 7.5,
+        "minority_fill_target": 0.6,
+        "n_minority_rows": None,
+    }
+
+    def _legacy_height_overrides(self) -> list[str]:
+        return [
+            name
+            for name, default in self._LEGACY_HEIGHT_FIELDS.items()
+            if getattr(self, name) != default
+        ]
+
+    def resolved_heights(self, majority_track: float = 6.0) -> HeightSpec:
+        """The effective :class:`HeightSpec`.
+
+        ``heights`` when set; otherwise the two-entry spec the legacy
+        ``minority_track`` / ``minority_fill_target`` /
+        ``n_minority_rows`` trio describes (``majority_track`` names the
+        remaining track, which the legacy surface never parameterized).
+        """
+        if self.heights is not None:
+            return self.heights
+        return HeightSpec.two_height(
+            majority_track=majority_track,
+            minority_track=self.minority_track,
+            n_minority_rows=self.n_minority_rows,
+            minority_fill_target=self.minority_fill_target,
+        )
+
     def __post_init__(self) -> None:
+        overrides = self._legacy_height_overrides()
+        if self.heights is not None and overrides:
+            raise ValidationError(
+                "pass either heights=HeightSpec(...) or the legacy "
+                f"{'/'.join(overrides)} keywords, not both"
+            )
+        if self.heights is None and overrides:
+            warnings.warn(
+                f"{'/'.join(overrides)} are deprecated; pass "
+                "heights=HeightSpec.two_height(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if not (0.0 <= self.alpha <= 1.0):
             raise ValidationError(f"alpha must be in [0, 1], got {self.alpha}")
         if not (0.0 < self.s <= 1.0):

@@ -60,6 +60,12 @@ class RowAssignment:
     ``pair_tracks[p]`` is the track height of pair ``p``;
     ``cluster_to_pair[c]`` the minority pair hosting cluster ``c``;
     ``cell_to_pair[i]`` the same per minority cell (via its cluster label).
+
+    For N-height solves (``repro.core.heights``) the concatenated
+    ``cluster_to_pair`` / ``cell_to_pair`` are class-major in spec order
+    and ``by_track`` holds each minority class's own
+    ``(cluster_to_pair, cell_to_pair)`` view; two-height solves leave it
+    ``None``.
     """
 
     pair_tracks: list[float]
@@ -70,6 +76,7 @@ class RowAssignment:
     ilp_runtime_s: float
     num_variables: int
     solver_nodes: int = 0
+    by_track: "dict[float, tuple[np.ndarray, np.ndarray]] | None" = None
 
     @property
     def n_minority_rows(self) -> int:

@@ -100,6 +100,7 @@ class RowConstraintPlacer:
             utilization=self.utilization,
             aspect_ratio=self.aspect_ratio,
             placer_params=self.placer_params,
+            heights=self.params.heights,
         )
         runner = FlowRunner(
             initial, self.params, policy=self.policy,
@@ -107,8 +108,15 @@ class RowConstraintPlacer:
         )
         flow: FlowResult = runner.run(FlowKind.FLOW5)
         assert flow.assignment is not None
+        # Fences of the first (for two-height specs: the only) minority
+        # class, preserving the legacy result shape.
+        fence_track = (
+            self.params.minority_track
+            if self.params.heights is None
+            else self.params.heights.minority_tracks[0]
+        )
         fences = FenceRegions.from_floorplan(
-            flow.placed.floorplan, self.params.minority_track
+            flow.placed.floorplan, fence_track
         )
         return RowConstraintResult(
             placed=flow.placed,

@@ -178,6 +178,7 @@ def load_or_prepare_initial(
                 minority_track=config.params.minority_track,
                 utilization=config.utilization,
                 aspect_ratio=config.aspect_ratio,
+                heights=config.params.heights,
             ),
             False,
         )
@@ -193,6 +194,7 @@ def load_or_prepare_initial(
             minority_track=config.params.minority_track,
             utilization=config.utilization,
             aspect_ratio=config.aspect_ratio,
+            heights=config.params.heights,
         )
     cache.put(key, initial)
     return initial, False

@@ -14,9 +14,14 @@ from repro.core.flows import (
     prepare_initial_placement,
 )
 from repro.core.params import RCPPParams
-from repro.experiments.testcases import TestcaseSpec, build_testcase
+from repro.experiments.testcases import (
+    NHeightTestcaseSpec,
+    TestcaseSpec,
+    build_nheight_testcase,
+    build_testcase,
+)
 from repro.netlist.db import Design
-from repro.techlib.asap7 import make_asap7_library
+from repro.techlib.asap7 import TRACK_6T, make_asap7_library
 from repro.techlib.cells import StdCellLibrary
 from repro.utils.errors import ValidationError
 
@@ -25,7 +30,7 @@ from repro.utils.errors import ValidationError
 class TestcaseRun:
     """All flow artifacts of one testcase."""
 
-    spec: TestcaseSpec
+    spec: TestcaseSpec | NHeightTestcaseSpec
     design: Design
     initial: InitialPlacement
     runner: FlowRunner
@@ -70,7 +75,7 @@ def resolve_run_config(
 
 
 def run_testcase(
-    spec: TestcaseSpec,
+    spec: TestcaseSpec | NHeightTestcaseSpec,
     flows: tuple[FlowKind, ...],
     config: RunConfig | None = None,
     *,
@@ -89,14 +94,22 @@ def run_testcase(
     """
     config = resolve_run_config(config, scale=scale, params=params)
     if initial is None:
-        library = library or make_asap7_library()
-        design = build_testcase(spec, library, scale=config.scale)
+        if isinstance(spec, NHeightTestcaseSpec):
+            if library is None:
+                library = make_asap7_library(
+                    tracks=(TRACK_6T,) + spec.minority_tracks[::-1]
+                )
+            design = build_nheight_testcase(spec, library, scale=config.scale)
+        else:
+            library = library or make_asap7_library()
+            design = build_testcase(spec, library, scale=config.scale)
         initial = prepare_initial_placement(
             design,
             library,
             minority_track=config.params.minority_track,
             utilization=config.utilization,
             aspect_ratio=config.aspect_ratio,
+            heights=config.params.heights,
         )
     else:
         design = initial.design

@@ -17,16 +17,19 @@ from dataclasses import dataclass
 from repro.core.config import DEFAULT_SCALE
 from repro.netlist.db import Design
 from repro.netlist.generator import GeneratorSpec, generate_netlist
-from repro.netlist.synthesis import size_to_minority_fraction
+from repro.netlist.synthesis import size_to_height_fractions, size_to_minority_fraction
 from repro.techlib.cells import StdCellLibrary
 from repro.utils.errors import ValidationError
 
 __all__ = [
     "DEFAULT_SCALE",  # canonical definition lives in repro.core.config
+    "NHEIGHT_TESTCASES",
+    "NHeightTestcaseSpec",
     "PAPER_TESTCASES",
     "PARAMETER_SUBSET_IDS",
     "QUICK_SUBSET_IDS",
     "TestcaseSpec",
+    "build_nheight_testcase",
     "build_testcase",
     "size_class",
     "testcase_by_id",
@@ -163,6 +166,70 @@ def build_testcase(
     )
     design = generate_netlist(gen, library)
     size_to_minority_fraction(design, spec.paper_pct_75t / 100.0)
+    return design
+
+
+@dataclass(frozen=True)
+class NHeightTestcaseSpec:
+    """A synthetic N-height (>2 track heights) testcase.
+
+    These have no Table II counterpart — the paper's testcases are all
+    two-height — but exercise the :class:`~repro.core.heights.HeightSpec`
+    generalization end to end.  ``fractions`` lists (track, fraction)
+    pairs for the minority classes; everything else stays at the majority
+    (6T) height.
+    """
+
+    name: str
+    clock_ps: float
+    base_cells: int
+    fractions: tuple[tuple[float, float], ...]
+
+    @property
+    def testcase_id(self) -> str:
+        return self.name
+
+    @property
+    def seed(self) -> int:
+        return zlib.crc32(self.name.encode()) & 0x7FFFFFFF
+
+    @property
+    def minority_tracks(self) -> tuple[float, ...]:
+        return tuple(track for track, _ in self.fractions)
+
+    def scaled_cells(self, scale: float) -> int:
+        return max(400, int(round(self.base_cells * scale)))
+
+
+#: Three-height twins of small Table II rows: the most-critical cells go
+#: to 9T, the next tier to 7.5T (tallest-first slack slices).
+NHEIGHT_TESTCASES: tuple[NHeightTestcaseSpec, ...] = (
+    NHeightTestcaseSpec("aes3h_340", 340, 13031, ((9.0, 0.05), (7.5, 0.10))),
+    NHeightTestcaseSpec("fpu3h_4500", 4500, 34945, ((9.0, 0.04), (7.5, 0.07))),
+)
+
+
+def build_nheight_testcase(
+    spec: NHeightTestcaseSpec,
+    library: StdCellLibrary,
+    scale: float = DEFAULT_SCALE,
+) -> Design:
+    """Generate + size an N-height testcase.
+
+    ``library`` must carry masters for every track in ``spec.fractions``
+    (e.g. ``make_asap7_library(tracks=(TRACK_6T, TRACK_75T, TRACK_9T))``).
+    """
+    if scale <= 0:
+        raise ValidationError("scale must be positive")
+    gen = GeneratorSpec(
+        name=spec.testcase_id,
+        n_cells=spec.scaled_cells(scale),
+        clock_period_ps=spec.clock_ps,
+        logic_depth=_logic_depth_for_clock(spec.clock_ps),
+        seed=spec.seed,
+    )
+    design = generate_netlist(gen, library)
+    size_to_height_fractions(design, dict(spec.fractions))
     return design
 
 

@@ -19,7 +19,12 @@ commercial synthesis is available offline, so this package provides:
 from repro.netlist.db import Design, Instance, Net, NetPin, Port, PortDirection
 from repro.netlist.generator import GeneratorSpec, generate_netlist
 from repro.netlist.stats import NetlistStats, compute_stats
-from repro.netlist.synthesis import SynthesisResult, size_to_clock, size_to_minority_fraction
+from repro.netlist.synthesis import (
+    SynthesisResult,
+    size_to_clock,
+    size_to_height_fractions,
+    size_to_minority_fraction,
+)
 
 __all__ = [
     "Design",
@@ -34,5 +39,6 @@ __all__ = [
     "compute_stats",
     "SynthesisResult",
     "size_to_clock",
+    "size_to_height_fractions",
     "size_to_minority_fraction",
 ]

@@ -166,6 +166,54 @@ def size_to_minority_fraction(
     )
 
 
+def size_to_height_fractions(
+    design: Design,
+    fractions: dict[float, float],
+    params: TimingParams | None = None,
+) -> SynthesisResult:
+    """Promote the most-critical instances into N minority track heights.
+
+    ``fractions`` maps each minority track to the fraction of instances it
+    should hold, e.g. ``{9.0: 0.05, 7.5: 0.15}``.  Slices of the slack
+    order are carved tallest-first, so the very most critical cells land in
+    the tallest (fastest) class — the natural generalization of
+    :func:`size_to_minority_fraction`, which this reproduces exactly for a
+    single-entry mapping.
+    """
+    total = sum(fractions.values())
+    for track, fraction in fractions.items():
+        if not (0.0 <= fraction <= 1.0):
+            raise ValidationError(
+                f"fraction for track {track} must be in [0, 1], got {fraction}"
+            )
+    if total > 1.0 + 1e-9:
+        raise ValidationError(f"fractions sum to {total}, must be <= 1")
+    missing = set(fractions) - set(design.library.track_heights)
+    if missing:
+        raise ValidationError(
+            f"library has no masters for track(s) {sorted(missing)}"
+        )
+    _assign_initial_drives(design)
+    report = _analyze(design, params)
+    graph = TimingGraph.build(design)
+    inst_slack = report.instance_slack(graph)
+    order = np.argsort(inst_slack, kind="stable")
+    promotions = 0
+    start = 0
+    for track in sorted(fractions, reverse=True):
+        count = int(round(fractions[track] * design.num_instances))
+        for inst_index in order[start : start + count]:
+            inst = design.instances[int(inst_index)]
+            inst.master = design.library.variant(inst.master, track)
+            promotions += 1
+        start += count
+    report = _analyze(design, params)
+    design.validate()
+    return SynthesisResult(
+        design=design, report=report, iterations=1, promotions=promotions
+    )
+
+
 def _analyze(design: Design, params: TimingParams | None) -> TimingReport:
     graph = TimingGraph.build(design)
     lengths = fanout_wireload_lengths(design)

@@ -128,6 +128,61 @@ def refine_detailed(
                 )
 
 
+def fence_aware_refine_multi(
+    placed: PlacedDesign,
+    classes: list[tuple[np.ndarray, FenceRegions]],
+    iterations: int = 4,
+    move_fraction: float = 0.85,
+) -> None:
+    """Refine under ``K`` fence constraints simultaneously.
+
+    ``classes`` pairs each minority class's instance indices with its own
+    :class:`FenceRegions`.  One median pass moves every cell, then *every*
+    class projects back onto its fences — running the single-class
+    refinement per class instead would move the majority ``K`` times and
+    un-project the earlier classes.  ``classes = [(idx, fences)]``
+    reproduces :func:`fence_aware_refine` exactly.
+    """
+    if not (0.0 < move_fraction <= 1.0):
+        raise ValidationError("move_fraction must be in (0, 1]")
+    classes = [
+        (np.asarray(indices, dtype=int), fences)
+        for indices, fences in classes
+    ]
+    die = placed.floorplan.die
+
+    def project_all() -> None:
+        for indices, fences in classes:
+            centers = placed.y[indices] + placed.heights[indices] / 2.0
+            target = fences.nearest_center_y(centers)
+            placed.y[indices] = target - placed.heights[indices] / 2.0
+
+    with span(
+        "fence_aware_refine",
+        n_minority=int(sum(len(i) for i, _ in classes)),
+        n_classes=len(classes),
+        iterations=iterations,
+    ):
+        telemetry = recording_convergence()
+        project_all()
+        for iteration in range(1, iterations + 1):
+            tx, ty = median_target_positions(placed)
+            cx, cy = placed.centers()
+            placed.x = cx + move_fraction * (tx - cx) - placed.widths / 2.0
+            placed.y = cy + move_fraction * (ty - cy) - placed.heights / 2.0
+            np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
+            np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
+            project_all()
+            if telemetry:
+                from repro.placement.hpwl import hpwl_total
+
+                observe(
+                    "refine.fence_aware",
+                    iteration=iteration,
+                    hpwl=hpwl_total(placed),
+                )
+
+
 def fence_aware_refine(
     placed: PlacedDesign,
     minority_indices: np.ndarray,

@@ -27,8 +27,10 @@ SITE_WIDTH = 54  # nm (contacted poly pitch)
 MANUFACTURING_GRID = 1  # nm
 ROW_HEIGHT_6T = 6 * M2_PITCH  # 216 nm
 ROW_HEIGHT_75T = 270  # 7.5 * 36 nm
+ROW_HEIGHT_9T = 9 * M2_PITCH  # 324 nm (N-height extension track)
 TRACK_6T = 6.0
 TRACK_75T = 7.5
+TRACK_9T = 9.0
 
 # function -> (input pin names, base width in sites at x1, base intrinsic
 # delay ps, base delay slope ps/fF, base input cap fF, base internal energy
@@ -63,7 +65,9 @@ _LVT_LEAK_FACTOR = 2.4
 
 
 def _master_name(function: str, drive: int, vt: str, track: float) -> str:
-    suffix = "75t" if track == TRACK_75T else "6t"
+    # "6t" / "75t" / "9t": the decimal point drops out, matching the
+    # historical two-height names exactly.
+    suffix = f"{track:g}".replace(".", "") + "t"
     return f"{function}x{drive}_ASAP7_{suffix}_{vt[0]}"
 
 
@@ -97,7 +101,7 @@ def _build_master(function: str, drive: int, vt: str, track: float) -> CellMaste
     # real libraries: x1->base, x2->+40%, x4->+120%, x8->+260%.
     width_sites = base_sites + round(base_sites * 0.45 * (drive - 1) ** 0.9)
     width = width_sites * SITE_WIDTH
-    height = ROW_HEIGHT_75T if track == TRACK_75T else ROW_HEIGHT_6T
+    height = round(track * M2_PITCH)
 
     # Stronger drive: lower slope, bigger input cap and power.
     slope_d = slope / drive
@@ -112,6 +116,15 @@ def _build_master(function: str, drive: int, vt: str, track: float) -> CellMaste
         cap_d *= _TALL_CAP_FACTOR
         energy_d *= _TALL_ENERGY_FACTOR
         leak_d *= _TALL_LEAK_FACTOR
+    elif track != TRACK_6T:
+        # Taller (or shorter) tracks extend the same trend: each 1.5-track
+        # step applies the 7.5T factors once more, so 9T gets factor**2.
+        steps = (track - TRACK_6T) / (TRACK_75T - TRACK_6T)
+        intrinsic_d *= _TALL_INTRINSIC_FACTOR**steps
+        slope_d *= _TALL_SLOPE_FACTOR**steps
+        cap_d *= _TALL_CAP_FACTOR**steps
+        energy_d *= _TALL_ENERGY_FACTOR**steps
+        leak_d *= _TALL_LEAK_FACTOR**steps
     if vt == "LVT":
         intrinsic_d *= _LVT_DELAY_FACTOR
         slope_d *= _LVT_DELAY_FACTOR
@@ -134,10 +147,16 @@ def _build_master(function: str, drive: int, vt: str, track: float) -> CellMaste
     )
 
 
-def make_asap7_library() -> StdCellLibrary:
+def make_asap7_library(
+    tracks: tuple[float, ...] = (TRACK_6T, TRACK_75T),
+) -> StdCellLibrary:
     """Build the full synthetic ASAP7-like library.
 
-    12 functions x 4 drives x 2 VTs x 2 track heights = 192 masters.
+    With the default two track heights: 12 functions x 4 drives x 2 VTs
+    x 2 track heights = 192 masters.  Pass e.g.
+    ``tracks=(TRACK_6T, TRACK_75T, TRACK_9T)`` for an N-height library;
+    each extra track adds another 96 masters with electrical parameters
+    extrapolated along the 6T -> 7.5T trend.
     """
     lib = StdCellLibrary(
         name="asap7_synthetic",
@@ -147,6 +166,6 @@ def make_asap7_library() -> StdCellLibrary:
     for function in _FUNCTIONS:
         for drive in _DRIVES:
             for vt in ("RVT", "LVT"):
-                for track in (TRACK_6T, TRACK_75T):
+                for track in tracks:
                     lib.add(_build_master(function, drive, vt, track))
     return lib

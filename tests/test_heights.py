@@ -1,0 +1,516 @@
+"""HeightSpec API + N-height RAP: bit-identity with the two-height core.
+
+The generalization's contract has three layers:
+
+* a two-entry :class:`HeightSpec` is the *same computation* as the legacy
+  minority/majority keywords — same models, same solver calls, same
+  assignments, HPWL and provenance, bit for bit;
+* the legacy keywords keep working through deprecation shims (warn,
+  conflict-check, serialize);
+* N >= 3 instances solve through the joint height-indexed model with a
+  reduced-cost certificate, and fall back to simulated annealing when
+  every MILP rung fails.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RunConfig
+from repro.core.flows import FlowKind, FlowRunner, prepare_initial_placement
+from repro.core.heights import (
+    HeightClass,
+    HeightSpec,
+    anneal_nheight,
+    build_nheight_rap_model,
+    greedy_nheight,
+    solve_rap_nheight,
+    solve_rap_nheight_resilient,
+    validate_nheight_inputs,
+)
+from repro.core.params import RCPPParams
+from repro.core.rap import build_rap_model, required_minority_pairs
+from repro.core.sparse_rap import solve_rap_sparse
+from repro.solvers.milp import solve_milp
+from repro.utils.errors import InfeasibleError, ValidationError
+from repro.utils.resilience import (
+    FaultPlan,
+    FlowProvenance,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from tests.conftest import make_design
+
+EXACT_BACKENDS = ("highs", "bnb")
+
+
+def random_joint_instance(seed, n_classes=2, n_p=None):
+    """Random feasible N-height instance (continuous costs, no ties)."""
+    rng = np.random.default_rng(seed)
+    n_p = n_p or int(rng.integers(4, 9))
+    f_by_class, width_by_class, budgets = [], [], []
+    for _ in range(n_classes):
+        n_c = int(rng.integers(2, 5))
+        f_by_class.append(rng.uniform(0.0, 100.0, size=(n_c, n_p)))
+        width_by_class.append(rng.uniform(1.0, 4.0, size=n_c))
+        budgets.append(1)
+    cap = np.full(n_p, max(w.sum() for w in width_by_class) + 5.0)
+    # Budgets: enough pairs per class to host its width, sum under n_p.
+    for h, w in enumerate(width_by_class):
+        budgets[h] = max(1, int(np.ceil(w.sum() / cap[0])))
+    while sum(budgets) > n_p - (n_classes - 1):
+        budgets[int(np.argmax(budgets))] -= 1
+    return f_by_class, width_by_class, cap, budgets
+
+
+class TestHeightSpecValidation:
+    def test_float_minorities_coerce(self):
+        spec = HeightSpec(6.0, (7.5, 9.0))
+        assert all(isinstance(c, HeightClass) for c in spec.minority)
+        assert spec.minority_tracks == (7.5, 9.0)
+        assert spec.tracks == (6.0, 7.5, 9.0)
+        assert spec.n_classes == 2 and not spec.is_two_height
+
+    def test_duplicate_minority_rejected(self):
+        with pytest.raises(ValidationError):
+            HeightSpec(6.0, (7.5, 7.5))
+
+    def test_majority_in_minorities_rejected(self):
+        with pytest.raises(ValidationError):
+            HeightSpec(6.0, (6.0,))
+
+    def test_no_minorities_rejected(self):
+        with pytest.raises(ValidationError):
+            HeightSpec(6.0, ())
+
+    def test_bad_class_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            HeightClass(7.5, fill_target=0.0)
+        with pytest.raises(ValidationError):
+            HeightClass(7.5, n_rows=0)
+        with pytest.raises(ValidationError):
+            HeightClass(-1.0)
+
+    def test_class_for(self):
+        spec = HeightSpec(6.0, (HeightClass(7.5, n_rows=3),))
+        assert spec.class_for(7.5).n_rows == 3
+        with pytest.raises(ValidationError):
+            spec.class_for(9.0)
+
+    def test_two_height_constructor(self):
+        spec = HeightSpec.two_height(
+            minority_track=7.5, n_minority_rows=4, minority_fill_target=0.7
+        )
+        assert spec.majority == 6.0
+        assert spec.minority == (HeightClass(7.5, n_rows=4, fill_target=0.7),)
+        assert spec.is_two_height
+
+
+class TestHeightSpecParse:
+    def test_parse_named_budgets(self):
+        spec = HeightSpec.parse("6,7.5,9", "7.5=3,9=2")
+        assert spec.majority == 6.0
+        assert spec.class_for(7.5).n_rows == 3
+        assert spec.class_for(9.0).n_rows == 2
+
+    def test_parse_positional_budgets(self):
+        spec = HeightSpec.parse("6,7.5,9", "3,2")
+        assert spec.class_for(7.5).n_rows == 3
+        assert spec.class_for(9.0).n_rows == 2
+
+    def test_parse_no_budgets(self):
+        spec = HeightSpec.parse("6,7.5", fill_target=0.5)
+        assert spec.class_for(7.5).n_rows is None
+        assert spec.class_for(7.5).fill_target == 0.5
+
+    @pytest.mark.parametrize(
+        "tracks,budgets",
+        [
+            ("6", None),  # needs >= 2 tracks
+            ("6,banana", None),
+            ("6,7.5", "x=1"),
+            ("6,7.5,9", "7.5=3,12=2"),  # unknown track in budgets
+            ("6,7.5,9", "3"),  # positional count mismatch
+        ],
+    )
+    def test_parse_rejects(self, tracks, budgets):
+        with pytest.raises(ValidationError):
+            HeightSpec.parse(tracks, budgets)
+
+
+class TestHeightSpecSerde:
+    def test_round_trip(self):
+        spec = HeightSpec(6.0, (HeightClass(9.0, n_rows=2), HeightClass(7.5)))
+        assert HeightSpec.from_dict(spec.to_dict()) == spec
+
+    def test_run_config_round_trip_with_heights(self):
+        spec = HeightSpec(6.0, (HeightClass(7.5, fill_target=0.7),))
+        config = RunConfig(params=RCPPParams(heights=spec))
+        rebuilt = RunConfig.from_dict(config.to_dict())
+        assert rebuilt.params.heights == spec
+
+    def test_run_config_round_trip_legacy_silent(self, recwarn):
+        with pytest.warns(DeprecationWarning):
+            config = RunConfig(params=RCPPParams(minority_fill_target=0.7))
+        before = len(
+            [w for w in recwarn.list if w.category is DeprecationWarning]
+        )
+        rebuilt = RunConfig.from_dict(config.to_dict())
+        after = len(
+            [w for w in recwarn.list if w.category is DeprecationWarning]
+        )
+        assert after == before  # round trip must not re-warn
+        assert rebuilt.params.minority_fill_target == 0.7
+
+    def test_fingerprint_stable_without_heights(self):
+        # Legacy configs must keep their pre-HeightSpec cache hashes.
+        fp = RunConfig().initial_placement_fingerprint()
+        assert "heights" not in fp
+        spec = HeightSpec.two_height()
+        fp2 = RunConfig(
+            params=RCPPParams(heights=spec)
+        ).initial_placement_fingerprint()
+        assert fp2["heights"] == spec.to_dict()
+
+
+class TestBudgets:
+    def test_forced_budget_wins(self):
+        spec = HeightSpec(6.0, (HeightClass(7.5, n_rows=5),))
+        assert spec.budgets({7.5: 100.0}, 10.0) == {7.5: 5}
+
+    def test_derived_budget_matches_legacy_rule(self):
+        spec = HeightSpec(6.0, (HeightClass(7.5, fill_target=0.6),))
+        expected = required_minority_pairs(100.0, 10.0, 0.6)
+        assert spec.budgets({7.5: 100.0}, 10.0) == {7.5: expected}
+
+
+class TestModelDelegation:
+    """K = 1 builds the exact legacy model object."""
+
+    def test_single_class_model_identical(self):
+        rng = np.random.default_rng(3)
+        f = rng.uniform(0, 10, size=(4, 6))
+        w = rng.uniform(1, 3, size=4)
+        cap = np.full(6, w.sum() + 1.0)
+        legacy = build_rap_model(f, w, cap, 2)
+        joint = build_nheight_rap_model([f], [w], cap, [2])
+        assert np.array_equal(legacy.c, joint.c)
+        assert np.array_equal(legacy.b_eq, joint.b_eq)
+        assert np.array_equal(legacy.b_ub, joint.b_ub)
+        assert (legacy.a_eq != joint.a_eq).nnz == 0
+        assert (legacy.a_ub != joint.a_ub).nnz == 0
+
+    def test_joint_model_shape(self):
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(7)
+        model = build_nheight_rap_model(f_by_class, w_by_class, cap, budgets)
+        n_p = len(cap)
+        n_x = sum(f.shape[0] for f in f_by_class) * n_p
+        assert model.c.shape == (n_x + len(f_by_class) * n_p,)
+
+    def test_validate_rejects_overbooked_budgets(self):
+        f_by_class, w_by_class, cap, _ = random_joint_instance(11, n_p=4)
+        with pytest.raises(InfeasibleError):
+            validate_nheight_inputs(f_by_class, w_by_class, cap, [3, 2])
+
+
+class TestTwoHeightBitIdentity:
+    """solve_rap_nheight at K = 1 IS the legacy engine."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sparse_delegation_matches(self, seed):
+        rng = np.random.default_rng(seed)
+        n_c, n_p = int(rng.integers(2, 6)), int(rng.integers(3, 7))
+        f = rng.uniform(0, 100, size=(n_c, n_p))
+        w = rng.uniform(1, 4, size=n_c)
+        cap = np.full(n_p, w.sum() + 2.0)
+        n_minr = int(rng.integers(1, min(n_c, n_p) + 1))
+        legacy_solution, _ = solve_rap_sparse(f, w, cap, n_minr)
+        solution, assignment, stats = solve_rap_nheight(
+            [f], [w], cap, [n_minr]
+        )
+        assert solution.objective == legacy_solution.objective
+        assert np.array_equal(solution.x, legacy_solution.x)
+        assert assignment is not None and len(assignment) == 1
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_dense_delegation_matches(self, backend):
+        rng = np.random.default_rng(23)
+        f = rng.uniform(0, 100, size=(4, 5))
+        w = rng.uniform(1, 4, size=4)
+        cap = np.full(5, w.sum() + 2.0)
+        legacy = solve_milp(build_rap_model(f, w, cap, 2), backend=backend)
+        solution, _, _ = solve_rap_nheight(
+            [f], [w], cap, [2], backend=backend, sparse=False
+        )
+        assert solution.objective == legacy.objective
+        assert np.array_equal(solution.x, legacy.x)
+
+
+class TestJointSolve:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_certified_sparse_equals_dense(self, seed):
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(seed)
+        solution, assignment, stats = solve_rap_nheight(
+            f_by_class, w_by_class, cap, budgets
+        )
+        assert stats.certified
+        dense = solve_milp(
+            build_nheight_rap_model(f_by_class, w_by_class, cap, budgets)
+        )
+        assert dense.ok
+        assert solution.objective == pytest.approx(dense.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("n_classes", [2, 3])
+    def test_assignment_feasible(self, n_classes):
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(
+            42, n_classes=n_classes, n_p=8
+        )
+        _, assignment, _ = solve_rap_nheight(
+            f_by_class, w_by_class, cap, budgets
+        )
+        assert assignment is not None
+        used_by_class = [set(np.unique(a).tolist()) for a in assignment]
+        for used, budget in zip(used_by_class, budgets):
+            assert len(used) == budget
+        for i in range(n_classes):
+            for j in range(i + 1, n_classes):
+                assert not (used_by_class[i] & used_by_class[j])
+        for w, a in zip(w_by_class, assignment):
+            for p in np.unique(a):
+                assert w[a == p].sum() <= cap[p] + 1e-9
+
+    def test_lagrangian_rejected_at_k2(self):
+        from repro.utils.errors import SolverError
+
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(5)
+        with pytest.raises(SolverError):
+            solve_rap_nheight(
+                f_by_class, w_by_class, cap, budgets, backend="lagrangian"
+            )
+
+
+class TestHeuristics:
+    def test_greedy_feasible(self):
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(9)
+        assignment = greedy_nheight(f_by_class, w_by_class, cap, budgets)
+        assert assignment is not None
+        used = [set(np.unique(a).tolist()) for a in assignment]
+        for u, b in zip(used, budgets):
+            assert len(u) == b
+
+    def test_anneal_no_worse_than_greedy(self):
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(13, n_p=8)
+        greedy = greedy_nheight(f_by_class, w_by_class, cap, budgets)
+        greedy_cost = sum(
+            float(f[np.arange(len(a)), a].sum())
+            for f, a in zip(f_by_class, greedy)
+        )
+        annealed = anneal_nheight(f_by_class, w_by_class, cap, budgets)
+        assert annealed is not None
+        _, sa_cost = annealed
+        assert sa_cost <= greedy_cost + 1e-9
+
+    def test_anneal_deterministic(self):
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(17)
+        a1 = anneal_nheight(f_by_class, w_by_class, cap, budgets, seed=3)
+        a2 = anneal_nheight(f_by_class, w_by_class, cap, budgets, seed=3)
+        assert a1[1] == a2[1]
+        assert all(np.array_equal(x, y) for x, y in zip(a1[0], a2[0]))
+
+
+class TestResilientNHeight:
+    @staticmethod
+    def _instance():
+        f_by_class, w_by_class, cap, budgets = random_joint_instance(21, n_p=7)
+        labels = [
+            np.arange(f.shape[0]).repeat(2) for f in f_by_class
+        ]  # two cells per cluster
+        return f_by_class, w_by_class, cap, budgets, labels
+
+    def test_healthy_run_is_exact(self):
+        f_by_class, w_by_class, cap, budgets, labels = self._instance()
+        prov = FlowProvenance()
+        result = solve_rap_nheight_resilient(
+            f_by_class, w_by_class, cap, budgets, labels,
+            minority_tracks=[7.5, 9.0], provenance=prov,
+        )
+        assert result is not None
+        assert prov.backend == "highs"
+        assert not prov.degraded
+        assert set(result.by_track) == {7.5, 9.0}
+
+    def test_sa_fallback_when_every_milp_rung_fails(self):
+        f_by_class, w_by_class, cap, budgets, labels = self._instance()
+        plan = FaultPlan().fail("rap.highs").fail("rap.bnb")
+        policy = ResiliencePolicy(
+            fault_plan=plan, retry=RetryPolicy(max_attempts=1)
+        )
+        prov = FlowProvenance()
+        result = solve_rap_nheight_resilient(
+            f_by_class, w_by_class, cap, budgets, labels,
+            minority_tracks=[7.5, 9.0], policy=policy, provenance=prov,
+        )
+        assert result is not None
+        assert prov.backend == "sa"
+        assert prov.degraded
+        failed = {a.stage for a in prov.attempts if not a.ok}
+        assert {"rap.highs", "rap.bnb"} <= failed
+
+    def test_k1_delegates_to_legacy_chain(self):
+        rng = np.random.default_rng(31)
+        f = rng.uniform(0, 100, size=(3, 5))
+        w = rng.uniform(1, 3, size=3)
+        cap = np.full(5, w.sum() + 2.0)
+        labels = np.arange(3).repeat(2)
+        from repro.core.rap import solve_rap_resilient
+
+        legacy = solve_rap_resilient(
+            f, w, cap, 2, labels, minority_track=7.5
+        )
+        joint = solve_rap_nheight_resilient(
+            [f], [w], cap, [2], [labels], minority_tracks=[7.5]
+        )
+        assert joint.objective == legacy.objective
+        assert np.array_equal(joint.cluster_to_pair, legacy.cluster_to_pair)
+        assert np.array_equal(joint.cell_to_pair, legacy.cell_to_pair)
+        assert joint.pair_tracks == legacy.pair_tracks
+
+
+class TestParamsShims:
+    def test_defaults_stay_silent(self, recwarn):
+        RCPPParams()
+        assert [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ] == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"minority_track": 9.0},
+            {"minority_fill_target": 0.7},
+            {"n_minority_rows": 4},
+        ],
+    )
+    def test_legacy_keywords_warn(self, kwargs):
+        with pytest.warns(DeprecationWarning):
+            params = RCPPParams(**kwargs)
+        for key, value in kwargs.items():
+            assert getattr(params, key) == value
+
+    def test_heights_plus_legacy_raises(self):
+        with pytest.raises(ValidationError):
+            RCPPParams(
+                heights=HeightSpec.two_height(), minority_track=9.0
+            )
+
+    def test_resolved_heights_from_legacy(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            params = RCPPParams(
+                minority_track=7.5,
+                n_minority_rows=6,
+                minority_fill_target=0.8,
+            )
+        spec = params.resolved_heights()
+        assert spec == HeightSpec.two_height(
+            minority_track=7.5, n_minority_rows=6, minority_fill_target=0.8
+        )
+
+    def test_resolved_heights_prefers_explicit_spec(self):
+        spec = HeightSpec(6.0, (HeightClass(9.0),))
+        assert RCPPParams(heights=spec).resolved_heights() is spec
+
+
+@pytest.fixture(scope="module")
+def twin_designs(library):
+    """Two identical designs (same seed) for legacy-vs-spec comparison."""
+    kw = dict(n_cells=420, minority_fraction=0.18, seed=12)
+    return make_design(library, **kw), make_design(library, **kw)
+
+
+class TestFlowBitIdentity:
+    """A two-entry HeightSpec reproduces the legacy flows bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def flow_pairs(self, twin_designs, library):
+        legacy_design, spec_design = twin_designs
+        spec = HeightSpec.two_height()
+        legacy_runner = FlowRunner(
+            prepare_initial_placement(legacy_design, library), RCPPParams()
+        )
+        spec_runner = FlowRunner(
+            prepare_initial_placement(spec_design, library, heights=spec),
+            RCPPParams(heights=spec),
+        )
+        kinds = (FlowKind.FLOW4, FlowKind.FLOW5)
+        return {
+            kind: (legacy_runner.run(kind), spec_runner.run(kind))
+            for kind in kinds
+        }
+
+    def test_hpwl_identical(self, flow_pairs):
+        for kind, (legacy, speced) in flow_pairs.items():
+            assert legacy.hpwl == speced.hpwl, kind
+
+    def test_positions_identical(self, flow_pairs):
+        for kind, (legacy, speced) in flow_pairs.items():
+            assert np.array_equal(legacy.placed.x, speced.placed.x), kind
+            assert np.array_equal(legacy.placed.y, speced.placed.y), kind
+
+    def test_assignment_identical(self, flow_pairs):
+        for kind, (legacy, speced) in flow_pairs.items():
+            assert legacy.assignment.objective == speced.assignment.objective
+            assert np.array_equal(
+                legacy.assignment.cluster_to_pair,
+                speced.assignment.cluster_to_pair,
+            ), kind
+            assert np.array_equal(
+                legacy.assignment.cell_to_pair,
+                speced.assignment.cell_to_pair,
+            ), kind
+
+    def test_provenance_identical(self, flow_pairs):
+        for kind, (legacy, speced) in flow_pairs.items():
+            assert legacy.provenance.backend == speced.provenance.backend
+            assert legacy.provenance.degraded == speced.provenance.degraded
+            assert [a.stage for a in legacy.provenance.attempts] == [
+                a.stage for a in speced.provenance.attempts
+            ], kind
+
+
+class TestNHeightEndToEnd:
+    @pytest.fixture(scope="class")
+    def three_height_flow(self):
+        from repro.experiments.runner import run_testcase
+        from repro.experiments.testcases import NHEIGHT_TESTCASES
+
+        spec = HeightSpec(6.0, (HeightClass(7.5), HeightClass(9.0)))
+        config = RunConfig(
+            scale=1.0 / 384.0, params=RCPPParams(heights=spec)
+        )
+        run = run_testcase(
+            NHEIGHT_TESTCASES[0], (FlowKind.FLOW5,), config=config
+        )
+        return run.results[FlowKind.FLOW5]
+
+    def test_flow5_legal_and_exact(self, three_height_flow):
+        flow = three_height_flow
+        assert flow.placed.check_legal() == []
+        assert not flow.degraded
+        assert flow.provenance.backend in EXACT_BACKENDS
+
+    def test_by_track_covers_both_minorities(self, three_height_flow):
+        by_track = three_height_flow.assignment.by_track
+        assert set(by_track) == {7.5, 9.0}
+        for track, (cluster_to_pair, cell_to_pair) in by_track.items():
+            assert len(cluster_to_pair) > 0 and len(cell_to_pair) > 0
+
+    def test_rows_match_tracks(self, three_height_flow):
+        placed = three_height_flow.placed
+        for inst in placed.design.instances:
+            row = placed.floorplan.row_at_y(placed.y[inst.index] + 0.5)
+            assert row.track_height == inst.master.track_height
