@@ -2,18 +2,23 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint-heights test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight report examples clean
+.PHONY: install test lint-heights lint-no-design-pickle test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight bench-giga report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-test: lint-heights
+test: lint-heights lint-no-design-pickle
 	$(PYTHON) -m pytest tests/
 
 # Grep-lint: new code must speak HeightSpec, not the legacy
 # minority/majority vocabulary (the shim keeps old callers working).
 lint-heights:
 	$(PYTHON) scripts/lint_heights.py
+
+# Grep-lint: design DBs cross process boundaries as repro.placement.shm
+# handles, never as pickled PlacedDesign payloads.
+lint-no-design-pickle:
+	$(PYTHON) scripts/lint_no_design_pickle.py
 
 # Failure-injection / resilience suite only (FaultPlan, fallback chains).
 test-faults:
@@ -79,6 +84,18 @@ bench-race:
 # model — and gates the N=3 objective-match invariant.
 bench-nheight:
 	$(PYTHON) scripts/bench_kernels.py --only nheight --merge BENCH_kernels.json \
+	  --out BENCH_kernels.json.new
+	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
+	  || (rm -f BENCH_kernels.json.new; exit 1)
+	mv BENCH_kernels.json.new BENCH_kernels.json
+
+# Giga-tier rebench (100k-cell aes_giga): refreshes the *_giga entries —
+# legalizer / spread / B2B throughput in cells_per_s plus one end-to-end
+# flow (5) run inside the fixed GIGA_FLOW_BUDGET_S wall-clock budget —
+# and gates the giga floors (tetris >= 3x over the scalar reference at
+# 100k cells, flow within budget).  Slow: expect several minutes.
+bench-giga:
+	$(PYTHON) scripts/bench_kernels.py --only giga --merge BENCH_kernels.json \
 	  --out BENCH_kernels.json.new
 	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
 	  || (rm -f BENCH_kernels.json.new; exit 1)

@@ -32,8 +32,16 @@ engine against the dense joint model build + solve.  The gate enforces
 the ``objective_match`` invariant at N=3 — the generalized layer must
 reproduce the dense joint optimum exactly.
 
+The ``giga`` group is the 100k-cell tier: the blocked-numpy legalizer
+and B2B kernels re-timed at ``GIGA_N_CELLS`` (reporting ``cells_per_s``
+throughput, floored by the gate), plus one end-to-end flow (5) run on
+the ``aes_giga`` testcase inside a fixed wall-clock budget
+(``GIGA_FLOW_BUDGET_S``; the flow's own Deadline gets the tighter
+``GIGA_FLOW_SOLVER_BUDGET_S``).
+
 ``--only`` restricts the run to named kernel groups (``legalizers``,
-``topology``, ``rap``, ``race``, ``nheight``, ``flow``); combine with
+``topology``, ``rap``, ``race``, ``nheight``, ``flow``, ``giga``);
+combine with
 ``--merge`` to carry the untouched groups over from a committed JSON so
 the gate still sees every kernel (``make bench-rap`` and
 ``make bench-nheight`` do exactly this).
@@ -48,6 +56,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -90,7 +99,26 @@ SEED = 7
 FLOW_TESTCASE = "aes_400"
 RAP_TESTCASE = "aes_400"  # full scale: the instance the paper's ILP sees
 NHEIGHT_TESTCASE = "aes3h_340"  # three-height twin, sweep scale
-KERNEL_GROUPS = ("legalizers", "topology", "rap", "race", "nheight", "flow")
+KERNEL_GROUPS = (
+    "legalizers", "topology", "rap", "race", "nheight", "flow", "giga"
+)
+
+# Giga tier: the shared-memory design DB + blocked-numpy hot paths at
+# >= 100k cells.  Kernel benches run on a synthetic 100k-cell design;
+# the end-to-end demonstration runs flow (5) on the ``aes_giga``
+# testcase (100k cells, aes mix) under a fixed wall-clock budget that
+# the flow's own Deadline machinery enforces on its solver stages.
+GIGA_N_CELLS = 100_000
+GIGA_TESTCASE = "aes_giga"
+# Two numbers, deliberately apart: the flow's *solver* budget (what its
+# Deadline clamps — the RAP engine treats it as a total wall budget and
+# degrades to an uncertified incumbent when it runs out) and the gate's
+# *wall* budget for prepare + flow together.  The gap absorbs the
+# stages outside the Deadline: initial placement (~15 s at 100k) and
+# the iteration-capped k-means clustering (~85 s), measured on the
+# single-core reference machine.
+GIGA_FLOW_SOLVER_BUDGET_S = 240.0
+GIGA_FLOW_BUDGET_S = 420.0
 # One process per backend rung (highs / bnb / lagrangian), capped at the
 # core count: racing CPU-bound solvers on fewer cores than racers only
 # slows the winner down, so on a single-core machine the raced path
@@ -124,10 +152,10 @@ def best_of(fn, repeats):
     return best
 
 
-def make_bench_design(library):
+def make_bench_design(library, n_cells=N_CELLS):
     design = generate_netlist(
         GeneratorSpec(
-            name="bench", n_cells=N_CELLS, clock_period_ps=500.0, seed=SEED
+            name="bench", n_cells=n_cells, clock_period_ps=500.0, seed=SEED
         ),
         library,
     )
@@ -415,6 +443,81 @@ def bench_nheight(repeats):
     }
 
 
+def bench_giga(library, repeats):
+    """Giga tier: the 100k-cell hot paths + a budgeted flow (5) run.
+
+    Kernel entries (``tetris_giga``, ``spread_giga``, ``global_place_giga``)
+    run on a synthetic 100k-cell design and report ``cells_per_s`` — the
+    scale-honest throughput unit the gate floors.  ``tetris_giga`` also
+    races the preserved scalar reference (timed once; it is the whole
+    point of the rewrite that this is painful) for the >= 3x speedup
+    floor at giga scale.  ``flow5_giga`` demonstrates the end-to-end
+    flow (5) on ``aes_giga`` inside ``GIGA_FLOW_BUDGET_S`` wall-clock
+    seconds, with a ``GIGA_FLOW_SOLVER_BUDGET_S`` flow Deadline
+    clamping its solver stages.
+    """
+    from repro.core.params import RCPPParams
+    from repro.kernels.global_place import b2b_iteration
+
+    entries: dict[str, dict] = {}
+    pd = make_bench_design(library, n_cells=GIGA_N_CELLS)
+    x0, y0 = pd.clone_positions()
+
+    seconds = bench_legalizer(pd, tetris_legalize, x0, y0, repeats)
+    ref_seconds = bench_legalizer(pd, reference_tetris_legalize, x0, y0, 1)
+    entries["tetris_giga"] = {
+        "seconds": seconds,
+        "reference_seconds": ref_seconds,
+        "speedup": ref_seconds / seconds,
+        "cells_per_s": GIGA_N_CELLS / seconds,
+        "n_cells": GIGA_N_CELLS,
+    }
+
+    seconds = bench_legalizer(pd, spread_to_rows, x0, y0, repeats)
+    entries["spread_giga"] = {
+        "seconds": seconds,
+        "cells_per_s": GIGA_N_CELLS / seconds,
+        "n_cells": GIGA_N_CELLS,
+    }
+
+    # One anchored SimPL lower-bound step: both B2B systems assembled
+    # and solved in a single kernel call (the per-iteration unit of the
+    # global placer loop).
+    pd.x, pd.y = x0.copy(), y0.copy()
+    pd.topology  # warm the cache, as in the placer loop
+    anchor_x, anchor_y = pd.x.copy(), pd.y.copy()
+
+    def run_b2b():
+        b2b_iteration(pd, anchor_x, anchor_y, 0.05, 1e-6, 500)
+
+    seconds = best_of(run_b2b, repeats)
+    entries["global_place_giga"] = {
+        "seconds": seconds,
+        "cells_per_s": GIGA_N_CELLS / seconds,
+        "n_cells": GIGA_N_CELLS,
+    }
+
+    # End-to-end flow (5) at 100k cells, once, under the wall budget.
+    spec = testcase_by_id(GIGA_TESTCASE)
+    design = build_testcase(spec, library, scale=1.0)
+    params = RCPPParams(time_budget_s=GIGA_FLOW_SOLVER_BUDGET_S)
+    t0 = time.perf_counter()
+    initial = prepare_initial_placement(design, library)
+    flow = FlowRunner(initial, params).run(FlowKind.FLOW5)
+    seconds = time.perf_counter() - t0
+    entries["flow5_giga"] = {
+        "seconds": seconds,
+        "n_cells": design.num_instances,
+        "cells_per_s": design.num_instances / seconds,
+        "budget_s": GIGA_FLOW_BUDGET_S,
+        "within_budget": bool(seconds <= GIGA_FLOW_BUDGET_S),
+        "hpwl": float(flow.hpwl),
+        "degraded": bool(flow.degraded),
+        "testcase": GIGA_TESTCASE,
+    }
+    return entries
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(ROOT / "BENCH_kernels.json"))
@@ -541,6 +644,27 @@ def main() -> int:
             f"{entry['n_clusters']}x{entry['n_pairs']})"
         )
 
+    # Giga tier: 100k-cell kernels + the budgeted end-to-end flow (5).
+    if "giga" in groups:
+        for name, entry in bench_giga(library, args.repeats).items():
+            kernels[name] = entry
+            registry.gauge(f"bench.{name}.seconds").set(entry["seconds"])
+            registry.gauge(f"bench.{name}.cells_per_s").set(
+                entry["cells_per_s"]
+            )
+            extra = ""
+            if "speedup" in entry:
+                extra = f", {entry['speedup']:4.2f}x vs reference"
+            if "within_budget" in entry:
+                extra = (
+                    f", budget {entry['budget_s']:.0f}s "
+                    f"{'OK' if entry['within_budget'] else 'BLOWN'}"
+                )
+            print(
+                f"{name:24s} {entry['seconds']:8.2f} s    "
+                f"({entry['cells_per_s']:,.0f} cells/s{extra})"
+            )
+
     # End-to-end flow (5) at the default sweep scale.
     if "flow" in groups:
         design = build_testcase(
@@ -574,6 +698,12 @@ def main() -> int:
             "repeats": args.repeats,
             "flow_testcase": FLOW_TESTCASE,
             "flow_scale_denom": round(1.0 / DEFAULT_SCALE),
+            # Machine provenance: floors are machine-class promises, so
+            # a failing gate must say what it actually ran on
+            # (check_bench prints these on failure).
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
         },
         "kernels": kernels,
         "baseline": BASELINE,

@@ -20,6 +20,15 @@ when the current run misses the speedup floors this layer promises:
 * ``rap_nheight``      the joint N=3 sparse solve's objective must match
   the dense joint model's optimum (``objective_match``) — the
   generalized height-indexed layer may never drift from the exact model
+* ``*_giga``           100k-cell tier: tetris >= 3.0x over the scalar
+  reference at giga scale, per-kernel ``cells_per_s`` throughput floors,
+  and ``flow5_giga.within_budget`` (the end-to-end flow (5) must finish
+  inside its fixed wall-clock budget)
+
+On any failure the gate also prints the current run's machine provenance
+(``meta.cpu_count`` / ``python`` / ``platform``) — the floors are
+machine-class promises, so the first question about a red gate is what
+it ran on.
 
 Record mode (``--record``) validates a flight-recorder
 ``run_record.json`` against the ``repro.run_record/1`` schema, and —
@@ -56,6 +65,16 @@ FLOORS = {
     # Racing the backend rungs must stay within 10% of the sequential
     # chain on the healthy path (pool overhead is the only difference).
     ("rap_race", "speedup_vs_sequential"): 0.9,
+    # Giga tier (100k cells).  The tetris >= 3x promise is re-proven at
+    # scale, not extrapolated from the microbench sizes; the cells_per_s
+    # floors are set 3-5x below the single-core reference machine's
+    # measured throughput so they catch order-of-magnitude regressions
+    # (an accidental O(n^2) scan) without flaking on machine noise.
+    ("tetris_giga", "speedup"): 3.0,
+    ("tetris_giga", "cells_per_s"): 150_000.0,
+    ("spread_giga", "cells_per_s"): 400_000.0,
+    ("global_place_giga", "cells_per_s"): 50_000.0,
+    ("flow5_giga", "cells_per_s"): 100.0,
 }
 
 #: Boolean invariants: (kernel, field) entries that must be true.
@@ -63,6 +82,11 @@ INVARIANTS = (
     ("rap_solve", "objective_match"),
     ("rap_race", "objective_match"),
     ("rap_nheight", "objective_match"),
+    # The end-to-end giga flow must land inside its fixed wall budget:
+    # every open-ended stage is bounded (clustering by iteration cap,
+    # RAP + legalization by the flow Deadline), so an overrun means a
+    # stage stopped honoring its budget.
+    ("flow5_giga", "within_budget"),
 )
 
 
@@ -103,7 +127,18 @@ def check_kernels(
                 )
     else:
         print("check_bench: no committed baseline; checking floors only")
-    if not failures:
+    if failures:
+        # Floors are machine-class promises: a failing gate must say
+        # what it actually ran on before anyone chases a regression.
+        meta = current.get("meta", {})
+        print(
+            "check_bench: current run on "
+            f"cpu_count={meta.get('cpu_count', '?')} "
+            f"python={meta.get('python', '?')} "
+            f"platform={meta.get('platform', '?')}",
+            file=sys.stderr,
+        )
+    else:
         print(f"check_bench: kernels OK ({len(current['kernels'])} kernels)")
     return failures
 

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each job's span tree after the sweep",
     )
     sweep.add_argument(
+        "--share-initial", action="store_true",
+        help="publish each testcase's initial placement once as a "
+        "shared-memory segment and hand workers zero-copy handles "
+        "instead of pickled designs (giga-tier friendly)",
+    )
+    sweep.add_argument(
         "--journal", default=None,
         help="crash-safe JSONL checkpoint: one line per completed job",
     )
@@ -228,6 +234,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=print,
         journal=args.journal,
         resume=args.resume,
+        share_initial=args.share_initial,
     )
     out = result.write_json(args.out)
     print(

@@ -84,6 +84,14 @@ from repro.utils.timer import StageTimes
 
 logger = logging.getLogger(__name__)
 
+#: Fraction of the remaining flow budget the row-assignment stage may
+#: spend when the flow runs under a deadline.  The RAP engine treats
+#: its time limit as a total wall budget and consumes all of it on hard
+#: instances; without this reserve the legalization stages that follow
+#: (cheap, but not free) would meet an already-expired deadline and the
+#: whole flow would time out seconds from the finish line.
+ROW_ASSIGN_BUDGET_FRACTION = 0.9
+
 
 class FlowKind(enum.Enum):
     """The five flows; value matches the paper's flow number."""
@@ -476,6 +484,13 @@ class FlowRunner:
             self._baseline = (assignment, times.total)
         return self._baseline
 
+    def _row_assign_deadline(self, deadline: Deadline) -> Deadline:
+        """Row-assign stage deadline, reserving budget for legalization."""
+        remaining = deadline.remaining()
+        if remaining is not None:
+            deadline = deadline.sub(remaining * ROW_ASSIGN_BUDGET_FRACTION)
+        return self.policy.stage_deadline("row_assign", deadline)
+
     def ilp_assignment(
         self, deadline: Deadline | None = None
     ) -> tuple[RowAssignment, float, float, int, FlowProvenance]:
@@ -533,9 +548,7 @@ class FlowRunner:
                         time_limit_s=params.solver_time_limit_s,
                         row_fill=params.row_fill,
                         policy=self.policy,
-                        deadline=self.policy.stage_deadline(
-                            "row_assign", deadline
-                        ),
+                        deadline=self._row_assign_deadline(deadline),
                         provenance=prov,
                         sparse=params.rap_sparse,
                         candidate_k=params.rap_candidates,
@@ -620,7 +633,7 @@ class FlowRunner:
                 time_limit_s=params.solver_time_limit_s,
                 row_fill=params.row_fill,
                 policy=self.policy,
-                deadline=self.policy.stage_deadline("row_assign", deadline),
+                deadline=self._row_assign_deadline(deadline),
                 provenance=prov,
                 sparse=params.rap_sparse,
                 candidate_k=params.rap_candidates,

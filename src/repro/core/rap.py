@@ -29,6 +29,7 @@ from repro.core.sparse_rap import (
 )
 from repro.obs.convergence import observe
 from repro.obs.trace import span
+from repro.placement.shm import SHM_MIN_BYTES, publish_arrays
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
 from repro.utils.errors import (
     InfeasibleError,
@@ -389,7 +390,36 @@ def _race_rung_job(payload: dict) -> dict:
     inside a racing worker).  Returns the raw :class:`MilpSolution` plus
     engine stats; decoding happens in the parent, where ``labels`` and
     the track heights live.
+
+    Large instances arrive as a shared-memory handle under ``"shm"``
+    (``f``/``w``/``cap`` attached read-only, zero-copy) instead of
+    pickled arrays; see :mod:`repro.placement.shm`.
     """
+    attachment = None
+    if "shm" in payload:
+        from repro.placement.shm import attach_arrays
+
+        # ``_pool_attempt`` is stamped by the supervised pool's worker
+        # wrapper only: its absence means this is an inline (in-parent)
+        # last-resort run, where worker faults must not fire.
+        attempt = payload.get("_pool_attempt")
+        attachment = attach_arrays(
+            payload["shm"],
+            fault_plan=payload.get("shm_fault_plan") if attempt is not None else None,
+            fault_stage="shm.attach",
+            attempt=attempt,
+        )
+        payload = dict(
+            payload, f=attachment["f"], w=attachment["w"], cap=attachment["cap"]
+        )
+    try:
+        return _race_rung_solve(payload)
+    finally:
+        if attachment is not None:
+            attachment.close()
+
+
+def _race_rung_solve(payload: dict) -> dict:
     rung = payload["rung"]
     cancel = payload.get("cancel")
     if payload["sparse"]:
@@ -485,6 +515,22 @@ def _race_rap_level(
     warm_prior = _valid_prior(warm_assignment, *f.shape)
     greedy: np.ndarray | None = None
     cancel = CancelToken()
+
+    # Large instances go to the workers as one shared-memory segment per
+    # race (zero-copy attach) instead of one pickled (f, w, cap) copy per
+    # rung; small ones inline — the pickle is cheaper than a segment.
+    publication = None
+    arrays_nbytes = f.nbytes + cluster_width.nbytes + usable.nbytes
+    if len(rungs) > 1 and arrays_nbytes > SHM_MIN_BYTES:
+        publication = publish_arrays(
+            {"f": f, "w": cluster_width, "cap": usable}
+        )
+    shared: dict[str, object] = (
+        {"f": f, "w": cluster_width, "cap": usable}
+        if publication is None
+        else {"shm": publication.handle, "shm_fault_plan": policy.fault_plan}
+    )
+
     entries = []
     for rung in rungs:
         warm = warm_prior
@@ -498,9 +544,7 @@ def _race_rap_level(
                 fn=_race_rung_job,
                 item={
                     "rung": rung,
-                    "f": f,
-                    "w": cluster_width,
-                    "cap": usable,
+                    **shared,
                     "n_rows": n_rows,
                     "time_limit_s": limit,
                     "warm": warm,
@@ -554,6 +598,8 @@ def _race_rap_level(
             )
     finally:
         cancel.clear()
+        if publication is not None:
+            publication.close()
 
     # Preference order: the certified winner if any, else the first rung
     # (in chain order) that returned a usable solution.

@@ -69,6 +69,7 @@ from scipy.sparse.csgraph import connected_components
 from repro.core.cost import cheapest_pairs_mask
 from repro.obs.convergence import observe
 from repro.obs.trace import span
+from repro.placement.shm import SHM_MIN_BYTES
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
 from repro.utils.errors import InfeasibleError, ValidationError
 from repro.utils.supervise import supervised_map
@@ -365,6 +366,7 @@ def _dense_lp(
     cluster_width: np.ndarray,
     pair_capacity: np.ndarray,
     n_minority_rows: int,
+    time_limit_s: float | None = None,
 ) -> _LpInfo | MilpSolution | None:
     """Solve the strengthened dense LP relaxation.
 
@@ -372,7 +374,9 @@ def _dense_lp(
     :class:`MilpSolution` when the LP (hence the IP) is infeasible, and
     ``None`` when the LP solver errors out (the caller then falls back
     to top-k candidates and, if pricing is ever needed, the dense
-    model).
+    model).  A ``time_limit_s`` expiry also lands in the ``None``
+    branch: truncated duals would invalidate the reduced-cost bound, so
+    a timed-out LP must fail safe rather than prune with them.
 
     Validity of the reduced-cost bound: with optimal duals ``(y_ub <= 0,
     y_eq)``, ``rc = c - A_ub' y_ub - A_eq' y_eq`` prices every feasible
@@ -397,6 +401,11 @@ def _dense_lp(
             b_eq=model.b_eq,
             bounds=(0.0, 1.0),
             method="highs",
+            options=(
+                None
+                if time_limit_s is None
+                else {"time_limit": float(time_limit_s)}
+            ),
         )
     except Exception:
         logger.warning("sparse RAP dense LP raised; using top-k fallback")
@@ -561,7 +570,42 @@ def _min_rows_for_width(width: float, caps: np.ndarray) -> int | None:
 
 
 def _solve_component_job(payload: dict) -> dict:
-    """One (component, row-count) sub-MILP; module-level so it pickles."""
+    """One (component, row-count) sub-MILP; module-level so it pickles.
+
+    For large instances the payload carries a shared-memory handle
+    (``"shm"``) plus this component's ``clusters``/``pairs`` index
+    vectors instead of pre-sliced ``f``/``w``/``cap``/``mask`` blocks:
+    the worker attaches the parent's full matrices zero-copy and takes
+    its own (small, private) slices locally.
+    """
+    attachment = None
+    if "shm" in payload:
+        from repro.placement.shm import attach_arrays
+
+        # ``_pool_attempt`` is stamped by the supervised pool's worker
+        # wrapper only: its absence means this is an inline (in-parent)
+        # last-resort run, where worker faults must not fire.
+        attempt = payload.get("_pool_attempt")
+        attachment = attach_arrays(
+            payload["shm"],
+            fault_plan=payload.get("shm_fault_plan") if attempt is not None else None,
+            fault_stage="shm.attach",
+            attempt=attempt,
+        )
+        clusters, pairs = payload["clusters"], payload["pairs"]
+        block = np.ix_(clusters, pairs)
+        payload = dict(
+            payload,
+            f=attachment["f"][block],
+            w=attachment["w"][clusters],
+            cap=attachment["cap"][pairs],
+            mask=attachment["mask"][block],
+        )
+        attachment.close()  # slices above are private copies
+    return _solve_component(payload)
+
+
+def _solve_component(payload: dict) -> dict:
     t0 = time.perf_counter()
     try:
         srm = build_sparse_rap_model(
@@ -623,19 +667,22 @@ def _solve_decomposed(
     solve (caller then solves the whole restricted model).
     """
     n_c, n_p = f.shape
+    n_rows = n_minority_rows
     bounds: list[tuple[int, int]] = []
     for clusters, pairs in comps:
         width = float(cluster_width[clusters].sum())
         lb = _min_rows_for_width(width, pair_capacity[pairs])
-        ub = min(len(clusters), len(pairs))
+        # Clamp to the global row count: a component may never open more
+        # rows than exist (the DP table below is sized by that count).
+        ub = min(len(clusters), len(pairs), n_rows)
         if lb is None or lb > ub:
             return MilpSolution(
                 status=MilpStatus.INFEASIBLE, x=None, objective=np.inf
             )
         bounds.append((lb, ub))
     if (
-        sum(lb for lb, _ in bounds) > n_minority_rows
-        or sum(ub for _, ub in bounds) < n_minority_rows
+        sum(lb for lb, _ in bounds) > n_rows
+        or sum(ub for _, ub in bounds) < n_rows
     ):
         return MilpSolution(
             status=MilpStatus.INFEASIBLE, x=None, objective=np.inf
@@ -659,6 +706,25 @@ def _solve_decomposed(
         for i, (clusters, _) in enumerate(comps):
             warm_rows[i] = len(np.unique(warm_assignment[clusters]))
 
+    pool_workers = (
+        workers if len(tasks) >= MIN_PARALLEL_TASKS else 1
+    )
+    # Pooled + large: publish the full matrices once and let each task
+    # carry only its component's index vectors (the worker slices its
+    # own block after a zero-copy attach).  Inline or small: pre-sliced
+    # blocks pickle cheaper than a segment round-trip.
+    publication = None
+    if (
+        pool_workers > 1
+        and f.nbytes + mask.nbytes + cluster_width.nbytes + pair_capacity.nbytes
+        > SHM_MIN_BYTES
+    ):
+        from repro.placement.shm import publish_arrays
+
+        publication = publish_arrays(
+            {"f": f, "w": cluster_width, "cap": pair_capacity, "mask": mask}
+        )
+
     payloads = []
     for i, r in tasks:
         clusters, pairs = comps[i]
@@ -669,13 +735,23 @@ def _solve_decomposed(
             local = pair_slot[warm_assignment[clusters]]
             if np.all(local >= 0):
                 local_warm = local
-        payloads.append(
-            {
+        if publication is not None:
+            block = {
+                "shm": publication.handle,
+                "clusters": clusters,
+                "pairs": pairs,
+            }
+        else:
+            block = {
                 "f": f[np.ix_(clusters, pairs)],
                 "w": cluster_width[clusters],
                 "cap": pair_capacity[pairs],
-                "n_rows": r,
                 "mask": mask[np.ix_(clusters, pairs)],
+            }
+        payloads.append(
+            {
+                **block,
+                "n_rows": r,
                 "backend": backend,
                 "time_limit_s": time_limit_s,
                 "warm": local_warm,
@@ -684,18 +760,19 @@ def _solve_decomposed(
             }
         )
 
-    pool_workers = (
-        workers if len(tasks) >= MIN_PARALLEL_TASKS else 1
-    )
-    with span(
-        "rap.sparse.decompose",
-        components=len(comps),
-        tasks=len(tasks),
-        workers=pool_workers,
-    ):
-        results = supervised_map(
-            _solve_component_job, payloads, workers=pool_workers
-        )
+    try:
+        with span(
+            "rap.sparse.decompose",
+            components=len(comps),
+            tasks=len(tasks),
+            workers=pool_workers,
+        ):
+            results = supervised_map(
+                _solve_component_job, payloads, workers=pool_workers
+            )
+    finally:
+        if publication is not None:
+            publication.close()
 
     # cost[i][r] -> (objective, local assignment, optimal?)
     table: list[dict[int, tuple[float, np.ndarray, bool]]] = [
@@ -929,6 +1006,12 @@ def solve_rap_sparse(
     at or below :data:`SMALL_PROBLEM_VARIABLES` dense variables, where
     one full-mask solve is cheaper than any pruning.
 
+    ``time_limit_s`` budgets the *entire* solve, not each sub-solve:
+    the dense LP, the rounding incumbent, every restricted MILP and
+    every pricing round draw from one shared wall-clock budget, and an
+    exhausted budget returns the best incumbent uncertified (or ERROR
+    when there is none) instead of starting another round.
+
     ``cancel`` is a cooperative cancellation flag (``is_set() -> bool``,
     picklable — e.g. :class:`repro.utils.supervise.CancelToken`) threaded
     down to every iterative sub-solve, including component sub-MILPs in
@@ -964,6 +1047,40 @@ def solve_rap_sparse(
         warm_assignment, cluster_width, pair_capacity, n_minority_rows
     )
 
+    # ``time_limit_s`` budgets the WHOLE solve.  The engine runs several
+    # sub-solves per call (dense LP, rounding incumbent, restricted
+    # MILPs, pricing rounds); handing each of them the caller's full
+    # limit multiplies the budget by the sub-solve count — at giga
+    # scale (thousands of clusters) a 120 s budget was observed to cost
+    # 16 minutes of wall clock.  Every sub-solve below gets the
+    # *remaining* budget instead, and the pricing loop stops
+    # (uncertified) once it is spent.
+    t_start = time.perf_counter()
+
+    def _left() -> float | None:
+        if time_limit_s is None:
+            return None
+        # Keep a small positive floor so an already-expired budget makes
+        # sub-solvers return immediately instead of erroring on 0.
+        return max(0.05, time_limit_s - (time.perf_counter() - t_start))
+
+    def _spent() -> bool:
+        return (
+            time_limit_s is not None
+            and time.perf_counter() - t_start >= time_limit_s
+        )
+
+    def _warm_solution() -> MilpSolution:
+        """The warm assignment as a dense-layout FEASIBLE incumbent."""
+        dense = np.zeros(n_c * n_p + n_p)
+        dense[np.arange(n_c) * n_p + warm] = 1.0
+        dense[n_c * n_p + np.unique(warm)] = 1.0
+        return MilpSolution(
+            status=MilpStatus.FEASIBLE,
+            x=dense,
+            objective=_assignment_cost(f, warm),
+        )
+
     if not forced and stats.n_dense_variables <= SMALL_PROBLEM_VARIABLES:
         return _solve_small_dense(
             f, cluster_width, pair_capacity, n_minority_rows,
@@ -991,7 +1108,8 @@ def solve_rap_sparse(
             stats.strategy = "rc-fixing"
             with span("rap.sparse.candidates") as cand_span:
                 lp = _dense_lp(
-                    f, cluster_width, pair_capacity, n_minority_rows
+                    f, cluster_width, pair_capacity, n_minority_rows,
+                    time_limit_s=_left(),
                 )
                 if isinstance(lp, MilpSolution):  # LP proves infeasibility
                     root.annotate(outcome="infeasible")
@@ -1005,7 +1123,7 @@ def solve_rap_sparse(
                     stats.solve_s += lp.runtime_s
                     rounded = _lp_rounding_incumbent(
                         f, cluster_width, pair_capacity, n_minority_rows,
-                        lp.y_fractional, backend, time_limit_s,
+                        lp.y_fractional, backend, _left(),
                         cancel=cancel,
                     )
                     if rounded is not None:
@@ -1066,7 +1184,7 @@ def solve_rap_sparse(
             if len(comps) > 1:
                 solution = _solve_decomposed(
                     f, cluster_width, pair_capacity, n_minority_rows,
-                    mask, comps, backend, time_limit_s, warm,
+                    mask, comps, backend, _left(), warm,
                     workers, strengthen, stats, cancel=cancel,
                 )
             if solution is None:  # single component or oversized sweep
@@ -1086,7 +1204,7 @@ def solve_rap_sparse(
                 restricted = solve_milp(
                     srm.model,
                     backend=backend,
-                    time_limit_s=time_limit_s,
+                    time_limit_s=_left(),
                     warm_start=warm_vec,
                     cancel=cancel,
                 )
@@ -1119,6 +1237,22 @@ def solve_rap_sparse(
                 if full:
                     root.annotate(outcome="infeasible")
                     return solution, stats
+                if _spent():
+                    # Only the *restricted* problem is proven
+                    # infeasible; without budget to widen the candidate
+                    # set that is a solve failure, not an infeasibility
+                    # verdict (the caller would wrongly relax).  A warm
+                    # assignment still beats no answer.
+                    root.annotate(outcome="budget_exhausted")
+                    if warm is not None:
+                        return _warm_solution(), stats
+                    return (
+                        MilpSolution(
+                            status=MilpStatus.ERROR, x=None,
+                            objective=np.inf,
+                        ),
+                        stats,
+                    )
                 k = min(n_p, 2 * max(k, 1))
                 with span("rap.sparse.candidates", k=k, escalated=True):
                     mask, k = _coverage_mask(
@@ -1127,6 +1261,11 @@ def solve_rap_sparse(
                     )
                 continue
             if not solution.ok or solution.x is None:
+                if _spent() and warm is not None:
+                    # The restricted solve died on the budget's last
+                    # sliver; the warm assignment still beats erroring.
+                    root.annotate(outcome="budget_exhausted")
+                    return _warm_solution(), stats
                 root.annotate(outcome=solution.status.value)
                 return solution, stats  # timeout/error: caller's problem
 
@@ -1142,15 +1281,22 @@ def solve_rap_sparse(
 
             # Pricing test: can any pruned column beat this optimum?
             z = solution.objective
-            if lp_info is None:
+            if lp_info is None and not _spent():
                 lp = _dense_lp(
-                    f, cluster_width, pair_capacity, n_minority_rows
+                    f, cluster_width, pair_capacity, n_minority_rows,
+                    time_limit_s=_left(),
                 )
                 if isinstance(lp, _LpInfo):
                     lp_info = lp
                     stats.lp_bound = lp.objective
                     stats.solve_s += lp.runtime_s
             if lp_info is None:
+                if _spent():
+                    # Restricted optimum, but no budget left to price
+                    # it against the pruned columns: return it as an
+                    # uncertified incumbent, like a time-limit expiry.
+                    root.annotate(outcome="budget", objective=z)
+                    return solution, stats
                 # No pricing bound available: keep the exactness
                 # contract by solving the dense model (slow path).
                 logger.warning(
@@ -1165,6 +1311,12 @@ def solve_rap_sparse(
             if not admit.any():
                 stats.certified = True
                 root.annotate(outcome="certified", objective=z)
+                return solution, stats
+            if _spent():
+                # Pricing wants more columns but the budget is gone:
+                # the restricted optimum stands as an uncertified
+                # incumbent.
+                root.annotate(outcome="budget", objective=z)
                 return solution, stats
             n_admit = int(admit.sum())
             stats.admitted_columns += n_admit

@@ -44,6 +44,11 @@ CACHE_SCHEMA_VERSION = 1
 #: Default cache location (override per sweep with ``cache_dir``).
 DEFAULT_CACHE_DIR = ".repro_cache"
 
+#: Magic prefix of the protocol-5 entry format: a sized JSON header
+#: followed by the pickle body and the raw out-of-band buffers.  Entries
+#: without the magic are legacy plain pickles and still load.
+ENTRY_MAGIC = b"RPC5"
+
 
 def library_fingerprint(library: StdCellLibrary) -> str:
     """Stable digest of the library's geometry-relevant content."""
@@ -98,7 +103,18 @@ class CacheStats:
 
 
 class ArtifactCache:
-    """Pickle-backed content-addressed store under one directory."""
+    """Pickle-backed content-addressed store under one directory.
+
+    Entries are written in a protocol-5 format: the large numpy arrays
+    inside an artifact are serialized as *out-of-band* buffers
+    (:class:`pickle.PickleBuffer`), streamed to disk straight from their
+    backing memory instead of being copied into one monolithic pickle
+    blob — peak memory during ``put`` stays O(largest array), not
+    O(artifact).  A sized JSON header records the payload byte count and
+    per-buffer sizes, so :meth:`entry_header` answers "how big is this
+    artifact" without unpickling it.  Legacy plain-pickle entries (no
+    magic prefix) still load transparently.
+    """
 
     def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
         self.root = Path(root)
@@ -106,6 +122,20 @@ class ArtifactCache:
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
+
+    def entry_header(self, key: str) -> dict | None:
+        """The stored entry's header dict (``payload_bytes``,
+        ``pickle_bytes``, ``buffer_bytes``), or ``None`` for a missing,
+        legacy, or unreadable entry.  Never deserializes the payload."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                if fh.read(len(ENTRY_MAGIC)) != ENTRY_MAGIC:
+                    return None
+                size = int.from_bytes(fh.read(4), "little")
+                return json.loads(fh.read(size))
+        except (OSError, ValueError):
+            return None
 
     def get(self, key: str) -> object | None:
         """Load an entry; a missing/corrupt entry returns ``None``.
@@ -122,7 +152,27 @@ class ArtifactCache:
             return None
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                magic = fh.read(len(ENTRY_MAGIC))
+                if magic == ENTRY_MAGIC:
+                    size = int.from_bytes(fh.read(4), "little")
+                    header = json.loads(fh.read(size))
+                    body = fh.read(header["pickle_bytes"])
+                    if len(body) != header["pickle_bytes"]:
+                        raise ValueError("truncated pickle body")
+                    buffers = []
+                    for nbytes in header["buffer_bytes"]:
+                        # Mutable buffers: arrays rebuilt over immutable
+                        # ``bytes`` would come back read-only and break
+                        # consumers that write in place (scratch arrays,
+                        # coordinate updates).
+                        raw = bytearray(nbytes)
+                        if fh.readinto(raw) != nbytes:
+                            raise ValueError("truncated buffer")
+                        buffers.append(raw)
+                    value = pickle.loads(body, buffers=buffers)
+                else:
+                    # Legacy entry: one plain pickle stream.
+                    value = pickle.loads(magic + fh.read())
         except Exception:
             self.stats.corrupt += 1
             self.stats.misses += 1
@@ -141,12 +191,39 @@ class ArtifactCache:
         """Atomically persist an entry (safe against concurrent writers)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
+        pickle_buffers: list[pickle.PickleBuffer] = []
+        body = pickle.dumps(
+            value, protocol=5, buffer_callback=pickle_buffers.append
+        )
+        try:
+            raw_buffers = [buf.raw() for buf in pickle_buffers]
+        except BufferError:
+            # A non-contiguous out-of-band buffer: fall back to in-band.
+            for buf in pickle_buffers:
+                buf.release()
+            pickle_buffers = []
+            raw_buffers = []
+            body = pickle.dumps(value, protocol=5)
+        header = json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "pickle_bytes": len(body),
+                "buffer_bytes": [m.nbytes for m in raw_buffers],
+                "payload_bytes": len(body) + sum(m.nbytes for m in raw_buffers),
+            },
+            sort_keys=True,
+        ).encode()
         fd, tmp_name = tempfile.mkstemp(
             dir=self.root, prefix=f".{key[:16]}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(ENTRY_MAGIC)
+                fh.write(len(header).to_bytes(4, "little"))
+                fh.write(header)
+                fh.write(body)
+                for raw in raw_buffers:
+                    fh.write(raw)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -154,6 +231,11 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        finally:
+            for raw in raw_buffers:
+                raw.release()
+            for buf in pickle_buffers:
+                buf.release()
         return path
 
 

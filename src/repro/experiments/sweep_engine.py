@@ -222,6 +222,7 @@ def _run_job(payload: dict) -> dict:
     )
     cache_dir = payload.get("cache_dir")
     cache = ArtifactCache(cache_dir) if cache_dir else None
+    initial_shm = payload.get("initial_shm")
 
     recorder = FlightRecorder(
         f"{spec.testcase_id}.flow{flow}",
@@ -236,12 +237,30 @@ def _run_job(payload: dict) -> dict:
     )
     t0 = time.perf_counter()
     result = None
+    shm_view = None
     with recorder.attach():
         try:
             library = make_asap7_library()
             initial, job.cache_hit = load_or_prepare_initial(
                 spec, job_config, library, cache
             )
+            if initial_shm is not None:
+                # share_initial: rebind the placed design's arrays onto
+                # the sweep owner's shared-memory segment — zero-copy
+                # pages shared across every worker of this testcase.
+                # Structure (design/library/mlef) still comes from the
+                # cache; only the numpy payload is deduplicated.
+                from repro.placement.shm import (
+                    MUTABLE_DESIGN_ARRAYS,
+                    attach_design,
+                )
+
+                shm_view = attach_design(
+                    initial_shm,
+                    design=initial.design,
+                    copy=MUTABLE_DESIGN_ARRAYS,
+                )
+                initial = dataclasses.replace(initial, placed=shm_view.placed)
             runner = FlowRunner(
                 initial,
                 job_config.params,
@@ -262,6 +281,9 @@ def _run_job(payload: dict) -> dict:
             logger.warning(
                 "sweep job %s flow%d failed: %s", spec.testcase_id, flow, exc
             )
+        finally:
+            if shm_view is not None:
+                shm_view.close()
     job.wall_s = time.perf_counter() - t0
     if result is not None:
         job.status = "degraded" if result.degraded else "ok"
@@ -356,6 +378,7 @@ def run_sweep(
     journal: str | os.PathLike | None = None,
     resume: bool = False,
     task_timeout_s: float | None = None,
+    share_initial: bool = False,
 ) -> SweepResult:
     """Run the testcase × flow grid and collect one :class:`SweepResult`.
 
@@ -375,6 +398,15 @@ def run_sweep(
     ``task_timeout_s`` arms the pool's hung-job kill: a worker that
     exceeds it is SIGKILLed and the job retried (then run inline).  Off
     by default — legitimate jobs have no universal upper bound.
+
+    ``share_initial=True`` prepares each testcase's Flow-(1) artifact
+    once in the parent and publishes its placed-design arrays to POSIX
+    shared memory (:mod:`repro.placement.shm`); each job's payload then
+    carries a KB-scale handle, and every worker attaches the same
+    physical pages zero-copy instead of deserializing its own multi-MB
+    array copy from the cache pickle.  Structure (design/netlist/mLEF)
+    still loads through the artifact cache, so this mode requires
+    ``cache_dir``.  Results are bit-identical with or without sharing.
     """
     config = config or RunConfig()
     flow_values = [f.value if isinstance(f, FlowKind) else int(f) for f in flows]
@@ -386,6 +418,12 @@ def run_sweep(
         raise ValidationError("resume=True needs a journal path")
     for tc in testcase_ids:
         testcase_by_id(tc)  # fail fast on typos, before spawning workers
+
+    if share_initial and cache_dir is None:
+        raise ValidationError(
+            "share_initial=True needs cache_dir (workers load the design "
+            "structure from the artifact cache; only arrays are shared)"
+        )
 
     fingerprint = sweep_fingerprint(config)
     completed: dict[tuple[str, int], dict] = {}
@@ -402,6 +440,28 @@ def run_sweep(
         for f in flow_values
         if (tc, f) not in completed
     ]
+
+    # share_initial: prepare (or load) each testcase's Flow-(1) artifact
+    # once, here in the parent, and hand every job a shared-memory
+    # handle to the placed-design arrays.  Workers attach zero-copy; the
+    # publications are unlinked in the finally below.
+    publications: list[object] = []
+    if share_initial and payloads:
+        from repro.placement.shm import publish_design
+
+        cache = ArtifactCache(cache_dir)
+        library = make_asap7_library()
+        handles: dict[str, object] = {}
+        for payload in payloads:
+            tc = payload["testcase_id"]
+            if tc not in handles:
+                initial, _ = load_or_prepare_initial(
+                    testcase_by_id(tc), config, library, cache
+                )
+                publication = publish_design(initial.placed)
+                publications.append(publication)
+                handles[tc] = publication.handle
+            payload["initial_shm"] = handles[tc]
 
     journal_fh = None
     if journal is not None:
@@ -470,6 +530,8 @@ def run_sweep(
             for payload in payloads:
                 _collect(payload, _run_job(payload))
     finally:
+        for publication in publications:
+            publication.close()
         if journal_fh is not None:
             journal_fh.close()
     wall_s = time.perf_counter() - t0

@@ -23,6 +23,7 @@ from repro.utils.errors import ValidationError
 
 __all__ = [
     "DEFAULT_SCALE",  # canonical definition lives in repro.core.config
+    "GIGA_TESTCASES",
     "NHEIGHT_TESTCASES",
     "NHeightTestcaseSpec",
     "PAPER_TESTCASES",
@@ -39,7 +40,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TestcaseSpec:
-    """One Table II row."""
+    """One Table II row (or a synthetic giga-tier stress row)."""
 
     circuit: str
     short_name: str
@@ -47,9 +48,14 @@ class TestcaseSpec:
     paper_cells: int
     paper_pct_75t: float
     paper_nets: int
+    #: Optional explicit id for rows outside the Table II naming scheme
+    #: (the giga tier uses ``aes_giga`` / ``nova_giga``).
+    id_override: str | None = None
 
     @property
     def testcase_id(self) -> str:
+        if self.id_override is not None:
+            return self.id_override
         return f"{self.short_name}_{int(self.clock_ps)}"
 
     @property
@@ -132,8 +138,25 @@ QUICK_SUBSET_IDS: tuple[str, ...] = (
 )
 
 
+#: Giga tier: synthetic 100k–250k-cell stress rows for the shared-memory
+#: design DB and the blocked-numpy hot paths.  Not Table II rows — the
+#: paper tops out at nova_300's 174 267 cells — but built by the same
+#: generator pipeline: ``aes_giga`` scales the aes mix (28% 7.5T) to
+#: 100k cells, ``nova_giga`` the nova mix (10% 7.5T) to 250k.
+GIGA_TESTCASES: tuple[TestcaseSpec, ...] = (
+    TestcaseSpec(
+        "aes_cipher_top", "aes", 300, 100_000, 28.13, 101_870,
+        id_override="aes_giga",
+    ),
+    TestcaseSpec(
+        "nova", "nova", 300, 250_000, 9.75, 250_217,
+        id_override="nova_giga",
+    ),
+)
+
+
 def testcase_by_id(testcase_id: str) -> TestcaseSpec:
-    for spec in PAPER_TESTCASES:
+    for spec in PAPER_TESTCASES + GIGA_TESTCASES:
         if spec.testcase_id == testcase_id:
             return spec
     raise ValidationError(f"unknown testcase {testcase_id!r}")

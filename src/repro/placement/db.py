@@ -285,6 +285,15 @@ class PlacedDesign:
         rebuilding via the constructor, this preserves the widths/heights
         the placement was made with even after a master swap (the mLEF
         revert), so a Flow-(1) snapshot stays faithful.
+
+        The cached :class:`~repro.kernels.NetTopology` is **never**
+        carried over: the copy starts with a cold cache and lazily
+        builds its own against the copied CSR arrays.  A topology holds
+        per-design scratch workspaces and index permutations, so sharing
+        one across two designs that then diverge (net edits, pin
+        rebinds) would silently corrupt both; the cold-cache rule is
+        pinned by ``tests/test_placement_db.py`` and is what makes
+        copies safe to hand to concurrent workers.
         """
         out = object.__new__(PlacedDesign)
         out.design = self.design
@@ -308,7 +317,13 @@ class PlacedDesign:
         return out
 
     def with_floorplan(self, floorplan: Floorplan) -> "PlacedDesign":
-        """Shallow re-bind to a different floorplan, keeping positions."""
+        """Shallow re-bind to a different floorplan, keeping positions.
+
+        Goes through the constructor, so the rebound design rebuilds its
+        CSR pin arrays from the (possibly master-swapped) design and
+        starts with a **cold** topology cache — it never aliases this
+        design's :class:`~repro.kernels.NetTopology` (see :meth:`copy`).
+        """
         out = PlacedDesign(self.design, floorplan, self.port_x, self.port_y)
         out.x = self.x.copy()
         out.y = self.y.copy()

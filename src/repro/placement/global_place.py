@@ -21,8 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
+from repro.kernels.global_place import b2b_iteration, build_b2b_system, solve_axis
 from repro.obs.trace import span
 from repro.placement.db import PlacedDesign
 from repro.placement.hpwl import hpwl_total
@@ -55,103 +55,13 @@ def _b2b_system(
 ) -> tuple[sp.csr_matrix, np.ndarray]:
     """Build the B2B quadratic system for one axis.
 
-    ``coords`` are current pin coordinates on this axis (used to pick bound
-    pins and edge lengths); ``axis_positions`` are current cell origins.
-    Returns (A, b) with A SPD over movable cells.
+    Delegates to :func:`repro.kernels.global_place.build_b2b_system`
+    (single-bincount assembly, bit-identical to the historical add.at
+    version -- see tests/test_global_place_equivalence.py).  Kept as a
+    named entry point because benchmarks and existing callers import it
+    from this module.
     """
-    n = placed.design.num_instances
-    topo = placed.topology
-    n_nets = topo.n_nets
-
-    net_ids = topo.net_ids
-    # Per-net extreme pins on this axis (first/last = bound pins), via the
-    # cached topology's segmented kernels instead of a per-call lexsort.
-    first, last = topo.bound_pins(coords)
-
-    degrees = topo.degrees
-    active = topo.active_nets(placed.net_weight)
-
-    rows_a: list[np.ndarray] = []
-    rows_b: list[np.ndarray] = []
-    weights: list[np.ndarray] = []
-
-    # Edges: every pin to both bound pins of its net (self-pairs dropped).
-    pin_min = first[net_ids]
-    pin_max = last[net_ids]
-    pin_index = topo.pin_index
-    net_active = active[net_ids]
-    w_net = np.zeros(n_nets)
-    w_net[active] = 2.0 / (degrees[active] - 1)
-
-    for bound in (pin_min, pin_max):
-        mask = net_active & (pin_index != bound)
-        a, b = pin_index[mask], bound[mask]
-        dist = np.abs(coords[a] - coords[b])
-        w = w_net[net_ids[mask]] / np.maximum(dist, 1.0)
-        rows_a.append(a)
-        rows_b.append(b)
-        weights.append(w)
-    # The (min, max) edge was added from both bound loops; subtract one copy.
-    mm_mask = active & (first != last)
-    a, b = first[mm_mask], last[mm_mask]
-    dist = np.abs(coords[a] - coords[b])
-    w = -w_net[mm_mask] / np.maximum(dist, 1.0)
-    rows_a.append(a)
-    rows_b.append(b)
-    weights.append(w)
-
-    pa = np.concatenate(rows_a)
-    pb = np.concatenate(rows_b)
-    ww = np.concatenate(weights)
-
-    inst_a = placed.pin_inst[pa]
-    inst_b = placed.pin_inst[pb]
-    # off_* is the pin offset for movable pins, absolute position for fixed.
-    off_a = coords[pa] - np.where(inst_a >= 0, axis_positions[np.maximum(inst_a, 0)], 0.0)
-    off_b = coords[pb] - np.where(inst_b >= 0, axis_positions[np.maximum(inst_b, 0)], 0.0)
-
-    same = (inst_a == inst_b) & (inst_a >= 0)
-    keep = ~same & ~((inst_a < 0) & (inst_b < 0))
-    inst_a, inst_b = inst_a[keep], inst_b[keep]
-    off_a, off_b, ww = off_a[keep], off_b[keep], ww[keep]
-
-    diag = np.zeros(n)
-    rhs = np.zeros(n)
-    coo_i: list[np.ndarray] = []
-    coo_j: list[np.ndarray] = []
-    coo_w: list[np.ndarray] = []
-
-    both = (inst_a >= 0) & (inst_b >= 0)
-    ia, ib, w2, oa, ob = inst_a[both], inst_b[both], ww[both], off_a[both], off_b[both]
-    np.add.at(diag, ia, w2)
-    np.add.at(diag, ib, w2)
-    coo_i.append(ia)
-    coo_j.append(ib)
-    coo_w.append(-w2)
-    coo_i.append(ib)
-    coo_j.append(ia)
-    coo_w.append(-w2)
-    np.add.at(rhs, ia, w2 * (ob - oa))
-    np.add.at(rhs, ib, w2 * (oa - ob))
-
-    for mov, fix in (((inst_a >= 0) & (inst_b < 0), "b"), ((inst_b >= 0) & (inst_a < 0), "a")):
-        mask = mov
-        if fix == "b":
-            im, om, pf = inst_a[mask], off_a[mask], off_b[mask]
-        else:
-            im, om, pf = inst_b[mask], off_b[mask], off_a[mask]
-        wm = ww[mask]
-        np.add.at(diag, im, wm)
-        np.add.at(rhs, im, wm * (pf - om))
-
-    coo_i.append(np.arange(n))
-    coo_j.append(np.arange(n))
-    coo_w.append(diag)
-    A = sp.coo_matrix(
-        (np.concatenate(coo_w), (np.concatenate(coo_i), np.concatenate(coo_j))),
-        shape=(n, n),
-    ).tocsr()
-    return A, rhs
+    return build_b2b_system(placed, coords, axis_positions)
 
 
 def _solve_axis(
@@ -162,24 +72,7 @@ def _solve_axis(
     anchor_pos: np.ndarray | None,
     params: GlobalPlacerParams,
 ) -> np.ndarray:
-    if anchor_w is not None:
-        assert anchor_pos is not None
-        A = A + sp.diags(anchor_w)
-        b = b + anchor_w * anchor_pos
-    # Guard against isolated cells (zero row): pin them with unit weight.
-    diag = A.diagonal()
-    lonely = diag <= 0
-    if lonely.any():
-        fix = sp.diags(np.where(lonely, 1.0, 0.0))
-        A = A + fix
-        b = b + np.where(lonely, x0, 0.0)
-    sol, info = spla.cg(
-        A, b, x0=x0, rtol=params.cg_tol, maxiter=params.cg_maxiter,
-        M=sp.diags(1.0 / np.maximum(A.diagonal(), 1e-12)),
-    )
-    if info != 0:  # fall back to a direct solve on CG stagnation
-        sol = spla.spsolve(A.tocsc(), b)
-    return sol
+    return solve_axis(A, b, x0, anchor_w, anchor_pos, params.cg_tol, params.cg_maxiter)
 
 
 def global_place(
@@ -227,18 +120,13 @@ def _global_place(
     alpha = params.anchor_alpha
 
     for iteration in range(params.max_iterations):
-        # Lower bound: quadratic solve per axis.
-        px, py = placed.pin_positions()
-        Ax, bx = _b2b_system(placed, px, placed.x)
-        Ay, by = _b2b_system(placed, py, placed.y)
-        if anchor_x is None:
-            aw_x = aw_y = None
-        else:
-            aw_x = alpha * np.maximum(Ax.diagonal(), 1e-6)
-            aw_y = alpha * np.maximum(Ay.diagonal(), 1e-6)
+        # Lower bound: B2B assembly + CG solve of both axes, batched in
+        # one kernel call (repro.kernels.global_place.b2b_iteration).
+        placed.x, placed.y = b2b_iteration(
+            placed, anchor_x, anchor_y, alpha, params.cg_tol, params.cg_maxiter
+        )
+        if anchor_x is not None:
             alpha *= params.anchor_growth
-        placed.x = _solve_axis(Ax, bx, placed.x, aw_x, anchor_x, params)
-        placed.y = _solve_axis(Ay, by, placed.y, aw_y, anchor_y, params)
         np.clip(placed.x, die.xlo, die.xhi - placed.widths, out=placed.x)
         np.clip(placed.y, die.ylo, die.yhi - placed.heights, out=placed.y)
         stats["hpwl_lower"] = hpwl_total(placed)

@@ -27,6 +27,8 @@ mis-assigned cells when ``rows`` was not bottom-up sorted.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.placement.db import PlacedDesign, Row
@@ -73,8 +75,16 @@ def tetris_legalize(
     Cells are processed in ascending x; each picks the candidate row
     minimizing ``|dx| + |dy|`` given the row's current fill cursor.  The
     window doubles until a feasible row is found, so the pass succeeds
-    whenever total capacity suffices row-wise.  The whole window is
-    scored as one vectorized cost expression per cell.
+    whenever total capacity suffices row-wise.
+
+    The candidate scan walks the per-row cursor frontier in ascending
+    |dy| (alternating below/above the cell's home row) with
+    branch-and-bound: |dy| lower-bounds the cost, so once it exceeds the
+    best cost seen no remaining row can win — the same pruning that made
+    Abacus's scan fast.  A typical cell prices 1–3 rows instead of the
+    whole window, and every priced row is a handful of scalar float ops
+    (bit-identical to the reference's numpy scalar ops), so no per-cell
+    array temporaries remain.
     """
     if indices is None:
         indices = np.arange(placed.design.num_instances)
@@ -86,57 +96,82 @@ def tetris_legalize(
     n_rows = len(rows)
 
     row_ys = np.array([r.y for r in rows], dtype=float)
-    row_xlo = np.array([r.xlo for r in rows], dtype=float)
-    cursors = row_xlo.copy()
-    ends = np.array([r.xhi for r in rows], dtype=float)
-    site = rows[0].site_width
+    site = float(rows[0].site_width)
 
     order = indices[np.argsort(placed.x[indices], kind="stable")]
     x_pref_a = placed.x[order].tolist()
     y_pref_a = placed.y[order].tolist()
     widths_a = placed.widths[order].tolist()
-    centers = row_ys.searchsorted(placed.y[order])
+    centers = row_ys.searchsorted(placed.y[order]).tolist()
+    row_ys_l = row_ys.tolist()
+    row_xlo_l = [float(r.xlo) for r in rows]
+    ends_l = [float(r.xhi) for r in rows]
+    cursors = row_xlo_l.copy()
+    inf = float("inf")
+    ceil = math.ceil
 
+    new_x = placed.x
+    new_y = placed.y
     total_disp = 0.0
     for j, i in enumerate(order.tolist()):
         x_pref = x_pref_a[j]
         y_pref = y_pref_a[j]
         width = widths_a[j]
-        center = int(centers[j])
+        center = centers[j]
         win = window
         while True:
-            lo = max(0, center - win)
+            lo = 0 if center < win else center - win
             hi = min(n_rows, center + win + 1)
-            xlo_w = row_xlo[lo:hi]
-            cur = cursors[lo:hi]
-            start = np.maximum(cur, x_pref)
-            start = xlo_w + np.ceil((start - xlo_w) / site) * site
-            over = start + width > ends[lo:hi]
-            cost = None
-            if over.any():
-                # Pack against the cursor when preferred x is too far right.
-                alt = xlo_w + np.ceil((cur - xlo_w) / site) * site
-                start = np.where(over, alt, start)
-                bad = over & (start + width > ends[lo:hi])
-                cost = np.abs(start - x_pref) + np.abs(row_ys[lo:hi] - y_pref)
-                cost[bad] = np.inf
-            else:
-                cost = np.abs(start - x_pref) + np.abs(row_ys[lo:hi] - y_pref)
-            rel = int(np.argmin(cost))
-            best_cost = cost[rel]
-            if best_cost < np.inf:
-                best_k = lo + rel
-                best_x = float(start[rel])
+            best_cost = inf
+            best_k = -1
+            best_x = 0.0
+            below = center - 1
+            above = center
+            # Ascending-|dy| branch-and-bound scan over [lo, hi): rows
+            # below ``center`` have y < y_pref and rows at/above have
+            # y >= y_pref (searchsorted invariant), so the two deltas
+            # are the |dy| terms of the reference's cost, visited in
+            # nondecreasing order.  The tie-break ``k < best_k`` keeps
+            # the reference's argmin-first-row semantics.
+            while True:
+                d_below = y_pref - row_ys_l[below] if below >= lo else inf
+                d_above = row_ys_l[above] - y_pref if above < hi else inf
+                if d_below <= d_above:
+                    if d_below == inf:
+                        break
+                    k, dy = below, d_below
+                    below -= 1
+                else:
+                    k, dy = above, d_above
+                    above += 1
+                if dy > best_cost:
+                    break
+                xlo_k = row_xlo_l[k]
+                cur = cursors[k]
+                start = cur if cur > x_pref else x_pref
+                start = xlo_k + ceil((start - xlo_k) / site) * site
+                if start + width > ends_l[k]:
+                    # Pack against the cursor when preferred x is too
+                    # far right; skip the row if even that overflows.
+                    start = xlo_k + ceil((cur - xlo_k) / site) * site
+                    if start + width > ends_l[k]:
+                        continue
+                cost = abs(start - x_pref) + dy
+                if cost < best_cost or (cost == best_cost and k < best_k):
+                    best_cost = cost
+                    best_k = k
+                    best_x = start
+            if best_k >= 0:
                 break
             if win >= n_rows:
                 raise CapacityError(
                     f"tetris: no row can host cell {i} (width {width})"
                 )
             win *= 2
-        placed.x[i] = best_x
-        placed.y[i] = row_ys[best_k]
+        new_x[i] = best_x
+        new_y[i] = row_ys_l[best_k]
         cursors[best_k] = best_x + width
-        total_disp += float(best_cost)
+        total_disp += best_cost
     return total_disp
 
 
@@ -184,6 +219,91 @@ def spread_to_rows(
     run_lo = np.searchsorted(row_sorted, np.arange(len(rows)), side="left")
     run_hi = np.searchsorted(row_sorted, np.arange(len(rows)), side="right")
 
+    widths_all = placed.widths[mem_all]
+    if np.all(widths_all == np.rint(widths_all)):
+        # Cell widths are integer-valued DBU, so every sum below stays
+        # below 2**53 and is exact in float64 in *any* association —
+        # the bucketed global pass is bit-identical to the per-row loop.
+        spread = _spread_rows_bucketed(
+            placed, rows, mem_all, widths_all, run_lo, run_hi
+        )
+        if spread is not None:
+            return spread
+        # A row is over quota: replay the loop for its exact partial
+        # mutation order and error.
+    return _spread_rows_loop(placed, rows, mem_all, run_lo, run_hi)
+
+
+def _spread_rows_bucketed(
+    placed: PlacedDesign,
+    rows: list[Row],
+    mem_all: np.ndarray,
+    widths_all: np.ndarray,
+    run_lo: np.ndarray,
+    run_hi: np.ndarray,
+) -> float | None:
+    """One global pass over all row buckets; ``None`` defers to the loop.
+
+    Per-row quantities come from a single global cumulative sum sliced
+    at the run boundaries (``O(n log n)`` with the caller's sorts, no
+    per-row numpy dispatch): exclusive in-row prefix = global exclusive
+    prefix minus the run base, in-row min/max = run endpoints (each run
+    is x-sorted).  Exactness of those identities needs integer widths —
+    the caller gates on that.
+    """
+    n_rows = len(rows)
+    counts = run_hi - run_lo
+    nonempty = counts > 0
+    if not nonempty.any():
+        return 0.0
+
+    row_w = np.array([r.width for r in rows], dtype=float)
+    row_xlo = np.array([r.xlo for r in rows], dtype=float)
+    row_y = np.array([float(r.y) for r in rows])
+
+    inc = np.cumsum(widths_all)
+    exc = np.concatenate(([0.0], inc[:-1]))
+    used = np.zeros(n_rows)
+    used[nonempty] = inc[run_hi[nonempty] - 1] - exc[run_lo[nonempty]]
+    slack = row_w - used
+    if np.any(slack[nonempty] < 0):
+        return None
+
+    xs_all = placed.x[mem_all]
+    ys_all = placed.y[mem_all]
+    first_x = np.zeros(n_rows)
+    last_x = np.zeros(n_rows)
+    first_x[nonempty] = xs_all[run_lo[nonempty]]
+    last_x[nonempty] = xs_all[run_hi[nonempty] - 1]
+    span = last_x - first_x
+
+    rid = np.repeat(np.arange(n_rows), counts)
+    cum = exc - exc[run_lo[rid]]
+    slack_b = slack[rid]
+    xlo_b = row_xlo[rid]
+    degenerate = (span <= 1e-9)[rid]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frac = (xs_all - first_x[rid]) / span[rid]
+    starts = np.where(
+        degenerate,
+        (xlo_b + slack_b / 2.0) + cum,
+        (xlo_b + frac * slack_b) + cum,
+    )
+    y_new = row_y[rid]
+    disp = float(np.abs(xs_all - starts).sum() + np.abs(ys_all - y_new).sum())
+    placed.x[mem_all] = starts
+    placed.y[mem_all] = y_new
+    return disp
+
+
+def _spread_rows_loop(
+    placed: PlacedDesign,
+    rows: list[Row],
+    mem_all: np.ndarray,
+    run_lo: np.ndarray,
+    run_hi: np.ndarray,
+) -> float:
+    """Per-row spreading (the reference semantics, any float widths)."""
     total_disp = 0.0
     for k, row in enumerate(rows):
         s, e = run_lo[k], run_hi[k]

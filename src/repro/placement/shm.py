@@ -1,0 +1,467 @@
+"""Zero-copy shared-memory design DB.
+
+Fanning work out over the :class:`~repro.utils.supervise.SupervisedPool`
+used to mean pickling every numpy payload into each worker — the RAP
+race shipped one full ``(f, w, cap)`` copy per rung, the sparse-RAP
+component decomposition one sliced block per task, and a sweep job
+re-read the multi-megabyte Flow-(1) artifact from disk for every flow of
+a testcase.  At the giga tier (100k+ cells) those copies dominate the
+fan-out cost.
+
+This module replaces the copies with POSIX shared memory
+(:mod:`multiprocessing.shared_memory`):
+
+* :func:`publish_arrays` packs any mapping of numpy arrays into **one**
+  segment and returns a :class:`ShmPublication` owning it; its
+  ``handle`` is a compact, picklable :class:`ShmHandle` (segment name +
+  per-array dtype/shape/offset + scalar metadata) that stays KB-scale
+  regardless of design size.
+* :func:`attach_arrays` maps the segment back into a worker as
+  **read-only** numpy views (the guard: a worker that tries to mutate
+  shared state fails loudly instead of corrupting its siblings).
+  Arrays a worker legitimately mutates are named in ``copy=...`` and
+  materialized as private writable copies.
+* :func:`publish_design` / :func:`attach_design` specialize this for
+  :class:`~repro.placement.db.PlacedDesign`: every geometry /
+  connectivity array plus the floorplan's row table travel in the
+  segment, and the attach side reconstructs a fully functional design
+  view (topology cache, HPWL, legalizers all work).
+
+Lifetime contract
+-----------------
+
+The **owner** (the process that published) is solely responsible for
+``unlink``: hold the publication in a ``with`` block (or call
+``close()`` in a ``finally``) around the fan-out.  Workers only ever
+``close()`` their attachment — never unlink — so a worker crash
+mid-attach cannot leak the segment: the owner's ``finally`` still
+unlinks it.  :func:`active_repro_segments` lists live segments published
+by this module (test suites assert it is empty after chaos runs).
+
+Segments are created through the standard :mod:`multiprocessing`
+resource tracker.  Pool workers are children of the owner and share its
+tracker process, so attaching from a worker neither needs nor performs
+any tracker manipulation; the single registration made at ``create``
+time is removed by the owner's ``unlink``.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Collection, Iterator, Mapping
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.placement.db import Floorplan, PlacedDesign, Row
+from repro.utils.errors import ValidationError
+from repro.utils.resilience import FaultPlan
+
+#: Every segment this module creates carries this name prefix, so leak
+#: checks (and humans inspecting ``/dev/shm``) can attribute them.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Byte alignment of each array inside the segment (cache-line sized).
+_ALIGN = 64
+
+#: Payload size under which shipping plain pickled arrays is cheaper
+#: than a segment round-trip; integration points fall back to inline
+#: arrays below it.
+SHM_MIN_BYTES = 256 * 1024
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Layout of one array inside a shared segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable address of a published array bundle.
+
+    A handle is what travels in a worker submission payload instead of
+    the arrays themselves: segment name, per-array layout, and a small
+    scalar ``meta`` mapping (stored as a sorted tuple of pairs so the
+    handle stays hashable).  Pickled size is O(number of arrays), never
+    O(cells).
+    """
+
+    segment: str
+    specs: tuple[ArraySpec, ...]
+    nbytes: int
+    meta: tuple[tuple[str, object], ...] = ()
+
+    def meta_dict(self) -> dict[str, object]:
+        return dict(self.meta)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+
+class ShmPublication:
+    """Owner side of a published bundle: the unlink responsibility.
+
+    Context-managed: ``close()`` (idempotent) releases the mapping and
+    unlinks the segment.  Everything attached elsewhere keeps working
+    until the last attachment closes — POSIX shm is reference counted —
+    but no *new* attach can succeed after unlink.
+    """
+
+    def __init__(self, handle: ShmHandle, shm: shared_memory.SharedMemory) -> None:
+        self.handle = handle
+        self._shm: shared_memory.SharedMemory | None = shm
+
+    def __enter__(self) -> "ShmPublication":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. test cleanup)
+            pass
+
+    def __del__(self) -> None:  # last-resort leak protection
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def publish_arrays(
+    arrays: Mapping[str, np.ndarray],
+    meta: Mapping[str, object] | None = None,
+) -> ShmPublication:
+    """Pack ``arrays`` into one shared segment; returns the owner handle.
+
+    Arrays are copied once (into the segment) at publish time; workers
+    then attach zero-copy.  Non-contiguous inputs are made contiguous.
+    """
+    if not arrays:
+        raise ValidationError("publish_arrays: nothing to publish")
+    specs: list[ArraySpec] = []
+    offset = 0
+    prepared: list[np.ndarray] = []
+    for name, arr in arrays.items():
+        a = np.ascontiguousarray(arr)
+        offset = _aligned(offset)
+        specs.append(ArraySpec(name, a.dtype.str, a.shape, offset))
+        offset += a.nbytes
+        prepared.append(a)
+    total = max(offset, 1)
+    segment = SEGMENT_PREFIX + uuid.uuid4().hex[:16]
+    shm = shared_memory.SharedMemory(name=segment, create=True, size=total)
+    try:
+        for spec, a in zip(specs, prepared):
+            dst = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+            )
+            dst[...] = a
+        handle = ShmHandle(
+            segment=segment,
+            specs=tuple(specs),
+            nbytes=total,
+            meta=tuple(sorted((meta or {}).items())),
+        )
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return ShmPublication(handle, shm)
+
+
+class AttachedArrays(Mapping):
+    """Worker side: a mapping of name -> numpy view over the segment.
+
+    Views are read-only unless named in ``copy`` (those are private
+    writable copies).  ``close()`` drops the views and releases the
+    mapping; if some caller still holds a view, the mapping is kept
+    alive by that view's buffer reference (numpy pins the mmap) and is
+    released when the last view is garbage-collected — never a dangling
+    pointer, never a crash in a ``finally``.  Unlinking the segment is
+    the owner's job either way.
+    """
+
+    def __init__(
+        self,
+        handle: ShmHandle,
+        shm: shared_memory.SharedMemory,
+        copy: Collection[str] = (),
+    ) -> None:
+        self.handle = handle
+        self._shm: shared_memory.SharedMemory | None = shm
+        self._arrays: dict[str, np.ndarray] = {}
+        for spec in handle.specs:
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+            )
+            if spec.name in copy:
+                self._arrays[spec.name] = view.copy()
+            else:
+                view.flags.writeable = False
+                self._arrays[spec.name] = view
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __enter__(self) -> "AttachedArrays":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        self._arrays.clear()
+        try:
+            shm.close()
+        except BufferError:
+            # A view escaped (e.g. a flow result still references a
+            # shared array).  numpy's buffer reference keeps the mmap
+            # valid; it is released when the last view dies.  The named
+            # segment itself is unlinked by the owner regardless.
+            pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_arrays(
+    handle: ShmHandle,
+    copy: Collection[str] = (),
+    fault_plan: FaultPlan | None = None,
+    fault_stage: str = "shm.attach",
+    attempt: int | None = None,
+) -> AttachedArrays:
+    """Attach a published bundle read-only (``copy`` names excepted).
+
+    ``fault_plan`` injects failures *mid-attach* — after the segment is
+    mapped, before any view exists — which is exactly the window the
+    chaos suite crashes workers in to prove the owner-side unlink never
+    leaks.  ``attempt`` is the parent-side attempt number (the
+    supervised pool stamps it into dict items as ``_pool_attempt``), so
+    ``on_attempt`` faults resolve deterministically across respawns.
+    """
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    try:
+        if fault_plan is not None:
+            fault_plan.check(fault_stage, attempt=attempt, worker=True)
+        return AttachedArrays(handle, shm, copy=copy)
+    except BaseException:
+        shm.close()
+        raise
+
+
+def active_repro_segments() -> list[str]:
+    """Names of live segments published by this module (Linux: /dev/shm).
+
+    The leak oracle for tests: after every owner closed its publication
+    this must be empty, whatever the workers did (crashed, hung, were
+    SIGKILLed mid-attach).  Returns ``[]`` where /dev/shm is absent.
+    """
+    root = "/dev/shm"
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(SEGMENT_PREFIX))
+
+
+# ---------------------------------------------------------------------------
+# PlacedDesign publication
+
+
+#: The array attributes of PlacedDesign that define its geometry and
+#: connectivity — everything a worker-side view needs.
+DESIGN_ARRAYS = (
+    "port_x",
+    "port_y",
+    "x",
+    "y",
+    "widths",
+    "heights",
+    "net_ptr",
+    "pin_inst",
+    "pin_dx",
+    "pin_dy",
+    "net_weight",
+    "_port_pin_mask",
+)
+
+#: Arrays a full flow run mutates (legalizers move cells, master swaps
+#: rewrite geometry, timing-driven placement re-weights nets); attach
+#: sides that run flows request private copies of exactly these.
+MUTABLE_DESIGN_ARRAYS = (
+    "x",
+    "y",
+    "widths",
+    "heights",
+    "pin_dx",
+    "pin_dy",
+    "net_weight",
+)
+
+
+class _DesignStub:
+    """Minimal stand-in for :class:`repro.netlist.db.Design`.
+
+    Carries the counts the array hot paths consult; anything needing the
+    instance/net object graph (``check_legal``, master swaps) must
+    attach with a real ``design=``.
+    """
+
+    __slots__ = ("name", "num_instances", "num_nets")
+
+    def __init__(self, name: str, num_instances: int, num_nets: int) -> None:
+        self.name = name
+        self.num_instances = num_instances
+        self.num_nets = num_nets
+
+
+def _floorplan_arrays(fp: Floorplan) -> dict[str, np.ndarray]:
+    rows = fp.rows
+    return {
+        "_row_y": np.array([r.y for r in rows], dtype=np.int64),
+        "_row_height": np.array([r.height for r in rows], dtype=np.int64),
+        "_row_xlo": np.array([r.xlo for r in rows], dtype=np.int64),
+        "_row_xhi": np.array([r.xhi for r in rows], dtype=np.int64),
+        "_row_track": np.array(
+            [np.nan if r.track_height is None else r.track_height for r in rows],
+            dtype=float,
+        ),
+    }
+
+
+def _rebuild_floorplan(arrays: Mapping[str, np.ndarray], meta: dict) -> Floorplan:
+    tracks = arrays["_row_track"]
+    rows = [
+        Row(
+            index=k,
+            y=int(arrays["_row_y"][k]),
+            height=int(arrays["_row_height"][k]),
+            xlo=int(arrays["_row_xlo"][k]),
+            xhi=int(arrays["_row_xhi"][k]),
+            site_width=int(meta["site_width"]),
+            track_height=None if np.isnan(tracks[k]) else float(tracks[k]),
+        )
+        for k in range(len(tracks))
+    ]
+    die = Rect(*meta["die"])
+    return Floorplan(die=die, rows=rows, site_width=int(meta["site_width"]))
+
+
+def publish_design(
+    placed: PlacedDesign, meta: Mapping[str, object] | None = None
+) -> ShmPublication:
+    """Publish a design's arrays + floorplan rows into one segment.
+
+    The handle's ``meta`` records die/site geometry and the design's
+    counts so :func:`attach_design` can reconstruct a working
+    :class:`PlacedDesign` without any pickled object graph.  Extra
+    ``meta`` entries are merged in (and must stay scalar-small).
+    """
+    arrays = {name: getattr(placed, name) for name in DESIGN_ARRAYS}
+    arrays.update(_floorplan_arrays(placed.floorplan))
+    die = placed.floorplan.die
+    full_meta: dict[str, object] = {
+        "design_name": placed.design.name,
+        "num_instances": int(placed.design.num_instances),
+        "num_nets": int(placed.design.num_nets),
+        "site_width": int(placed.floorplan.site_width),
+        "die": (die.xlo, die.ylo, die.xhi, die.yhi),
+    }
+    full_meta.update(meta or {})
+    return publish_arrays(arrays, meta=full_meta)
+
+
+class SharedDesignView:
+    """A worker-side :class:`PlacedDesign` backed by shared memory.
+
+    ``placed`` behaves like any other design for the array hot paths
+    (topology cache, HPWL, B2B, legalizers) but its structural arrays
+    are read-only views into the owner's segment; only the arrays named
+    in ``copy`` (default: none) are private.  ``close()`` (or the
+    context manager) must run before the worker returns; extract plain
+    results first.
+    """
+
+    def __init__(
+        self,
+        handle: ShmHandle,
+        design: object | None = None,
+        copy: Collection[str] = (),
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        meta = handle.meta_dict()
+        self._attached = attach_arrays(handle, copy=copy, fault_plan=fault_plan)
+        try:
+            floorplan = _rebuild_floorplan(self._attached, meta)
+            placed = object.__new__(PlacedDesign)
+            placed.design = design if design is not None else _DesignStub(
+                str(meta["design_name"]),
+                int(meta["num_instances"]),
+                int(meta["num_nets"]),
+            )
+            placed.floorplan = floorplan
+            for name in DESIGN_ARRAYS:
+                setattr(placed, name, self._attached[name])
+            placed._topology = None  # worker builds its own (workspaces!)
+            self.placed = placed
+        except BaseException:
+            self._attached.close()
+            raise
+
+    def __enter__(self) -> "SharedDesignView":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.placed = None
+        self._attached.close()
+
+
+def attach_design(
+    handle: ShmHandle,
+    design: object | None = None,
+    copy: Collection[str] = (),
+    fault_plan: FaultPlan | None = None,
+) -> SharedDesignView:
+    """Attach a :func:`publish_design` segment as a working design view."""
+    return SharedDesignView(handle, design=design, copy=copy, fault_plan=fault_plan)

@@ -180,7 +180,13 @@ def _supervised_call(payload: dict) -> Any:
                 attempt=payload.get("attempt"),
                 worker=True,
             )
-        result = payload["fn"](payload["item"])
+        item = payload["item"]
+        if isinstance(item, dict):
+            # Parent-side attempt number, for task-internal fault hooks
+            # (e.g. shm attach): worker-side plan copies are re-pickled
+            # on every retry, so only this counter survives a respawn.
+            item.setdefault("_pool_attempt", payload.get("attempt"))
+        result = payload["fn"](item)
     finally:
         stop.set()
     if hb_path:

@@ -140,6 +140,67 @@ class TestRapRaceChaos:
 
 
 # ---------------------------------------------------------------------------
+# Shared-memory lifetime under faults
+
+
+class TestShmChaos:
+    """Crashing a worker *mid-attach* must never leak a segment.
+
+    ``SHM_MIN_BYTES`` is forced to 0 so the chaos-scale instances take
+    the shared-memory fan-out path; the ``shm.attach`` fault stage fires
+    inside :func:`repro.placement.shm.attach_arrays` — after the worker
+    mapped the segment, before any view exists — the exact window where
+    a leak would happen if anyone but the owner were responsible for
+    unlinking.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _leak_oracle(self, monkeypatch):
+        from repro.placement.shm import active_repro_segments
+
+        monkeypatch.setattr("repro.core.rap.SHM_MIN_BYTES", 0)
+        assert active_repro_segments() == []
+        yield
+        assert active_repro_segments() == [], "leaked shm segments"
+
+    def test_forced_shm_race_matches_sequential(self):
+        instance = _rap_instance(21)
+        seq, _ = _race(instance, workers=1)
+        raced, prov = _race(instance, workers=3)
+        assert raced.objective == seq.objective
+        assert np.array_equal(raced.cluster_to_pair, seq.cluster_to_pair)
+        assert not prov.degraded
+
+    def test_worker_crash_mid_attach_recovers_without_leak(self):
+        instance = _rap_instance(22)
+        seq, _ = _race(instance, workers=1)
+        plan = FaultPlan().fail(
+            "shm.attach", kind="worker_crash", on_attempt=1
+        )
+        raced, prov = _race(instance, fault_plan=plan, workers=3)
+        # Every rung died mid-attach once; the respawned pool retried
+        # them against the still-published segment and the race ended
+        # with the exact optimum.  The owner's finally unlinked the
+        # segment (asserted by the autouse oracle).
+        assert raced is not None
+        assert raced.objective == pytest.approx(seq.objective)
+        assert prov.backend in EXACT_BACKENDS
+
+    def test_worker_crash_after_attach_does_not_leak(self):
+        # Crash in the solver itself — after the views exist — so the
+        # dying worker never runs its close(); process exit must release
+        # the mapping and the owner's unlink the name.
+        instance = _rap_instance(23)
+        seq, _ = _race(instance, workers=1)
+        plan = FaultPlan().fail(
+            "rap.highs", kind="worker_crash", on_attempt=1
+        )
+        raced, prov = _race(instance, fault_plan=plan)
+        assert raced is not None
+        assert raced.objective == pytest.approx(seq.objective)
+
+
+# ---------------------------------------------------------------------------
 # Sweeps under faults
 
 

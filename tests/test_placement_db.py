@@ -258,3 +258,58 @@ class TestPlacedDesign:
             inst.master = mt.original(inst.master.name)
         placed.refresh_masters()
         assert np.array_equal(placed.widths, old_widths)
+
+
+class TestTopologyCacheInvalidation:
+    """copy()/with_floorplan() must never share a NetTopology.
+
+    A topology carries per-design scratch workspaces and the pin
+    permutation of its net_ptr; two designs that alias one and then
+    diverge (net edits, master swaps, shm copy-on-attach) would corrupt
+    each other's kernels.  The contract: every copy / rebind starts with
+    a cold cache and builds its own.
+    """
+
+    @pytest.fixture()
+    def placed(self, library):
+        design = generate_netlist(
+            GeneratorSpec(name="tc", n_cells=120, clock_period_ps=500.0, seed=4),
+            library,
+        )
+        fp = make_floorplan(design, row_height=216, site_width=54)
+        return build_placed_design(design, fp)
+
+    def test_copy_starts_cold_and_builds_own(self, placed):
+        warm = placed.topology  # warm the source cache
+        clone = placed.copy()
+        assert clone._topology is None
+        assert clone.topology is not warm
+        assert placed.topology is warm  # source cache untouched
+
+    def test_stale_topology_never_crosses_mutated_copies(self, placed):
+        placed.topology
+        clone = placed.copy()
+        # Mutate the clone's net structure: drop the last net entirely.
+        clone.net_ptr = clone.net_ptr[:-1].copy()
+        n_pins = int(clone.net_ptr[-1])
+        clone.pin_inst = clone.pin_inst[:n_pins].copy()
+        clone.pin_dx = clone.pin_dx[:n_pins].copy()
+        clone.pin_dy = clone.pin_dy[:n_pins].copy()
+        clone._port_pin_mask = clone._port_pin_mask[:n_pins].copy()
+        clone.net_weight = clone.net_weight[:-1].copy()
+        clone.invalidate_topology()
+        assert clone.topology.n_nets == placed.topology.n_nets - 1
+        # The original still sees its own, full topology.
+        assert placed.topology.n_pins == len(placed.pin_inst)
+
+    def test_with_floorplan_rebuilds_cold(self, placed):
+        warm = placed.topology
+        rebound = placed.with_floorplan(placed.floorplan)
+        assert rebound._topology is None
+        assert rebound.topology is not warm
+
+    def test_invalidate_topology_drops_cache(self, placed):
+        first = placed.topology
+        placed.invalidate_topology()
+        assert placed._topology is None
+        assert placed.topology is not first

@@ -12,6 +12,8 @@ The engine's contract is *provable equality* with the dense optimum:
   permutation of clusters and pairs.
 """
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -350,6 +352,56 @@ class TestWarmStarts:
         )
         assert again is not None
         assert again.objective == pytest.approx(first.objective, abs=1e-6)
+
+
+class TestTotalBudget:
+    """``time_limit_s`` budgets the whole solve, not each sub-solve."""
+
+    def _giga_like(self, seed=31, n_c=400, n_p=60):
+        rng = np.random.default_rng(seed)
+        f = rng.uniform(0.0, 100.0, size=(n_c, n_p))
+        w = rng.uniform(1.0, 4.0, size=n_c)
+        n_minr = n_p // 2
+        cap = np.full(n_p, w.sum() / (n_minr - 2))
+        return f, w, cap, n_minr
+
+    def test_budget_bounds_total_wall_clock(self):
+        # Large enough to dodge the small-problem shortcut, budgeted
+        # tightly enough that sub-solves would overrun if each were
+        # handed the full limit.  The 10x allowance absorbs the last
+        # sub-solve's overshoot; pre-fix this instance multiplies the
+        # budget by the sub-solve count instead.
+        f, w, cap, n_minr = self._giga_like()
+        from repro.core.rap import greedy_rap
+
+        warm = greedy_rap(f, w, cap, n_minr)
+        t0 = time.perf_counter()
+        solution, stats = solve_rap_sparse(
+            f, w, cap, n_minr, time_limit_s=0.2, warm_assignment=warm
+        )
+        wall = time.perf_counter() - t0
+        assert wall < 2.0
+        # With a feasible warm assignment in hand the engine must not
+        # error out: worst case it returns that incumbent uncertified.
+        assert solution.ok and solution.x is not None
+
+    def test_exhausted_budget_returns_warm_incumbent_cost(self):
+        f, w, cap, n_minr = self._giga_like(seed=32)
+        from repro.core.rap import greedy_rap
+
+        warm = greedy_rap(f, w, cap, n_minr)
+        solution, stats = solve_rap_sparse(
+            f, w, cap, n_minr, time_limit_s=1e-6, warm_assignment=warm
+        )
+        assert solution.ok and solution.x is not None
+        warm_cost = float(f[np.arange(f.shape[0]), warm].sum())
+        assert solution.objective <= warm_cost + 1e-6
+
+    def test_unlimited_budget_still_certifies(self):
+        f, w, cap, n_minr = random_instance(33, n_c=12, n_p=9)
+        solution, stats = solve_rap_sparse(f, w, cap, n_minr)
+        assert solution.status is MilpStatus.OPTIMAL
+        assert stats.certified
 
 
 class TestKernels:

@@ -91,6 +91,50 @@ class TestArtifactCache:
             make_asap7_library()
         )
 
+    def test_protocol5_header_reports_payload_size(self, tmp_path, spec, library):
+        import numpy as np
+
+        cache = ArtifactCache(tmp_path)
+        config = RunConfig(scale=TINY)
+        initial, _ = load_or_prepare_initial(spec, config, library, cache)
+        key = initial_placement_key(spec, config, library)
+        header = cache.entry_header(key)
+        # The header is readable without unpickling and accounts for the
+        # whole on-disk payload: pickle body + raw out-of-band buffers.
+        assert header is not None
+        assert header["payload_bytes"] == header["pickle_bytes"] + sum(
+            header["buffer_bytes"]
+        )
+        # The artifact's big arrays went out-of-band, not into the body.
+        assert sum(header["buffer_bytes"]) >= initial.placed.x.nbytes
+        # And the roundtrip is faithful.
+        again = cache.get(key)
+        assert np.array_equal(again.placed.x, initial.placed.x)
+        assert np.array_equal(again.placed.net_ptr, initial.placed.net_ptr)
+        # Out-of-band buffers must come back *writable*: downstream
+        # stages mutate coordinates and scratch arrays in place, and a
+        # read-only cached artifact would crash the first flow that
+        # touches it.
+        assert again.placed.x.flags.writeable
+        again.placed.x[0] += 1.0
+
+    def test_legacy_plain_pickle_entry_still_loads(self, tmp_path):
+        import pickle
+
+        import numpy as np
+
+        cache = ArtifactCache(tmp_path)
+        value = {"arr": np.arange(64.0), "tag": "legacy"}
+        cache.path_for("old").write_bytes(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        got = cache.get("old")
+        assert got["tag"] == "legacy"
+        assert np.array_equal(got["arr"], value["arr"])
+        # Legacy entries have no header — and that's not an error.
+        assert cache.entry_header("old") is None
+        assert cache.entry_header("missing") is None
+
 
 class TestRunSweep:
     def test_inline_sweep_end_to_end(self, tmp_path):
