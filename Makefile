@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint-heights lint-no-design-pickle test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight bench-giga report examples clean
+.PHONY: install test lint-heights lint-no-design-pickle test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight bench-events bench-giga report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -84,6 +84,18 @@ bench-race:
 # model — and gates the N=3 objective-match invariant.
 bench-nheight:
 	$(PYTHON) scripts/bench_kernels.py --only nheight --merge BENCH_kernels.json \
+	  --out BENCH_kernels.json.new
+	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
+	  || (rm -f BENCH_kernels.json.new; exit 1)
+	mv BENCH_kernels.json.new BENCH_kernels.json
+
+# Event-bus overhead rebench (flow (5) on the sweep-scale aes_400):
+# refreshes the events_overhead entry — instrumented flow with the live
+# telemetry bus attached vs bus-disabled — and gates that the bus costs
+# at most ~3% wall-clock and that the streamed JSONL passes
+# validate_events.
+bench-events:
+	$(PYTHON) scripts/bench_kernels.py --only events --merge BENCH_kernels.json \
 	  --out BENCH_kernels.json.new
 	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
 	  || (rm -f BENCH_kernels.json.new; exit 1)

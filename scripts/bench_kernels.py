@@ -39,9 +39,15 @@ the ``aes_giga`` testcase inside a fixed wall-clock budget
 (``GIGA_FLOW_BUDGET_S``; the flow's own Deadline gets the tighter
 ``GIGA_FLOW_SOLVER_BUDGET_S``).
 
+The ``events`` group times the same end-to-end flow (5) run with the
+live telemetry bus attached (a drainer thread tailing the spool plus a
+durable ``JsonlSink``) against the bus-disabled run; the gate asserts
+the bus costs at most ~3% wall-clock on the instrumented hot path and
+that the streamed JSONL passes ``validate_events``.
+
 ``--only`` restricts the run to named kernel groups (``legalizers``,
-``topology``, ``rap``, ``race``, ``nheight``, ``flow``, ``giga``);
-combine with
+``topology``, ``rap``, ``race``, ``nheight``, ``flow``, ``events``,
+``giga``); combine with
 ``--merge`` to carry the untouched groups over from a committed JSON so
 the gate still sees every kernel (``make bench-rap`` and
 ``make bench-nheight`` do exactly this).
@@ -100,7 +106,8 @@ FLOW_TESTCASE = "aes_400"
 RAP_TESTCASE = "aes_400"  # full scale: the instance the paper's ILP sees
 NHEIGHT_TESTCASE = "aes3h_340"  # three-height twin, sweep scale
 KERNEL_GROUPS = (
-    "legalizers", "topology", "rap", "race", "nheight", "flow", "giga"
+    "legalizers", "topology", "rap", "race", "nheight", "flow", "events",
+    "giga",
 )
 
 # Giga tier: the shared-memory design DB + blocked-numpy hot paths at
@@ -518,6 +525,62 @@ def bench_giga(library, repeats):
     return entries
 
 
+def bench_events(library, repeats):
+    """Event-bus overhead on the instrumented flow (5) hot path.
+
+    Times the same prepare + flow run with the bus fully engaged —
+    spool emitter, drainer thread, shm census and a durable
+    ``JsonlSink`` — against the bus-disabled run (the ``emit_event``
+    no-op path).  Extra repeats (best-of at least 5) because the gate
+    floors a ratio of two sub-second timings.
+    """
+    import tempfile
+
+    from repro.obs.events import EventBus, JsonlSink, validate_events
+
+    design = build_testcase(
+        testcase_by_id(FLOW_TESTCASE), library, scale=DEFAULT_SCALE
+    )
+
+    def run_flow():
+        initial = prepare_initial_placement(design, library)
+        FlowRunner(initial).run(FlowKind.FLOW5)
+
+    reps = max(repeats, 5)
+    disabled_seconds = best_of(run_flow, reps)
+
+    n_events = [0]
+    events_valid = [False]
+
+    def run_with_bus():
+        with tempfile.TemporaryDirectory() as tmp:
+            sink_path = Path(tmp) / "events.jsonl"
+            with EventBus() as bus:
+                sink = bus.subscribe(JsonlSink(sink_path))
+                with bus.attach():
+                    t0 = time.perf_counter()
+                    run_flow()
+                    elapsed = time.perf_counter() - t0
+            n_events[0] = sink.n_events
+            events_valid[0] = not validate_events(sink_path)
+        return elapsed
+
+    best = float("inf")
+    for _ in range(reps):
+        best = min(best, run_with_bus())
+    seconds = best
+    return {
+        "seconds": seconds,
+        "disabled_seconds": disabled_seconds,
+        "overhead_frac": seconds / disabled_seconds - 1.0,
+        "speedup_vs_disabled": disabled_seconds / seconds,
+        "n_events": int(n_events[0]),
+        "events_valid": bool(events_valid[0] and n_events[0] > 0),
+        "n_cells": design.num_instances,
+        "testcase": FLOW_TESTCASE,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(ROOT / "BENCH_kernels.json"))
@@ -689,6 +752,21 @@ def main() -> int:
             f"(baseline {BASELINE['flow5_seconds'] * 1e3:8.2f} ms, "
             f"{BASELINE['flow5_seconds'] / seconds:4.2f}x, "
             f"{design.num_instances} cells)"
+        )
+
+    # Event-bus overhead on the instrumented flow (5) path.
+    if "events" in groups:
+        entry = bench_events(library, args.repeats)
+        kernels["events_overhead"] = entry
+        registry.gauge("bench.events_overhead.seconds").set(entry["seconds"])
+        registry.gauge("bench.events_overhead.overhead_frac").set(
+            entry["overhead_frac"]
+        )
+        print(
+            f"{'events_overhead':24s} {entry['seconds'] * 1e3:8.2f} ms   "
+            f"(disabled {entry['disabled_seconds'] * 1e3:8.2f} ms, "
+            f"{entry['overhead_frac'] * 100:+.1f}%, "
+            f"{entry['n_events']} events, valid={entry['events_valid']})"
         )
 
     payload = {

@@ -20,6 +20,10 @@ when the current run misses the speedup floors this layer promises:
 * ``rap_nheight``      the joint N=3 sparse solve's objective must match
   the dense joint model's optimum (``objective_match``) — the
   generalized height-indexed layer may never drift from the exact model
+* ``events_overhead``  the live telemetry bus may cost at most ~3% on
+  the instrumented flow (5) hot path (``speedup_vs_disabled`` >= 0.97)
+  and the streamed JSONL must pass ``validate_events``
+  (``events_valid``) — torn or schema-breaking events fail the gate
 * ``*_giga``           100k-cell tier: tetris >= 3.0x over the scalar
   reference at giga scale, per-kernel ``cells_per_s`` throughput floors,
   and ``flow5_giga.within_budget`` (the end-to-end flow (5) must finish
@@ -65,6 +69,10 @@ FLOORS = {
     # Racing the backend rungs must stay within 10% of the sequential
     # chain on the healthy path (pool overhead is the only difference).
     ("rap_race", "speedup_vs_sequential"): 0.9,
+    # The event bus buys observability with wall-clock; the budget is
+    # ~3% of the instrumented flow (5) path (floored as a >= 0.97
+    # speedup so it reads like the other ratio gates).
+    ("events_overhead", "speedup_vs_disabled"): 0.97,
     # Giga tier (100k cells).  The tetris >= 3x promise is re-proven at
     # scale, not extrapolated from the microbench sizes; the cells_per_s
     # floors are set 3-5x below the single-core reference machine's
@@ -82,6 +90,9 @@ INVARIANTS = (
     ("rap_solve", "objective_match"),
     ("rap_race", "objective_match"),
     ("rap_nheight", "objective_match"),
+    # The durable JSONL a bus-attached flow streams must parse and pass
+    # the repro.events/1 schema check end-to-end.
+    ("events_overhead", "events_valid"),
     # The end-to-end giga flow must land inside its fixed wall budget:
     # every open-ended stage is bounded (clustering by iteration cap,
     # RAP + legalization by the flow Deadline), so an overrun means a

@@ -25,7 +25,7 @@ by ``tests/test_api_surface.py`` — ``dir(repro)`` is the documented
 surface, nothing more.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core.config import RunConfig
 from repro.core.heights import HeightClass, HeightSpec
@@ -43,12 +43,15 @@ from repro.core.rcpp import RowConstraintPlacer, RowConstraintResult
 from repro.experiments.sweep_engine import SweepJobResult, SweepResult, run_sweep
 from repro.obs import (
     ConvergenceSeries,
+    EventBus,
     FlightRecorder,
     MetricsRegistry,
     Span,
     Tracer,
+    emit_event,
     render_span_tree,
     span,
+    validate_events,
 )
 from repro.techlib.asap7 import make_asap7_library
 from repro.utils.resilience import (
@@ -72,6 +75,7 @@ __all__ = [
     "CancelToken",
     "ConvergenceSeries",
     "Deadline",
+    "EventBus",
     "FaultPlan",
     "FlightRecorder",
     "FlowKind",
@@ -98,6 +102,7 @@ __all__ = [
     "TaskOutcome",
     "Tracer",
     "__version__",
+    "emit_event",
     "make_asap7_library",
     "prepare_initial_placement",
     "race",
@@ -106,6 +111,7 @@ __all__ = [
     "run_sweep",
     "span",
     "supervised_map",
+    "validate_events",
 ]
 
 

@@ -4,7 +4,9 @@ Commands:
 
 * ``place``       — run the full proposed pipeline on a synthetic design
 * ``flows``       — compare the five flows on a Table II testcase
+* ``run``         — run one flow with live event streaming (``--live``)
 * ``sweep``       — parallel testcase × flow sweep with metrics export
+* ``tail``        — follow/pretty-print a ``repro.events/1`` JSONL file
 * ``table2`` ... ``overhead`` — regenerate a paper table/figure
 * ``render``      — run Flow (5) on a testcase and write a Fig. 3-style SVG
 
@@ -47,6 +49,25 @@ _EXPERIMENTS = {
 }
 
 
+def _add_live_args(parser: argparse.ArgumentParser) -> None:
+    """The event-bus flags shared by ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--live", action="store_true",
+        help="render a live TTY dashboard (stage, pool health, "
+        "convergence sparkline, shm census) while the command runs",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="also write every event to a durable repro.events/1 JSONL "
+        "file (inspect later with `repro tail`)",
+    )
+    parser.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="periodically flush merged metrics to a Prometheus "
+        "textfile at PATH while the command runs",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
     flows = sub.add_parser("flows", help="compare the five flows")
     flows.add_argument("testcase", nargs="?", default="aes_300")
     add_run_config_args(flows)
+
+    run = sub.add_parser(
+        "run",
+        help="run one flow with live telemetry (event bus streaming)",
+    )
+    run.add_argument(
+        "--flow", type=int, default=5, choices=[1, 2, 3, 4, 5],
+        help="flow number to run (default: 5)",
+    )
+    run.add_argument(
+        "--testcase", default=None,
+        help="Table II testcase id (default: a synthetic design)",
+    )
+    run.add_argument("--cells", type=int, default=400)
+    run.add_argument("--minority", type=float, default=0.15)
+    _add_live_args(run)
+    add_run_config_args(run, workers=True)
 
     sweep = sub.add_parser(
         "sweep", help="parallel testcase x flow sweep with metrics export"
@@ -110,7 +148,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip jobs already in --journal (same config required)",
     )
+    _add_live_args(sweep)
     add_run_config_args(sweep, workers=True)
+
+    tail = sub.add_parser(
+        "tail",
+        help="follow/pretty-print a repro.events/1 JSONL file",
+    )
+    tail.add_argument("events", help="events JSONL path (see run --events)")
+    tail.add_argument(
+        "--grep", default=None,
+        help="only print events whose type matches this regex",
+    )
+    tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep watching the file for new events (Ctrl-C to stop)",
+    )
+    tail.add_argument(
+        "--live", action="store_true",
+        help="render the aggregated --live dashboard instead of raw lines",
+    )
 
     for name in _EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
@@ -219,23 +276,69 @@ def _cmd_flows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _event_bus_from_args(args: argparse.Namespace):
+    """Build an :class:`EventBus` + consumers from the ``--live`` flags.
+
+    Returns ``(bus, sink, finish)`` — ``bus`` is None when no event flag
+    was given; ``finish()`` closes the bus and validates the durable
+    sink, returning a list of problems.
+    """
+    from repro.obs.events import EventBus, JsonlSink, PrometheusExporter
+    from repro.obs.live import LiveView
+
+    if not (args.live or args.events or args.prometheus):
+        return None, None, lambda: []
+    bus = EventBus()
+    sink = bus.subscribe(JsonlSink(args.events)) if args.events else None
+    if args.prometheus:
+        bus.subscribe(PrometheusExporter(args.prometheus))
+    if args.live:
+        bus.subscribe(LiveView())
+
+    def finish() -> list[str]:
+        from repro.obs.events import validate_events
+
+        bus.close()
+        if sink is None:
+            return []
+        return validate_events(sink.path)
+
+    return bus, sink, finish
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.experiments.sweep_engine import run_sweep
     from repro.experiments.testcases import QUICK_SUBSET_IDS
 
     config = RunConfig.from_args(args)
     testcases = tuple(args.testcases) if args.testcases else QUICK_SUBSET_IDS
     cache_dir = args.cache_dir or None
-    result = run_sweep(
-        testcase_ids=testcases,
-        flows=tuple(args.flows),
-        config=config,
-        cache_dir=cache_dir,
-        progress=print,
-        journal=args.journal,
-        resume=args.resume,
-        share_initial=args.share_initial,
-    )
+    bus, sink, finish = _event_bus_from_args(args)
+    # The live dashboard already renders per-job progress; plain prints
+    # would fight its cursor movement.
+    progress = None if args.live else print
+    try:
+        with ExitStack() as stack:
+            if bus is not None:
+                stack.enter_context(bus.attach())
+            result = run_sweep(
+                testcase_ids=testcases,
+                flows=tuple(args.flows),
+                config=config,
+                cache_dir=cache_dir,
+                progress=progress,
+                journal=args.journal,
+                resume=args.resume,
+                share_initial=args.share_initial,
+            )
+    finally:
+        problems = finish()
+    for problem in problems:
+        print(f"events schema problem: {problem}")
+    if sink is not None:
+        print(f"streamed {sink.n_events} events -> {sink.path}")
     out = result.write_json(args.out)
     print(
         f"{len(result.jobs)} jobs in {result.wall_s:.2f}s "
@@ -253,6 +356,123 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if tree:
                 print(tree)
     return 1 if result.n_failed else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import FlowKind, FlowRunner, prepare_initial_placement
+    from repro.netlist import (
+        GeneratorSpec,
+        generate_netlist,
+        size_to_minority_fraction,
+    )
+    from repro.obs.recorder import FlightRecorder
+    from repro.techlib.asap7 import make_asap7_library
+
+    config = RunConfig.from_args(args)
+    library = make_asap7_library()
+    if args.testcase:
+        from repro.experiments.testcases import build_testcase, testcase_by_id
+
+        design = build_testcase(
+            testcase_by_id(args.testcase), library, scale=config.scale
+        )
+        case_name = args.testcase
+    else:
+        design = generate_netlist(
+            GeneratorSpec(
+                name="run",
+                n_cells=args.cells,
+                clock_period_ps=500.0,
+                seed=config.seed if config.seed is not None else 1,
+            ),
+            library,
+        )
+        size_to_minority_fraction(design, args.minority)
+        case_name = f"synthetic_{args.cells}"
+
+    kind = FlowKind(args.flow)
+    recorder = FlightRecorder(
+        f"{case_name}.flow{kind.value}",
+        config={"testcase": case_name, "flow": kind.value},
+    )
+    bus, sink, finish = _event_bus_from_args(args)
+    from contextlib import ExitStack
+
+    try:
+        with ExitStack() as stack:
+            if bus is not None:
+                stack.enter_context(bus.attach())
+            stack.enter_context(recorder.attach())
+            initial = prepare_initial_placement(
+                design, library, heights=config.params.heights
+            )
+            flow = FlowRunner(initial, config.params).run(kind)
+    finally:
+        problems = finish()
+    print(
+        f"{case_name} flow({kind.value}): hpwl {flow.hpwl / 1e6:.3f} mm, "
+        f"displacement {flow.displacement / 1e6:.3f} mm, "
+        f"{flow.total_runtime_s:.2f}s"
+    )
+    if sink is not None:
+        print(f"streamed {sink.n_events} events -> {sink.path}")
+    for problem in problems:
+        print(f"events schema problem: {problem}")
+    return 1 if problems else 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import re
+    import time
+
+    from repro.obs.events import read_events
+    from repro.obs.live import LiveStatus, format_event
+
+    pattern = re.compile(args.grep) if args.grep else None
+    status = LiveStatus() if args.live else None
+    t0: float | None = None
+    n_printed = 0
+
+    def _consume() -> None:
+        nonlocal t0, n_printed
+        for event in events:
+            if t0 is None:
+                t0 = float(event.get("t", 0.0))
+            if pattern is not None and not pattern.search(
+                str(event.get("type", ""))
+            ):
+                continue
+            n_printed += 1
+            if status is not None:
+                status.apply(event)
+            else:
+                print(format_event(event, t0=t0))
+
+    try:
+        if args.follow:
+            # Re-read from the start each round; read_events tolerates a
+            # concurrently-appended (possibly torn) trailing line.
+            seen = 0
+            while True:
+                events = read_events(args.events)[seen:]
+                seen += len(events)
+                _consume()
+                if status is not None and events:
+                    print("\n".join(status.render_lines()))
+                time.sleep(0.5)
+        else:
+            events = read_events(args.events)
+            _consume()
+            if status is not None:
+                print("\n".join(status.render_lines()))
+    except KeyboardInterrupt:
+        pass
+    except FileNotFoundError:
+        print(f"no such events file: {args.events}")
+        return 1
+    if status is None and not args.follow:
+        print(f"({n_printed} events)")
+    return 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -390,8 +610,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_place(args)
     if args.command == "flows":
         return _cmd_flows(args)
+    if args.command == "run":
+        return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     if args.command == "render":
         return _cmd_render(args)
     if args.command == "report":

@@ -28,6 +28,7 @@ from repro.core.sparse_rap import (
     validate_rap_inputs,
 )
 from repro.obs.convergence import observe
+from repro.obs.metrics import MetricsRegistry, current_registry, use_registry
 from repro.obs.trace import span
 from repro.placement.shm import SHM_MIN_BYTES, publish_arrays
 from repro.solvers.milp import MilpModel, MilpSolution, MilpStatus, solve_milp
@@ -420,6 +421,20 @@ def _race_rung_job(payload: dict) -> dict:
 
 
 def _race_rung_solve(payload: dict) -> dict:
+    """One rung's solve under a scoped registry.
+
+    The snapshot travels back in ``"metrics"`` so the parent can merge
+    worker-side telemetry (span histograms, solver counters) into its
+    own registry — racing used to drop it entirely.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        out = _race_rung_solve_inner(payload)
+    out["metrics"] = registry.snapshot()
+    return out
+
+
+def _race_rung_solve_inner(payload: dict) -> dict:
     rung = payload["rung"]
     cancel = payload.get("cancel")
     if payload["sparse"]:
@@ -600,6 +615,15 @@ def _race_rap_level(
         cancel.clear()
         if publication is not None:
             publication.close()
+
+    # Fold every rung's worker-side registry snapshot into the parent
+    # registry; racing used to drop worker metrics entirely.
+    registry = current_registry()
+    for outcome in result.outcomes:
+        if outcome.ok and isinstance(outcome.value, dict):
+            snapshot = outcome.value.get("metrics")
+            if snapshot:
+                registry.merge(snapshot)
 
     # Preference order: the certified winner if any, else the first rung
     # (in chain order) that returned a usable solution.

@@ -147,8 +147,9 @@ def render_run_report(record: dict, top_n_spans: int = 8) -> str:
     Sections: run header, per-stage QoR table, convergence-series
     summaries with sparklines, provenance/metadata, solver-race telemetry
     (one row per ``rap.race`` span: winner, losers cancelled, crashes,
-    hangs, cancel latency), and the top-N slowest spans.  Tolerates
-    partial records (missing spans/metrics sections).
+    hangs, cancel latency), merged metrics counter totals (parent plus
+    every worker snapshot folded back in), and the top-N slowest spans.
+    Tolerates partial records (missing spans/metrics sections).
     """
     lines = [f"# Run report: {record.get('name', 'run')}", ""]
     schema = record.get("schema")
@@ -232,6 +233,14 @@ def render_run_report(record: dict, top_n_spans: int = 8) -> str:
                 rows,
             ),
             "",
+        ]
+
+    counters = (record.get("metrics") or {}).get("counters") or {}
+    if counters:
+        rows = [[name, float(counters[name])] for name in sorted(counters)]
+        lines += [
+            "## Metrics totals", "",
+            _markdown_table(["counter", "total"], rows), "",
         ]
 
     if flat:

@@ -54,7 +54,8 @@ from repro.experiments.artifact_cache import (
     load_or_prepare_initial,
 )
 from repro.experiments.testcases import QUICK_SUBSET_IDS, testcase_by_id
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.events import emit_event
+from repro.obs.metrics import MetricsRegistry, current_registry
 from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import render_span_tree
 from repro.techlib.asap7 import make_asap7_library
@@ -495,6 +496,21 @@ def run_sweep(
         key = (payload["testcase_id"], int(payload["flow"]))
         outputs_by_key[key] = out
         merged.merge(out.get("metrics", {}))
+        # Worker metrics also fold into the *ambient* registry (the
+        # sweep-local ``merged`` only lands in SweepResult.metrics), so
+        # an attached flight recorder / ``repro report`` sees pool-wide
+        # totals instead of dropping worker-side counters.
+        current_registry().merge(out.get("metrics", {}))
+        job = out["job"]
+        emit_event(
+            "sweep.job",
+            testcase=job["testcase_id"],
+            flow=int(job["flow"]),
+            status=job["status"],
+            done=done[0],
+            total=total,
+            wall_s=job.get("wall_s", 0.0),
+        )
         if journal_fh is not None:
             # One self-contained line per job, flushed immediately: a
             # killed sweep loses at most the in-flight jobs.

@@ -12,7 +12,13 @@ Four parts, usable separately or together:
   :class:`ConvergenceLog`;
 * :mod:`repro.obs.recorder` — the :class:`FlightRecorder` bundling all of
   the above plus per-stage QoR snapshots (:func:`record_qor`) into one
-  ``run_record.json`` / Chrome-trace artifact per run.
+  ``run_record.json`` / Chrome-trace artifact per run;
+* :mod:`repro.obs.events` — the live telemetry bus (schema
+  ``repro.events/1``): producers stream the same instrumentation through
+  :func:`emit_event` into per-process spool files an :class:`EventBus`
+  drains in near-real-time, with the durable :class:`JsonlSink`, the
+  :class:`PrometheusExporter` textfile and the :mod:`repro.obs.live` TTY
+  view (``repro run --live``) as consumers.
 
 The flow runner, solvers, legalizers and the sweep engine are all
 instrumented through this module; ``StageTimes.measure`` emits spans, so
@@ -28,7 +34,20 @@ from repro.obs.convergence import (
     recording_convergence,
     use_convergence,
 )
-from repro.obs.logconfig import configure_logging
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventBus,
+    EventEmitter,
+    JsonlSink,
+    PrometheusExporter,
+    current_bus_handle,
+    emit_event,
+    emitting_events,
+    read_events,
+    validate_events,
+)
+from repro.obs.live import LiveStatus, LiveView, format_event, sparkline
+from repro.obs.logconfig import configure_logging, redirect_managed_stream
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -61,13 +80,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "EVENTS_SCHEMA",
     "ConvergenceLog",
     "ConvergenceSeries",
     "Counter",
+    "EventBus",
+    "EventEmitter",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "LiveStatus",
+    "LiveView",
     "MetricsRegistry",
+    "PrometheusExporter",
     "QoRSnapshot",
     "RUN_RECORD_SCHEMA",
     "Span",
@@ -75,21 +101,29 @@ __all__ = [
     "as_span_roots",
     "chrome_trace_events",
     "configure_logging",
+    "current_bus_handle",
     "current_convergence",
     "current_recorder",
     "current_registry",
     "current_span",
     "current_tracer",
     "default_registry",
+    "emit_event",
+    "emitting_events",
+    "format_event",
     "observe",
+    "read_events",
     "record_qor",
     "recording",
     "recording_convergence",
+    "redirect_managed_stream",
     "render_span_tree",
     "span",
+    "sparkline",
     "stage_fractions",
     "use_convergence",
     "use_registry",
+    "validate_events",
     "validate_run_record",
     "write_chrome_trace",
 ]

@@ -26,6 +26,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from repro.obs.events import emit_event, emitting_events
+
 
 @dataclass
 class ConvergenceSeries:
@@ -150,3 +152,11 @@ def observe(series: str, **values: float) -> None:
     log = _ACTIVE_LOG.get()
     if log is not None:
         log.get(series).append(**values)
+    if emitting_events():
+        emit_event(
+            "convergence",
+            series=series,
+            values={
+                k: float(v) for k, v in values.items() if v is not None
+            },
+        )

@@ -1,0 +1,664 @@
+"""Live telemetry event bus: streaming progress across processes.
+
+Every observability surface before this module was post-hoc: the
+:class:`~repro.obs.recorder.FlightRecorder` exports its record *after*
+the run, worker metrics snapshots arrive when the job finishes, and a
+hung giga flow is a black box while it runs.  This module streams the
+same instrumentation in near-real-time, on the same file-based
+cross-process pattern the :class:`~repro.utils.supervise.SupervisedPool`
+heartbeats proved out:
+
+* Emitters (parent *and* pool workers) append newline-delimited JSON
+  events to per-process **spool files** inside the bus's spool
+  directory.  Appends are whole-line writes, so a SIGKILLed worker can
+  at worst leave one truncated trailing line — never a torn earlier
+  event.
+* A parent-side **drainer thread** tails every spool file, parses only
+  complete (newline-terminated) lines, and multiplexes the events to
+  subscribed consumers.  A truncated or corrupt line is skipped and
+  counted (``parse_errors``), exactly like the sweep journal loader.
+* Producers call :func:`emit_event` — a no-op unless an emitter is
+  active (the :func:`observe` / :func:`record_qor` contextvar pattern),
+  so un-instrumented runs pay one contextvar read per call site.
+
+The schema is versioned (``repro.events/1``).  Every event is one flat
+JSON object carrying the envelope fields ``t`` (unix seconds), ``pid``,
+``src`` (emitter id), ``seq`` (per-``src`` monotonic counter) and
+``type``, plus type-specific payload fields.  :func:`validate_events`
+mirrors :func:`~repro.obs.recorder.validate_run_record`: one structural
+check shared by the CLI, the chaos suite and the bench gate.
+
+Consumers shipped here:
+
+* :class:`JsonlSink` — durable JSONL file (header line + one event per
+  line) that :func:`validate_events` accepts;
+* :class:`PrometheusExporter` — counts events into a
+  :class:`~repro.obs.metrics.MetricsRegistry` and periodically flushes
+  ``MetricsRegistry.to_prometheus()`` to a textfile (atomic
+  tmp + rename), the node-exporter textfile-collector contract;
+* :class:`repro.obs.live.LiveView` — the ``repro run --live`` TTY view.
+
+Lifetime contract
+-----------------
+
+The parent owns the :class:`EventBus`: ``with bus.attach():`` scopes
+the parent emitter, starts the drainer and — through the supervised
+pool's payloads — arms worker-side emitters.  On exit the drainer
+performs one final drain (events written before the context closed are
+never lost), consumers are closed, and the spool directory is removed.
+Workers only ever append; they never read, rotate or delete spools.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import os
+import tempfile
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry, current_registry
+
+logger = logging.getLogger(__name__)
+
+#: Schema identifier carried by durable event files' header line.
+EVENTS_SCHEMA = "repro.events/1"
+
+#: Spool file suffix inside a bus spool directory.
+_SPOOL_SUFFIX = ".spool.jsonl"
+
+#: Required payload fields per known event type (unknown types are
+#: allowed — the schema is open — but known types must be well-formed).
+REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "run.begin": ("name",),
+    "run.end": ("name",),
+    "span.begin": ("name",),
+    "span.end": ("name", "duration_s", "status"),
+    "convergence": ("series", "values"),
+    "qor": ("stage", "metrics"),
+    "pool.task_start": ("index", "attempt"),
+    "pool.task_done": ("index", "status"),
+    "pool.kill": ("index", "reason"),
+    "pool.respawn": ("victims",),
+    "pool.retry": ("index", "attempt"),
+    "pool.inline": ("index",),
+    "race.start": ("entries",),
+    "race.certified": ("index", "label"),
+    "race.done": ("entries",),
+    "shm.publish": ("segment", "nbytes"),
+    "shm.unlink": ("segment",),
+    "shm.census": ("segments",),
+    "sweep.job": ("testcase", "flow", "status"),
+}
+
+
+def _json_default(value: Any) -> Any:
+    """Last-resort JSON coercion (numpy scalars, paths, enums...)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:  # pragma: no cover - exotic .item()
+            pass
+    return str(value)
+
+
+class EventEmitter:
+    """Appends events to one spool file; one per emitting process.
+
+    Whole-line appends with periodic flush: a crash can truncate only
+    the trailing line, which the drainer (and :func:`validate_events`)
+    skip by construction.  ``flush_interval_s=0`` flushes every event
+    (the tests use this); the default batches flushes just enough to
+    keep the hot path off the syscall treadmill while staying
+    near-real-time.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | os.PathLike,
+        src: str | None = None,
+        flush_interval_s: float = 0.05,
+    ) -> None:
+        self.spool_dir = os.fspath(spool_dir)
+        self.src = src or f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self.flush_interval_s = flush_interval_s
+        self.path = os.path.join(self.spool_dir, self.src + _SPOOL_SUFFIX)
+        self._fh: io.TextIOWrapper | None = None
+        self._seq = 0
+        self._last_flush = 0.0
+        self._lock = threading.Lock()
+        self._broken = False
+
+    def emit(self, type_: str, **fields: Any) -> None:
+        with self._lock:
+            if self._broken:
+                return
+            event = {
+                "t": time.time(),
+                "pid": os.getpid(),
+                "src": self.src,
+                "seq": self._seq,
+                "type": type_,
+            }
+            event.update(fields)
+            try:
+                if self._fh is None:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                self._fh.write(
+                    json.dumps(
+                        event, separators=(",", ":"), default=_json_default
+                    )
+                    + "\n"
+                )
+                now = time.monotonic()
+                if now - self._last_flush >= self.flush_interval_s:
+                    self._fh.flush()
+                    self._last_flush = now
+            except (OSError, ValueError):
+                # Spool dir vanished (bus closed under a straggler) or
+                # the handle was closed: telemetry must never take the
+                # work down with it.
+                self._broken = True
+                return
+            self._seq += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None and not self._broken:
+                try:
+                    self._fh.flush()
+                except (OSError, ValueError):
+                    self._broken = True
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    self._fh.close()
+                except (OSError, ValueError):
+                    pass
+                self._fh = None
+
+
+_ACTIVE_EMITTER: ContextVar[EventEmitter | None] = ContextVar(
+    "repro_active_emitter", default=None
+)
+_ACTIVE_SPOOL: ContextVar[str | None] = ContextVar(
+    "repro_active_spool", default=None
+)
+
+#: Worker-process emitter cache, keyed by spool dir: one spool file per
+#: (worker, bus) pair however many tasks the worker runs.
+_WORKER_EMITTERS: dict[str, EventEmitter] = {}
+
+
+def emit_event(type_: str, **fields: Any) -> None:
+    """Append one event to the active emitter (no-op without one).
+
+    The producer entry point, mirroring :func:`repro.obs.convergence.
+    observe`: span hooks, the pool, the shm layer and the sweep engine
+    all call this unconditionally and pay one contextvar read when no
+    bus is attached.
+    """
+    emitter = _ACTIVE_EMITTER.get()
+    if emitter is not None:
+        emitter.emit(type_, **fields)
+
+
+def emitting_events() -> bool:
+    """True when an :func:`emit_event` call would actually write."""
+    return _ACTIVE_EMITTER.get() is not None
+
+
+def current_bus_handle() -> str | None:
+    """The attached bus's spool directory (what pool payloads carry)."""
+    return _ACTIVE_SPOOL.get()
+
+
+@contextmanager
+def spool_emitter(spool_dir: str) -> Iterator[EventEmitter]:
+    """Activate a (cached) emitter for ``spool_dir`` in this process.
+
+    The worker side of the bus: the supervised pool's task wrapper
+    enters this around the task body when the submitting parent had a
+    bus attached.  The emitter is cached per spool dir, so one worker
+    writes one spool file for the bus's whole lifetime.
+    """
+    emitter = _WORKER_EMITTERS.get(spool_dir)
+    if emitter is None:
+        emitter = EventEmitter(spool_dir)
+        _WORKER_EMITTERS[spool_dir] = emitter
+    spool_token = _ACTIVE_SPOOL.set(spool_dir)
+    token = _ACTIVE_EMITTER.set(emitter)
+    try:
+        yield emitter
+    finally:
+        _ACTIVE_EMITTER.reset(token)
+        _ACTIVE_SPOOL.reset(spool_token)
+        emitter.flush()
+
+
+# ---------------------------------------------------------------------------
+# The bus
+
+
+class EventBus:
+    """Parent-side spool owner, drainer thread and consumer fan-out.
+
+    ``attach()`` scopes the parent emitter + handle contextvars and
+    runs the drainer; :meth:`subscribe` registers consumers (callables
+    receiving one event dict each; optional ``tick(now)`` runs after
+    every drain round, optional ``close()`` at shutdown).  The drainer
+    additionally synthesizes a periodic ``shm.census`` event from
+    :func:`repro.placement.shm.active_repro_segments`, so a leaked
+    segment is visible *while* the run leaks it.
+    """
+
+    def __init__(
+        self,
+        spool_dir: str | os.PathLike | None = None,
+        poll_interval_s: float = 0.05,
+        census_interval_s: float = 1.0,
+        flush_interval_s: float = 0.05,
+    ) -> None:
+        self._own_dir: tempfile.TemporaryDirectory | None = None
+        if spool_dir is None:
+            self._own_dir = tempfile.TemporaryDirectory(prefix="repro-events-")
+            spool_dir = self._own_dir.name
+        self.spool_dir = os.fspath(spool_dir)
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.poll_interval_s = poll_interval_s
+        self.census_interval_s = census_interval_s
+        self.emitter = EventEmitter(
+            self.spool_dir, flush_interval_s=flush_interval_s
+        )
+        self._consumers: list[Callable[[dict], None]] = []
+        self._offsets: dict[str, int] = {}
+        self._carry: dict[str, str] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._census_seq = 0
+        self._last_census = 0.0
+        self.delivered = 0
+        self.parse_errors = 0
+        self.counts_by_type: dict[str, int] = {}
+
+    # -- consumers ---------------------------------------------------------
+
+    def subscribe(self, consumer: Callable[[dict], None]) -> Callable:
+        """Register a consumer; returns it so construction can inline."""
+        self._consumers.append(consumer)
+        return consumer
+
+    def _deliver(self, event: dict) -> None:
+        self.delivered += 1
+        type_ = str(event.get("type", "?"))
+        self.counts_by_type[type_] = self.counts_by_type.get(type_, 0) + 1
+        for consumer in list(self._consumers):
+            try:
+                consumer(event)
+            except Exception:
+                logger.exception(
+                    "event consumer %r failed; detaching it", consumer
+                )
+                self._consumers.remove(consumer)
+
+    # -- draining ----------------------------------------------------------
+
+    def drain_once(self) -> int:
+        """Read every spool's new complete lines; returns events seen.
+
+        Partial trailing lines (a writer mid-append, or a SIGKILLed
+        writer's last gasp) stay in a per-file carry buffer and are
+        only delivered once their newline arrives — which for a dead
+        writer is never, exactly the torn-event guarantee.
+        """
+        self.emitter.flush()
+        batch: list[dict] = []
+        try:
+            names = sorted(os.listdir(self.spool_dir))
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(_SPOOL_SUFFIX):
+                continue
+            path = os.path.join(self.spool_dir, name)
+            offset = self._offsets.get(name, 0)
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            self._offsets[name] = offset + len(chunk)
+            text = self._carry.pop(name, "") + chunk.decode(
+                "utf-8", errors="replace"
+            )
+            lines = text.split("\n")
+            if lines[-1]:
+                self._carry[name] = lines[-1]
+            for line in lines[:-1]:
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    self.parse_errors += 1
+                    logger.warning(
+                        "event bus: skipping corrupt spool line in %s", name
+                    )
+                    continue
+                if isinstance(event, dict):
+                    batch.append(event)
+                else:
+                    self.parse_errors += 1
+        batch.sort(key=lambda e: e.get("t", 0.0))
+        for event in batch:
+            self._deliver(event)
+        return len(batch)
+
+    def _census(self, now: float) -> None:
+        if now - self._last_census < self.census_interval_s:
+            return
+        self._last_census = now
+        # Lazy import: placement.shm emits through this module, so a
+        # top-level import here would be circular.
+        try:
+            from repro.placement.shm import active_repro_segments
+
+            segments = active_repro_segments()
+        except Exception:  # pragma: no cover - census is best-effort
+            logger.debug("event bus: shm census failed", exc_info=True)
+            return
+        self._census_seq += 1
+        self._deliver(
+            {
+                "t": time.time(),
+                "pid": os.getpid(),
+                "src": f"census-{os.getpid()}",
+                "seq": self._census_seq,
+                "type": "shm.census",
+                "segments": segments,
+            }
+        )
+
+    def _tick_consumers(self, now: float) -> None:
+        for consumer in list(self._consumers):
+            tick = getattr(consumer, "tick", None)
+            if tick is None:
+                continue
+            try:
+                tick(now)
+            except Exception:
+                logger.exception(
+                    "event consumer %r tick failed; detaching it", consumer
+                )
+                self._consumers.remove(consumer)
+
+    def _drain_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            self.drain_once()
+            now = time.monotonic()
+            self._census(now)
+            self._tick_consumers(now)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @contextmanager
+    def attach(self) -> Iterator["EventBus"]:
+        """Activate the parent emitter, arm the handle, run the drainer."""
+        spool_token = _ACTIVE_SPOOL.set(self.spool_dir)
+        token = _ACTIVE_EMITTER.set(self.emitter)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-event-drain", daemon=True
+        )
+        self._thread.start()
+        try:
+            yield self
+        finally:
+            _ACTIVE_EMITTER.reset(token)
+            _ACTIVE_SPOOL.reset(spool_token)
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop the drainer, final-drain, close consumers and spools."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.emitter.close()
+        self.drain_once()
+        self._tick_consumers(time.monotonic())
+        for consumer in list(self._consumers):
+            close = getattr(consumer, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    logger.exception("event consumer %r close failed", consumer)
+
+    def close(self) -> None:
+        """Stop (idempotent) and remove an owned spool directory."""
+        self.stop()
+        if self._own_dir is not None:
+            try:
+                self._own_dir.cleanup()
+            except OSError:  # pragma: no cover - straggler still writing
+                pass
+            self._own_dir = None
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Consumers
+
+
+class JsonlSink:
+    """Durable JSONL sink: header line + one flushed line per event.
+
+    The resulting file passes :func:`validate_events` and is what
+    ``repro tail`` replays after the fact.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write(
+            json.dumps(
+                {"schema": EVENTS_SCHEMA, "created_unix": time.time()},
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        self._fh.flush()
+        self.n_events = 0
+
+    def __call__(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(
+            json.dumps(event, separators=(",", ":"), default=_json_default)
+            + "\n"
+        )
+        self._fh.flush()
+        self.n_events += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class PrometheusExporter:
+    """Bus consumer flushing a registry as a Prometheus textfile.
+
+    Counts every event into ``events.<type>`` counters (and mirrors the
+    shm census into an ``events.shm_segments`` gauge) on the given
+    registry, then periodically writes
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus` via the
+    atomic tmp + rename the node-exporter textfile collector expects.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        registry: MetricsRegistry | None = None,
+        flush_interval_s: float = 2.0,
+        namespace: str = "repro",
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else current_registry()
+        self.flush_interval_s = flush_interval_s
+        self.namespace = namespace
+        self._last_flush = 0.0
+        self.n_flushes = 0
+
+    def __call__(self, event: dict) -> None:
+        type_ = str(event.get("type", "?"))
+        self.registry.counter(f"events.{type_}").inc()
+        if type_ == "shm.census":
+            self.registry.gauge("events.shm_segments").set(
+                len(event.get("segments") or ())
+            )
+
+    def flush(self) -> None:
+        text = self.registry.to_prometheus(namespace=self.namespace)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)
+        self.n_flushes += 1
+
+    def tick(self, now: float) -> None:
+        if now - self._last_flush >= self.flush_interval_s:
+            self._last_flush = now
+            self.flush()
+
+    def close(self) -> None:
+        self.flush()
+
+
+# ---------------------------------------------------------------------------
+# Reading + validation (the durable-file contract)
+
+
+def read_events(path: str | os.PathLike) -> list[dict]:
+    """Events from a durable JSONL file (header skipped, tolerant).
+
+    A truncated trailing line — the writer died mid-append — is
+    skipped, mirroring the sweep journal loader.  Corrupt interior
+    lines are skipped too; :func:`validate_events` is the strict path.
+    """
+    events: list[dict] = []
+    text = Path(path).read_text(encoding="utf-8")
+    complete = text.endswith("\n")
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        if not complete and i == len(lines) - 1:
+            break
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(payload, dict) and "schema" not in payload:
+            events.append(payload)
+    return events
+
+
+def validate_events(
+    source: str | os.PathLike | Iterable[Mapping],
+) -> list[str]:
+    """Structural check of an event stream; returns problems (empty = ok).
+
+    Mirrors :func:`~repro.obs.recorder.validate_run_record` so the
+    schema has exactly one definition: the CLI, the chaos suite and the
+    ``events_overhead`` bench gate all call this.  Accepts a durable
+    JSONL path (header line required) or an in-memory event iterable.
+    """
+    problems: list[str] = []
+    events: list[Mapping]
+    if isinstance(source, (str, os.PathLike)):
+        try:
+            text = Path(source).read_text(encoding="utf-8")
+        except OSError as exc:
+            return [f"unreadable events file: {exc}"]
+        complete = text.endswith("\n")
+        lines = text.splitlines()
+        if not lines:
+            return ["empty events file (missing header line)"]
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, Mapping) or header.get("schema") != EVENTS_SCHEMA:
+            problems.append(
+                f"header schema is not {EVENTS_SCHEMA!r}: {lines[0][:80]!r}"
+            )
+        events = []
+        for i, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            if not complete and i == len(lines):
+                continue  # truncated trailing line: the tolerated crash
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                problems.append(f"line {i}: corrupt JSON")
+                continue
+            if not isinstance(payload, Mapping):
+                problems.append(f"line {i}: event is not an object")
+                continue
+            events.append(payload)
+    else:
+        events = [e for e in source]
+
+    last_seq: dict[str, int] = {}
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        bad = False
+        for key, kinds in (
+            ("t", (int, float)),
+            ("pid", (int,)),
+            ("src", (str,)),
+            ("seq", (int,)),
+            ("type", (str,)),
+        ):
+            value = event.get(key)
+            if not isinstance(value, kinds) or isinstance(value, bool):
+                problems.append(f"{where}: missing or mistyped {key!r}")
+                bad = True
+        if bad:
+            continue
+        src = event["src"]
+        seq = event["seq"]
+        if src in last_seq and seq <= last_seq[src]:
+            problems.append(
+                f"{where}: seq {seq} not increasing for src {src!r} "
+                f"(last {last_seq[src]})"
+            )
+        last_seq[src] = seq
+        type_ = event["type"]
+        for field in REQUIRED_FIELDS.get(type_, ()):
+            if field not in event:
+                problems.append(f"{where} ({type_}): missing field {field!r}")
+    return problems

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 import logging
-from typing import IO
+from typing import IO, Callable
 
 #: Verbosity (``-q`` = -1, default 0, ``-v`` = 1, ``-vv`` = 2) -> level.
 _LEVELS = {
@@ -50,6 +50,31 @@ def configure_logging(
     root.setLevel(verbosity_level(verbosity))
     root.propagate = False
     return root
+
+
+def redirect_managed_stream(stream: IO[str]) -> "Callable[[], None]":
+    """Point the managed ``repro`` handler at ``stream``; returns undo.
+
+    The live TTY view uses this so ``-v``/``-vv`` diagnostics (including
+    the ``repro.obs.events`` bus/drainer logger) land in its buffered
+    log pane instead of interleaving with ANSI cursor movement; the
+    returned callable restores the previous stream.  A no-op undo is
+    returned when :func:`configure_logging` never ran.
+    """
+    root = logging.getLogger("repro")
+    redirected = [
+        (handler, handler.setStream(stream))
+        for handler in root.handlers
+        if getattr(handler, "_repro_managed", False)
+        and isinstance(handler, logging.StreamHandler)
+    ]
+
+    def undo() -> None:
+        for handler, old in redirected:
+            if old is not None:
+                handler.setStream(old)
+
+    return undo
 
 
 def add_logging_args(parser: argparse.ArgumentParser) -> None:

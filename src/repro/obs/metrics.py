@@ -16,6 +16,7 @@ activated with :func:`use_registry`.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -180,6 +181,47 @@ class MetricsRegistry:
                     for i, n in enumerate(summary.get("bucket_counts", [])):
                         hist.bucket_counts[i] += n
 
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """The snapshot in Prometheus text exposition format.
+
+        Counters export as ``<ns>_<name>_total``, gauges plainly, and
+        histograms as cumulative ``_bucket{le=...}`` series plus
+        ``_sum``/``_count`` — the shapes ``promtool check metrics``
+        accepts.  Metric names are sanitized (``.`` and other invalid
+        characters become ``_``).  Written to a node-exporter textfile
+        by :class:`repro.obs.events.PrometheusExporter`.
+        """
+        snap = self.snapshot()
+        lines: list[str] = []
+
+        def name_of(raw: str, suffix: str = "") -> str:
+            return f"{namespace}_{_PROM_INVALID.sub('_', raw)}{suffix}"
+
+        for raw, value in sorted(snap["counters"].items()):
+            metric = name_of(raw, "_total")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value:g}")
+        for raw, value in sorted(snap["gauges"].items()):
+            metric = name_of(raw)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value:g}")
+        for raw, summary in sorted(snap["histograms"].items()):
+            metric = name_of(raw)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            counts = summary.get("bucket_counts", [])
+            for bound, count in zip(summary.get("bounds", []), counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{bound:g}"}} {cumulative}'
+                )
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {summary.get("count", 0)}'
+            )
+            lines.append(f"{metric}_sum {summary.get('sum', 0.0):g}")
+            lines.append(f"{metric}_count {summary.get('count', 0)}")
+        return "\n".join(lines) + "\n"
+
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
@@ -189,6 +231,9 @@ class MetricsRegistry:
             fh.write(self.to_json())
             fh.write("\n")
 
+
+#: Characters invalid in a Prometheus metric name.
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 _DEFAULT_REGISTRY = MetricsRegistry()
 _ACTIVE_REGISTRY: ContextVar[MetricsRegistry | None] = ContextVar(

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.obs.convergence import ConvergenceLog, use_convergence
+from repro.obs.events import emit_event
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.trace import Span, Tracer, as_span_roots  # noqa: F401 - Span in annotations
 
@@ -100,10 +101,12 @@ class FlightRecorder:
             if self._scoped_registry:
                 stack.enter_context(use_registry(self.registry))
             token = _ACTIVE_RECORDER.set(self)
+            emit_event("run.begin", name=self.name)
             try:
                 yield self
             finally:
                 _ACTIVE_RECORDER.reset(token)
+                emit_event("run.end", name=self.name)
 
     # -- capture -----------------------------------------------------------
 
@@ -115,6 +118,7 @@ class FlightRecorder:
             },
         )
         self.qor.append(snap)
+        emit_event("qor", stage=snap.stage, metrics=snap.metrics)
         return snap
 
     def annotate(self, **meta: Any) -> "FlightRecorder":

@@ -23,6 +23,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.events import emit_event
 from repro.obs.metrics import current_registry
 
 _ACTIVE_SPAN: ContextVar["Span | None"] = ContextVar(
@@ -60,6 +61,7 @@ class Span:
         if self._parent is not None and self._parent._t0 is not None:
             self.start_offset_s = self._t0 - self._parent._t0
         self._token = _ACTIVE_SPAN.set(self)
+        emit_event("span.begin", name=self.name)
         return self
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
@@ -80,6 +82,12 @@ class Span:
         registry.histogram(f"span.{self.name}").observe(self.duration_s)
         if self.status == "error":
             registry.counter(f"span.{self.name}.errors").inc()
+        emit_event(
+            "span.end",
+            name=self.name,
+            duration_s=self.duration_s,
+            status=self.status,
+        )
         # Drop context references so finished spans pickle cleanly.
         self._parent = None
         self._token = None

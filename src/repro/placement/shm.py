@@ -56,6 +56,7 @@ from typing import Collection, Iterator, Mapping
 import numpy as np
 
 from repro.geometry import Rect
+from repro.obs.events import emit_event
 from repro.placement.db import Floorplan, PlacedDesign, Row
 from repro.utils.errors import ValidationError
 from repro.utils.resilience import FaultPlan
@@ -143,6 +144,7 @@ class ShmPublication:
             shm.unlink()
         except FileNotFoundError:  # already unlinked (e.g. test cleanup)
             pass
+        emit_event("shm.unlink", segment=self.handle.segment)
 
     def __del__(self) -> None:  # last-resort leak protection
         try:
@@ -190,6 +192,7 @@ def publish_arrays(
         shm.close()
         shm.unlink()
         raise
+    emit_event("shm.publish", segment=segment, nbytes=total)
     return ShmPublication(handle, shm)
 
 

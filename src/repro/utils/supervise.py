@@ -64,6 +64,7 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import logging
 
+from repro.obs.events import current_bus_handle, emit_event, spool_emitter
 from repro.obs.metrics import current_registry
 from repro.utils.errors import ReproError
 from repro.utils.resilience import FaultPlan, RetryPolicy
@@ -186,7 +187,15 @@ def _supervised_call(payload: dict) -> Any:
             # (e.g. shm attach): worker-side plan copies are re-pickled
             # on every retry, so only this counter survives a respawn.
             item.setdefault("_pool_attempt", payload.get("attempt"))
-        result = payload["fn"](item)
+        events_dir = payload.get("events")
+        if events_dir:
+            # The submitting parent had an event bus attached: stream
+            # this task's telemetry (spans, convergence, shm, ...)
+            # through a per-worker spool file the parent drains live.
+            with spool_emitter(events_dir):
+                result = payload["fn"](item)
+        else:
+            result = payload["fn"](item)
     finally:
         stop.set()
     if hb_path:
@@ -410,6 +419,9 @@ class SupervisedPool:
             "heartbeat_interval_s": self.heartbeat_interval_s,
             "attempt": attempt,
         }
+        events_dir = current_bus_handle()
+        if events_dir is not None:
+            payload["events"] = events_dir
         if self.fault_plan is not None and fault_stage:
             payload["fault_plan"] = self.fault_plan
             payload["fault_stage"] = fault_stage
@@ -437,6 +449,9 @@ class SupervisedPool:
             logger.warning(
                 "supervised pool: killing %s task %d (pid %s)",
                 verdict, flight.index, pid,
+            )
+            emit_event(
+                "pool.kill", index=flight.index, reason=verdict, victim=pid
             )
             if pid is not None and _pid_alive(pid):
                 try:
@@ -513,6 +528,11 @@ class SupervisedPool:
                     payload, hb_path = self._payload(
                         fn, items[i], outcomes[i].attempts, stage
                     )
+                    emit_event(
+                        "pool.task_start",
+                        index=i,
+                        attempt=outcomes[i].attempts,
+                    )
                     futures[executor.submit(_supervised_call, payload)] = i
                     flights[i] = _InFlight(
                         index=i,
@@ -535,6 +555,7 @@ class SupervisedPool:
             self.stats.respawns += 1
             victims = self._victims(flights) if flights else []
             victim_idx = {f.index for f in victims}
+            emit_event("pool.respawn", victims=sorted(victim_idx))
             for flight in victims:
                 outcome = outcomes[flight.index]
                 if flight.killed_as is not None:
@@ -548,6 +569,11 @@ class SupervisedPool:
                     inline_queue.append(flight.index)
                 else:
                     self.stats.retries += 1
+                    emit_event(
+                        "pool.retry",
+                        index=flight.index,
+                        attempt=outcome.attempts,
+                    )
                     self.sleep(self.retry.delay(outcome.attempts))
             # Innocent bystanders resubmit without being charged.
             for i in list(pending):
@@ -598,6 +624,9 @@ class SupervisedPool:
                     pending.discard(i)
                     flights.pop(i, None)
                     self.stats.completed += 1
+                    emit_event(
+                        "pool.task_done", index=i, status=outcome.status
+                    )
                     if progress is not None:
                         progress(i, outcome)
                     continue
@@ -608,6 +637,7 @@ class SupervisedPool:
                 pending.discard(i)
                 flights.pop(i, None)
                 self.stats.completed += 1
+                emit_event("pool.task_done", index=i, status="ok")
                 if progress is not None:
                     progress(i, outcome)
                 if stop_when is not None and stop_when(i, outcome):
@@ -663,6 +693,7 @@ class SupervisedPool:
             outcome.attempts += 1
             self.stats.inline_runs += 1
             registry.counter("pool.inline_runs").inc()
+            emit_event("pool.inline", index=i, attempt=outcome.attempts)
             logger.warning(
                 "supervised pool: running task %d inline after %d failed "
                 "pool attempt(s)", i, outcome.attempts - 1,
@@ -858,6 +889,7 @@ def race(
     if not entries:
         raise ValueError("race needs at least one entry")
     t0 = time.perf_counter()
+    emit_event("race.start", entries=[e.label for e in entries])
     if pool is None and (workers is None or workers <= 1 or len(entries) == 1):
         return _race_sequential(entries, certify, t0)
 
@@ -883,6 +915,7 @@ def race(
         if certify(i, outcome.value):
             winner["index"] = i
             cancel_t0[0] = time.perf_counter()
+            emit_event("race.certified", index=i, label=entries[i].label)
             return True
         return False
 
@@ -933,6 +966,7 @@ def _race_sequential(
         outcome.wall_s = time.perf_counter() - t0
         if certify(i, outcome.value):
             winner_index = i
+            emit_event("race.certified", index=i, label=entry.label)
             for j in range(i + 1, len(entries)):
                 outcomes[j]._fail(
                     RaceCancelled("skipped: earlier entry certified"),
@@ -958,3 +992,13 @@ def _publish_race_metrics(result: RaceResult) -> None:
     registry.counter("race.crashes").inc(result.crashes)
     registry.counter("race.hangs").inc(result.hangs)
     registry.histogram("race.wall_s").observe(result.wall_s)
+    emit_event(
+        "race.done",
+        entries=list(result.entries),
+        winner=result.winner,
+        wall_s=result.wall_s,
+        cancelled=result.n_cancelled,
+        crashes=result.crashes,
+        hangs=result.hangs,
+        sequential=result.sequential,
+    )

@@ -10,6 +10,7 @@ bit-for-bit on the healthy path (Hypothesis-pinned).
 """
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -198,6 +199,83 @@ class TestShmChaos:
         raced, prov = _race(instance, fault_plan=plan)
         assert raced is not None
         assert raced.objective == pytest.approx(seq.objective)
+
+
+# ---------------------------------------------------------------------------
+# Event bus under faults
+
+
+class TestEventBusChaos:
+    """SIGKILLed workers must never tear the event stream.
+
+    Spool appends are whole-line writes, so a killed worker can at worst
+    leave one truncated trailing line that the drainer holds back
+    forever; everything delivered must still pass the strict
+    ``repro.events/1`` check.
+    """
+
+    def _attached_race(self, instance, fault_plan=None, workers=3):
+        from repro.obs.events import EventBus, JsonlSink, validate_events
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        sink = bus.subscribe(JsonlSink(Path(bus.spool_dir) / "durable.jsonl"))
+        try:
+            with bus.attach():
+                assignment, prov = _race(
+                    instance, fault_plan=fault_plan, workers=workers
+                )
+            problems = validate_events(seen) + validate_events(sink.path)
+        finally:
+            bus.close()
+        return assignment, prov, seen, problems, bus
+
+    def test_healthy_race_streams_valid_events(self):
+        instance = _rap_instance(31)
+        assignment, prov, seen, problems, bus = self._attached_race(instance)
+        assert assignment is not None
+        assert problems == []
+        assert bus.parse_errors == 0
+        types = {e["type"] for e in seen}
+        assert "race.start" in types and "race.done" in types
+        assert "race.certified" in types
+        done = [e for e in seen if e["type"] == "race.done"][-1]
+        assert done["winner"] in EXACT_BACKENDS
+
+    def test_worker_crash_leaves_no_torn_events(self):
+        instance = _rap_instance(32)
+        plan = FaultPlan().fail(
+            "rap.highs", kind="worker_crash", on_attempt=1
+        )
+        assignment, prov, seen, problems, bus = self._attached_race(
+            instance, fault_plan=plan
+        )
+        # The SIGKILLed rung's spool ends mid-line at worst: nothing
+        # delivered may be corrupt and the durable file must validate.
+        assert assignment is not None
+        assert problems == []
+        assert bus.parse_errors == 0
+        assert prov.backend in EXACT_BACKENDS
+
+    def test_crash_mid_attach_census_sees_no_leak(self, monkeypatch):
+        from repro.placement.shm import active_repro_segments
+
+        monkeypatch.setattr("repro.core.rap.SHM_MIN_BYTES", 0)
+        instance = _rap_instance(33)
+        plan = FaultPlan().fail(
+            "shm.attach", kind="worker_crash", on_attempt=1
+        )
+        assignment, prov, seen, problems, bus = self._attached_race(
+            instance, fault_plan=plan
+        )
+        assert assignment is not None
+        assert problems == []
+        # The forced-shm path must have streamed its lifetime events and
+        # the run must end with zero live segments.
+        types = {e["type"] for e in seen}
+        assert "shm.publish" in types and "shm.unlink" in types
+        assert active_repro_segments() == []
 
 
 # ---------------------------------------------------------------------------

@@ -208,6 +208,24 @@ class TestRunReportRendering:
         text = render_run_report({"name": "empty"})
         assert text.startswith("# Run report: empty")
 
+    def test_render_metrics_totals_from_merged_counters(self):
+        from repro.eval.report import render_run_report
+
+        # Worker registry snapshots folded back into the parent surface
+        # as a counter-totals table; a counter-free record omits it.
+        record = {
+            "name": "merged",
+            "metrics": {
+                "counters": {"race.runs": 2.0, "cache.hit": 5.0},
+                "gauges": {},
+                "histograms": {},
+            },
+        }
+        text = render_run_report(record)
+        assert "## Metrics totals" in text
+        assert "race.runs" in text and "cache.hit" in text
+        assert "## Metrics totals" not in render_run_report({"name": "x"})
+
 
 class TestLogConfig:
     def test_verbosity_mapping_clamped(self):
