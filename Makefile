@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint-heights lint-no-design-pickle test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight bench-events bench-giga report examples clean
+.PHONY: install test lint-heights lint-no-design-pickle test-faults test-chaos bench bench-full bench-sweep bench-kernels bench-rap bench-race bench-nheight bench-events bench-eco bench-giga report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -96,6 +96,19 @@ bench-nheight:
 # validate_events.
 bench-events:
 	$(PYTHON) scripts/bench_kernels.py --only events --merge BENCH_kernels.json \
+	  --out BENCH_kernels.json.new
+	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
+	  || (rm -f BENCH_kernels.json.new; exit 1)
+	mv BENCH_kernels.json.new BENCH_kernels.json
+
+# Streaming-ECO rebench (flow (5) incumbent on the full-scale aes_400):
+# refreshes the eco_repair entry — warm-started restricted RAP repair +
+# windowed re-legalization of a deterministic 1% netlist delta vs a cold
+# full re-run of the same mutated design — and gates the >= 20x
+# speedup_vs_full floor plus the qor_match invariant (legal, <= 2% HPWL
+# drift vs cold).
+bench-eco:
+	$(PYTHON) scripts/bench_kernels.py --only eco --merge BENCH_kernels.json \
 	  --out BENCH_kernels.json.new
 	$(PYTHON) scripts/check_bench.py BENCH_kernels.json.new BENCH_kernels.json \
 	  || (rm -f BENCH_kernels.json.new; exit 1)

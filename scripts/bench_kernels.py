@@ -45,9 +45,17 @@ durable ``JsonlSink``) against the bus-disabled run; the gate asserts
 the bus costs at most ~3% wall-clock on the instrumented hot path and
 that the streamed JSONL passes ``validate_events``.
 
+The ``eco`` group measures the streaming-ECO path: apply a deterministic
+1% netlist delta to a solved flow-(5) incumbent on the gate testcase and
+repair it in place (warm-started restricted pricing + windowed
+re-legalization), then time a cold full re-run of the same mutated
+design.  The gate floors ``speedup_vs_full`` (the repair must cost at
+most ~5% of a full re-run) and asserts ``qor_match`` — the repaired
+placement is legal and within 2% HPWL of the cold result.
+
 ``--only`` restricts the run to named kernel groups (``legalizers``,
 ``topology``, ``rap``, ``race``, ``nheight``, ``flow``, ``events``,
-``giga``); combine with
+``eco``, ``giga``); combine with
 ``--merge`` to carry the untouched groups over from a committed JSON so
 the gate still sees every kernel (``make bench-rap`` and
 ``make bench-nheight`` do exactly this).
@@ -107,8 +115,12 @@ RAP_TESTCASE = "aes_400"  # full scale: the instance the paper's ILP sees
 NHEIGHT_TESTCASE = "aes3h_340"  # three-height twin, sweep scale
 KERNEL_GROUPS = (
     "legalizers", "topology", "rap", "race", "nheight", "flow", "events",
-    "giga",
+    "eco", "giga",
 )
+
+# Streaming ECO: deterministic delta size and seed for the gated entry.
+ECO_DELTA_FRACTION = 0.01
+ECO_DELTA_SEED = 1
 
 # Giga tier: the shared-memory design DB + blocked-numpy hot paths at
 # >= 100k cells.  Kernel benches run on a synthetic 100k-cell design;
@@ -450,6 +462,69 @@ def bench_nheight(repeats):
     }
 
 
+def bench_eco(library, repeats):
+    """Streaming-ECO repair vs a cold post-delta full run, full-scale aes_400.
+
+    Builds the flow-(5) incumbent, applies the deterministic 1% delta
+    (``ECO_DELTA_FRACTION`` / ``ECO_DELTA_SEED``) and times the
+    incremental repair; the cold reference rebuilds the same post-delta
+    design from scratch (netlist + initial placement + flow (5)), which
+    is exactly the work the ECO path replaces.  The gate floors
+    ``speedup_vs_full`` and asserts the ``qor_match`` invariant: the
+    repaired placement is legal and within 2% HPWL of the cold re-run.
+    """
+    from repro.eco import apply_delta, make_eco_delta
+
+    spec = testcase_by_id(FLOW_TESTCASE)
+    design = build_testcase(spec, library, scale=1.0)
+    initial = prepare_initial_placement(design, library)
+    runner = FlowRunner(initial)
+    incumbent = runner.run(FlowKind.FLOW5)
+
+    delta = make_eco_delta(
+        design, fraction=ECO_DELTA_FRACTION, seed=ECO_DELTA_SEED,
+        library=library,
+    )
+    result = runner.run_eco(delta, incumbent)
+    legal = not result.placed.check_legal()
+
+    # Cold reference: the same delta applied to a fresh build, then the
+    # full pipeline from scratch (timed as full_seconds).
+    t0 = time.perf_counter()
+    cold_design = build_testcase(spec, library, scale=1.0)
+    cold_delta = make_eco_delta(
+        cold_design, fraction=ECO_DELTA_FRACTION, seed=ECO_DELTA_SEED,
+        library=library,
+    )
+    assert cold_delta.fingerprint() == delta.fingerprint()
+    cold_initial = prepare_initial_placement(cold_design, library)
+    apply_delta(cold_initial, cold_delta)
+    cold_runner = FlowRunner(cold_initial)
+    cold = cold_runner.run(FlowKind.FLOW5)
+    full_seconds = time.perf_counter() - t0
+
+    drift = (result.hpwl - cold.hpwl) / cold.hpwl
+    return {
+        "seconds": result.seconds,
+        "full_seconds": full_seconds,
+        "speedup_vs_full": full_seconds / result.seconds,
+        "hpwl": float(result.hpwl),
+        "cold_hpwl": float(cold.hpwl),
+        "hpwl_drift": float(drift),
+        "legal": bool(legal),
+        "certified": bool(result.certified),
+        "fallback": bool(result.fallback),
+        "qor_match": bool(legal and abs(drift) <= 0.02),
+        "n_ops": int(delta.n_ops),
+        "n_dirty_clusters": int(result.n_dirty_clusters),
+        "moved_cells": int(result.moved_cells),
+        "delta_fraction": ECO_DELTA_FRACTION,
+        "delta_seed": ECO_DELTA_SEED,
+        "n_cells": int(design.num_instances),
+        "testcase": FLOW_TESTCASE,
+    }
+
+
 def bench_giga(library, repeats):
     """Giga tier: the 100k-cell hot paths + a budgeted flow (5) run.
 
@@ -510,7 +585,8 @@ def bench_giga(library, repeats):
     params = RCPPParams(time_budget_s=GIGA_FLOW_SOLVER_BUDGET_S)
     t0 = time.perf_counter()
     initial = prepare_initial_placement(design, library)
-    flow = FlowRunner(initial, params).run(FlowKind.FLOW5)
+    flow_runner = FlowRunner(initial, params)
+    flow = flow_runner.run(FlowKind.FLOW5)
     seconds = time.perf_counter() - t0
     entries["flow5_giga"] = {
         "seconds": seconds,
@@ -520,6 +596,34 @@ def bench_giga(library, repeats):
         "within_budget": bool(seconds <= GIGA_FLOW_BUDGET_S),
         "hpwl": float(flow.hpwl),
         "degraded": bool(flow.degraded),
+        "testcase": GIGA_TESTCASE,
+    }
+
+    # Streaming ECO at giga scale (informative, not floored): repair the
+    # deterministic 1% delta on the flow we just ran; ``full_seconds``
+    # reuses the measured prepare + flow wall above instead of paying a
+    # second 100k-cell cold run.
+    from repro.eco import make_eco_delta
+
+    delta = make_eco_delta(
+        design, fraction=ECO_DELTA_FRACTION, seed=ECO_DELTA_SEED,
+        library=library,
+    )
+    result = flow_runner.run_eco(delta, flow)
+    entries["eco_repair_giga"] = {
+        "seconds": result.seconds,
+        "full_seconds": seconds,
+        "speedup_vs_full": seconds / result.seconds,
+        "hpwl": float(result.hpwl),
+        "legal": not result.placed.check_legal(),
+        "certified": bool(result.certified),
+        "fallback": bool(result.fallback),
+        "n_ops": int(delta.n_ops),
+        "n_dirty_clusters": int(result.n_dirty_clusters),
+        "moved_cells": int(result.moved_cells),
+        "cells_per_s": design.num_instances / result.seconds,
+        "delta_fraction": ECO_DELTA_FRACTION,
+        "n_cells": int(design.num_instances),
         "testcase": GIGA_TESTCASE,
     }
     return entries
@@ -752,6 +856,22 @@ def main() -> int:
             f"(baseline {BASELINE['flow5_seconds'] * 1e3:8.2f} ms, "
             f"{BASELINE['flow5_seconds'] / seconds:4.2f}x, "
             f"{design.num_instances} cells)"
+        )
+
+    # Streaming ECO repair vs cold full re-run on the gate testcase.
+    if "eco" in groups:
+        entry = bench_eco(library, args.repeats)
+        kernels["eco_repair"] = entry
+        registry.gauge("bench.eco_repair.seconds").set(entry["seconds"])
+        registry.gauge("bench.eco_repair.speedup_vs_full").set(
+            entry["speedup_vs_full"]
+        )
+        print(
+            f"{'eco_repair':24s} {entry['seconds'] * 1e3:8.2f} ms   "
+            f"(full {entry['full_seconds'] * 1e3:8.2f} ms, "
+            f"{entry['speedup_vs_full']:5.1f}x, "
+            f"drift {entry['hpwl_drift'] * 100:+.2f}%, "
+            f"qor_match={entry['qor_match']})"
         )
 
     # Event-bus overhead on the instrumented flow (5) path.

@@ -24,6 +24,11 @@ when the current run misses the speedup floors this layer promises:
   the instrumented flow (5) hot path (``speedup_vs_disabled`` >= 0.97)
   and the streamed JSONL must pass ``validate_events``
   (``events_valid``) — torn or schema-breaking events fail the gate
+* ``eco_repair``       streaming ECO: repairing a 1% netlist delta must
+  run >= 20x faster than a cold full re-run of the mutated design
+  (``speedup_vs_full``) and the repaired placement must be legal and
+  within 2% HPWL of the cold result (``qor_match``) — an illegal or
+  drifting repair fails the gate regardless of speed
 * ``*_giga``           100k-cell tier: tetris >= 3.0x over the scalar
   reference at giga scale, per-kernel ``cells_per_s`` throughput floors,
   and ``flow5_giga.within_budget`` (the end-to-end flow (5) must finish
@@ -83,6 +88,9 @@ FLOORS = {
     ("spread_giga", "cells_per_s"): 400_000.0,
     ("global_place_giga", "cells_per_s"): 50_000.0,
     ("flow5_giga", "cells_per_s"): 100.0,
+    # Streaming ECO: repairing a 1% delta must cost at most ~5% of a
+    # cold full re-run of the same mutated design (>= 20x speedup).
+    ("eco_repair", "speedup_vs_full"): 20.0,
 }
 
 #: Boolean invariants: (kernel, field) entries that must be true.
@@ -98,6 +106,9 @@ INVARIANTS = (
     # RAP + legalization by the flow Deadline), so an overrun means a
     # stage stopped honoring its budget.
     ("flow5_giga", "within_budget"),
+    # The ECO-repaired placement must be legal and within 2% HPWL of a
+    # cold full re-run — speed that costs QoR is a correctness failure.
+    ("eco_repair", "qor_match"),
 )
 
 

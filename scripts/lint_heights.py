@@ -55,7 +55,7 @@ BASELINE: dict[str, int] = {
     "core/rap.py": 32,
     "core/rcpp.py": 3,
     "core/region.py": 5,
-    "core/sparse_rap.py": 46,
+    "core/sparse_rap.py": 37,
     "core/swap.py": 2,
     "eval/visualize.py": 2,
     "experiments/artifact_cache.py": 4,

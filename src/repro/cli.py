@@ -5,6 +5,7 @@ Commands:
 * ``place``       — run the full proposed pipeline on a synthetic design
 * ``flows``       — compare the five flows on a Table II testcase
 * ``run``         — run one flow with live event streaming (``--live``)
+* ``eco``         — incremental re-placement after a netlist delta
 * ``sweep``       — parallel testcase × flow sweep with metrics export
 * ``tail``        — follow/pretty-print a ``repro.events/1`` JSONL file
 * ``table2`` ... ``overhead`` — regenerate a paper table/figure
@@ -150,6 +151,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_live_args(sweep)
     add_run_config_args(sweep, workers=True)
+
+    eco = sub.add_parser(
+        "eco",
+        help="streaming ECO: incremental re-placement after a netlist delta",
+    )
+    eco.add_argument(
+        "--flow", type=int, default=5, choices=[2, 3, 4, 5],
+        help="incumbent flow to repair (default: 5; needs a row assignment)",
+    )
+    eco.add_argument(
+        "--testcase", default=None,
+        help="Table II testcase id (default: a synthetic design)",
+    )
+    eco.add_argument("--cells", type=int, default=400)
+    eco.add_argument("--minority", type=float, default=0.15)
+    eco.add_argument(
+        "--delta", default=None, metavar="PATH",
+        help="JSON file holding a NetlistDelta op list "
+        "(default: a deterministic synthetic delta)",
+    )
+    eco.add_argument(
+        "--delta-fraction", type=float, default=0.01,
+        help="synthetic delta size as a fraction of the instances",
+    )
+    eco.add_argument(
+        "--delta-seed", type=int, default=0,
+        help="synthetic delta seed (same seed -> same delta)",
+    )
+    eco.add_argument(
+        "--repeat", type=int, default=1,
+        help="apply this many deltas back-to-back (streaming ECO)",
+    )
+    _add_live_args(eco)
+    add_run_config_args(eco, workers=True)
 
     tail = sub.add_parser(
         "tail",
@@ -421,6 +456,111 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _cmd_eco(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    import time
+    from contextlib import ExitStack
+
+    from repro import FlowKind, FlowRunner, prepare_initial_placement
+    from repro.eco import NetlistDelta, make_eco_delta
+    from repro.netlist import (
+        GeneratorSpec,
+        generate_netlist,
+        size_to_minority_fraction,
+    )
+    from repro.techlib.asap7 import make_asap7_library
+
+    config = RunConfig.from_args(args)
+    library = make_asap7_library()
+    if args.testcase:
+        from repro.experiments.testcases import build_testcase, testcase_by_id
+
+        design = build_testcase(
+            testcase_by_id(args.testcase), library, scale=config.scale
+        )
+        case_name = args.testcase
+    else:
+        design = generate_netlist(
+            GeneratorSpec(
+                name="eco",
+                n_cells=args.cells,
+                clock_period_ps=500.0,
+                seed=config.seed if config.seed is not None else 1,
+            ),
+            library,
+        )
+        size_to_minority_fraction(design, args.minority)
+        case_name = f"synthetic_{args.cells}"
+
+    kind = FlowKind(args.flow)
+    bus, sink, finish = _event_bus_from_args(args)
+    code = 0
+    try:
+        with ExitStack() as stack:
+            if bus is not None:
+                stack.enter_context(bus.attach())
+            initial = prepare_initial_placement(
+                design, library, heights=config.params.heights
+            )
+            runner = FlowRunner(initial, config.params)
+            t0 = time.perf_counter()
+            incumbent = runner.run(kind)
+            full_s = time.perf_counter() - t0
+            print(
+                f"{case_name} flow({kind.value}) incumbent: "
+                f"hpwl {incumbent.hpwl / 1e6:.3f} mm in {full_s:.3f}s"
+            )
+            for round_ in range(max(1, args.repeat)):
+                if args.delta:
+                    with open(args.delta, encoding="utf-8") as fh:
+                        delta = NetlistDelta.from_dict(json.load(fh))
+                else:
+                    delta = make_eco_delta(
+                        design,
+                        fraction=args.delta_fraction,
+                        seed=args.delta_seed + round_,
+                        library=library,
+                    )
+                result = runner.run_eco(delta, incumbent)
+                mode = (
+                    f"fallback ({result.reason})"
+                    if result.fallback
+                    else "repaired"
+                    + (" certified" if result.certified else "")
+                )
+                speedup = full_s / result.seconds if result.seconds else 0.0
+                print(
+                    f"  delta #{round_} ({delta.n_ops} ops"
+                    f"{', structural' if delta.structural else ''}): {mode}, "
+                    f"hpwl {result.hpwl / 1e6:.3f} mm, "
+                    f"{result.seconds:.3f}s ({speedup:.1f}x vs full)"
+                )
+                violations = result.placed.check_legal()
+                if violations:
+                    print(f"  ILLEGAL: {violations[0]} "
+                          f"(+{len(violations) - 1} more)")
+                    code = 1
+                    break
+                incumbent = (
+                    result.flow
+                    if result.fallback
+                    else dataclasses.replace(
+                        incumbent,
+                        hpwl=result.hpwl,
+                        placed=result.placed,
+                        assignment=result.assignment,
+                    )
+                )
+    finally:
+        problems = finish()
+    if sink is not None:
+        print(f"streamed {sink.n_events} events -> {sink.path}")
+    for problem in problems:
+        print(f"events schema problem: {problem}")
+    return 1 if problems else code
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     import re
     import time
@@ -614,6 +754,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "eco":
+        return _cmd_eco(args)
     if args.command == "tail":
         return _cmd_tail(args)
     if args.command == "render":

@@ -405,6 +405,9 @@ class FlowRunner:
         # solve on this runner (e.g. after invalidate_assignments()).
         # An ndarray for two-height runners, a per-class list for N-height.
         self._rap_warm: np.ndarray | list[np.ndarray] | None = None
+        # Per-class clustering labels from the last ilp_assignment();
+        # streaming ECO maps delta-touched cells to dirty clusters here.
+        self._ilp_labels: list[np.ndarray] | None = None
 
     def invalidate_assignments(self) -> None:
         """Drop the cached row assignments so the next call re-solves.
@@ -415,6 +418,21 @@ class FlowRunner:
         """
         self._baseline = None
         self._ilp = None
+
+    def run_eco(self, delta, incumbent):
+        """Incrementally repair ``incumbent`` after ``delta``.
+
+        Streaming-ECO entry point (see :mod:`repro.eco`): applies the
+        netlist delta to this runner's cached initial placement, repairs
+        the row assignment via dirty-cluster restricted pricing under
+        the incumbent's frozen row map, and re-legalizes only the
+        affected row windows.  Returns an :class:`repro.eco.EcoResult`;
+        falls back to a full resilient re-run (labeled degraded) when
+        the incremental path cannot certify.
+        """
+        from repro.eco import run_eco
+
+        return run_eco(self, delta, incumbent)
 
     # -- row assignments (cached) -----------------------------------------
 
@@ -535,6 +553,7 @@ class FlowRunner:
                         init.minority_widths_original,
                     )
                 n_clusters = clustering.n_clusters
+                self._ilp_labels = [clustering.labels]
                 with times.measure("rap_ilp"):
                     assignment = solve_rap_resilient(
                         costs.combine(params.alpha),
@@ -620,6 +639,7 @@ class FlowRunner:
                 w_by.append(costs.cluster_width)
                 labels_by.append(clustering.labels)
                 n_clusters += clustering.n_clusters
+            self._ilp_labels = labels_by
         with times.measure("rap_ilp"):
             assignment = solve_rap_nheight_resilient(
                 f_by,

@@ -264,6 +264,50 @@ def solution_to_assignment(
     )
 
 
+def repair_assignment(
+    base: RowAssignment,
+    cluster_to_pair: np.ndarray,
+    labels: np.ndarray,
+    objective: float,
+    runtime_s: float,
+    solver_nodes: int = 0,
+    by_track: "dict[float, tuple[np.ndarray, np.ndarray]] | None" = None,
+) -> RowAssignment:
+    """Rebind clusters to pairs under the incumbent's *frozen* row map.
+
+    ECO repair (:func:`repro.core.sparse_rap.solve_rap_sparse` with
+    ``dirty_clusters=``) moves clusters only between the incumbent's
+    used pairs, so the repaired assignment must keep ``base``'s
+    ``pair_tracks`` and ``minority_pairs`` verbatim — including a pair
+    the repair vacated, which stays a minority pair so the mixed
+    floorplan (and every clean cell's row) is unchanged.  Recomputing
+    the open-pair set from the new ``cluster_to_pair`` (what
+    :func:`solution_to_assignment` does) would silently unfreeze the
+    row map; this constructor makes the frozen semantics explicit.
+    """
+    cluster_to_pair = np.asarray(cluster_to_pair, dtype=int)
+    if cluster_to_pair.shape != base.cluster_to_pair.shape:
+        raise ValidationError(
+            "repair must keep the cluster count "
+            f"({cluster_to_pair.shape} vs {base.cluster_to_pair.shape})"
+        )
+    if not np.all(np.isin(cluster_to_pair, base.minority_pairs)):
+        raise ValidationError(
+            "repair assigned a cluster outside the incumbent's used pairs"
+        )
+    return RowAssignment(
+        pair_tracks=list(base.pair_tracks),
+        minority_pairs=base.minority_pairs.copy(),
+        cluster_to_pair=cluster_to_pair,
+        cell_to_pair=cluster_to_pair[np.asarray(labels, dtype=int)],
+        objective=float(objective),
+        ilp_runtime_s=float(runtime_s),
+        num_variables=base.num_variables,
+        solver_nodes=solver_nodes,
+        by_track=by_track,
+    )
+
+
 def assignment_to_vector(
     assignment: np.ndarray, n_clusters: int, n_pairs: int
 ) -> np.ndarray:

@@ -648,7 +648,7 @@ def _solve_decomposed(
     f: np.ndarray,
     cluster_width: np.ndarray,
     pair_capacity: np.ndarray,
-    n_minority_rows: int,
+    n_rows: int,
     mask: np.ndarray,
     comps: list[tuple[np.ndarray, np.ndarray]],
     backend: str,
@@ -667,7 +667,6 @@ def _solve_decomposed(
     solve (caller then solves the whole restricted model).
     """
     n_c, n_p = f.shape
-    n_rows = n_minority_rows
     bounds: list[tuple[int, int]] = []
     for clusters, pairs in comps:
         width = float(cluster_width[clusters].sum())
@@ -794,21 +793,21 @@ def _solve_decomposed(
 
     # Exact DP over components: best total cost opening exactly N_minR.
     INF = np.inf
-    dp = np.full(n_minority_rows + 1, INF)
+    dp = np.full(n_rows + 1, INF)
     dp[0] = 0.0
     pick: list[np.ndarray] = []
     for i in range(len(comps)):
-        new_dp = np.full(n_minority_rows + 1, INF)
-        choice = np.full(n_minority_rows + 1, -1, dtype=int)
+        new_dp = np.full(n_rows + 1, INF)
+        choice = np.full(n_rows + 1, -1, dtype=int)
         for r, (cost, _, _) in table[i].items():
-            feasible = dp[: n_minority_rows + 1 - r] + cost
-            target = np.arange(r, n_minority_rows + 1)
+            feasible = dp[: n_rows + 1 - r] + cost
+            target = np.arange(r, n_rows + 1)
             better = feasible < new_dp[target]
             new_dp[target[better]] = feasible[better]
             choice[target[better]] = r
         dp = new_dp
         pick.append(choice)
-    if not np.isfinite(dp[n_minority_rows]):
+    if not np.isfinite(dp[n_rows]):
         return MilpSolution(
             status=MilpStatus.INFEASIBLE,
             x=None,
@@ -820,7 +819,7 @@ def _solve_decomposed(
     # Backtrack the chosen row count per component; stitch assignments.
     assignment = np.full(n_c, -1, dtype=int)
     all_optimal = True
-    remaining = n_minority_rows
+    remaining = n_rows
     for i in range(len(comps) - 1, -1, -1):
         r = int(pick[i][remaining])
         _, local, optimal = table[i][r]
@@ -834,7 +833,7 @@ def _solve_decomposed(
     return MilpSolution(
         status=MilpStatus.OPTIMAL if all_optimal else MilpStatus.FEASIBLE,
         x=x,
-        objective=float(dp[n_minority_rows]),
+        objective=float(dp[n_rows]),
         nodes=nodes,
         runtime_s=runtime_s,
     )
@@ -981,6 +980,233 @@ def _coverage_mask(
     return mask, k
 
 
+def _masked_lp(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_rows: int,
+    mask: np.ndarray,
+    time_limit_s: float | None,
+) -> tuple[float, np.ndarray] | None:
+    """LP relaxation of the strengthened *masked* model.
+
+    Returns ``(z_lp, rc)`` with ``rc`` a dense ``(n_c, n_p)`` matrix of
+    x-part reduced costs (``inf`` outside ``mask``, so columns the mask
+    excludes can never pass an admission test), or ``None`` when the LP
+    errors, times out, or comes back infeasible.  The duality argument
+    of :func:`_dense_lp` applies verbatim with the masked model's
+    feasible set: every integer solution *of the masked problem* whose
+    support contains column ``j`` costs at least ``z_lp + rc_j``.
+    """
+    n_c, n_p = f.shape
+    srm = build_sparse_rap_model(
+        f, cluster_width, pair_capacity, n_rows, mask, strengthen=True
+    )
+    model = srm.model
+    try:
+        lp = linprog(
+            model.c,
+            A_ub=model.a_ub,
+            b_ub=model.b_ub,
+            A_eq=model.a_eq,
+            b_eq=model.b_eq,
+            bounds=(0.0, 1.0),
+            method="highs",
+            options=(
+                None
+                if time_limit_s is None
+                else {"time_limit": float(time_limit_s)}
+            ),
+        )
+    except Exception:
+        logger.warning("masked RAP LP raised; pricing bound unavailable")
+        return None
+    if lp.status != 0 or lp.x is None:
+        return None
+    rc_x = (
+        model.c
+        - model.a_ub.T @ lp.ineqlin.marginals
+        - model.a_eq.T @ lp.eqlin.marginals
+    )[: srm.n_x]
+    rc = np.full((n_c, n_p), np.inf)
+    rc[srm.cand_cluster, srm.cand_pair] = np.maximum(rc_x, 0.0)
+    return float(lp.fun), rc
+
+
+def _solve_eco_repair(
+    f: np.ndarray,
+    cluster_width: np.ndarray,
+    pair_capacity: np.ndarray,
+    n_rows: int,
+    dirty: np.ndarray,
+    warm: np.ndarray | None,
+    backend: str,
+    left,
+    spent,
+    stats: SparseSolveStats,
+    cancel: object | None = None,
+) -> tuple[MilpSolution, SparseSolveStats] | None:
+    """Incremental repair of an incumbent after a small delta.
+
+    Freezes the incumbent's row map: clean clusters stay pinned to their
+    incumbent pair and only the ``dirty`` clusters may move, between the
+    incumbent's *used* pairs (all of which stay open, so the mixed
+    floorplan is unchanged).  The restricted MILP over the cheapest
+    candidate pairs per dirty cluster is priced against the LP bound of
+    the *full* row-frozen subproblem, so ``stats.certified`` means the
+    repair equals the dense optimum **of that subproblem** — not of the
+    unfrozen RAP, which a full solve may beat by reshuffling clean
+    clusters or re-choosing open rows.
+
+    Returns ``None`` when repair cannot apply (no feasible incumbent
+    under the post-delta widths, or the pinned subproblem is proven
+    infeasible); the caller then falls through to the full engine.
+    """
+    if warm is None:
+        return None
+    n_c, n_p = f.shape
+    dirty = np.unique(np.asarray(dirty, dtype=int))
+    if len(dirty) and (dirty[0] < 0 or dirty[-1] >= n_c):
+        raise ValidationError("dirty_clusters outside [0, n_clusters)")
+    stats.strategy = "eco-repair"
+
+    def _done(solution: MilpSolution) -> tuple[MilpSolution, SparseSolveStats]:
+        return solution, stats
+
+    # The incumbent's used pairs: exactly n_rows of them (validated by
+    # _feasible_assignment), all of which stay open in the subproblem.
+    allowed = np.unique(warm)
+    pin = np.zeros((n_c, n_p), dtype=bool)
+    pin[np.arange(n_c), warm] = True
+    if len(dirty) == 0:
+        stats.rounds = 0
+        stats.certified = True
+        dense = np.zeros(n_c * n_p + n_p)
+        dense[np.arange(n_c) * n_p + warm] = 1.0
+        dense[n_c * n_p + allowed] = 1.0
+        return _done(
+            MilpSolution(
+                status=MilpStatus.OPTIMAL,
+                x=dense,
+                objective=_assignment_cost(f, warm),
+            )
+        )
+
+    # Full row-frozen subproblem: dirty rows open to every used pair.
+    sub_full = pin.copy()
+    sub_full[np.ix_(dirty, allowed)] = True
+
+    # Restricted start: incumbent columns plus each dirty cluster's
+    # cheapest few used pairs.
+    k = int(min(len(allowed), 8))
+    stats.k_initial = k
+    dirty_cheap = cheapest_pairs_mask(f[np.ix_(dirty, allowed)], k)
+    mask = pin.copy()
+    block = mask[np.ix_(dirty, allowed)]
+    mask[np.ix_(dirty, allowed)] = block | dirty_cheap
+
+    lp_bound: tuple[float, np.ndarray] | None = None
+    best: MilpSolution | None = None
+    with span(
+        "rap.sparse.eco",
+        backend=backend,
+        n_clusters=n_c,
+        n_dirty=len(dirty),
+        n_pairs=n_p,
+    ) as root:
+        while True:
+            stats.rounds += 1
+            if stats.rounds > _SAFETY_ROUNDS:
+                mask = sub_full.copy()
+            stats.n_candidates = int(mask.sum())
+            stats.k_final = int(mask[dirty].sum(axis=1).max())
+            t0 = time.perf_counter()
+            srm = build_sparse_rap_model(
+                f, cluster_width, pair_capacity, n_rows, mask,
+                strengthen=True,
+            )
+            stats.build_s += time.perf_counter() - t0
+            warm_vec = srm.encode_assignment(warm)
+            if warm_vec is not None and not srm.model.is_feasible(warm_vec):
+                warm_vec = None
+            restricted = solve_milp(
+                srm.model,
+                backend=backend,
+                time_limit_s=left(),
+                warm_start=warm_vec,
+                cancel=cancel,
+            )
+            stats.solve_s += restricted.runtime_s
+            full = not (sub_full & ~mask).any()
+            if restricted.status is MilpStatus.INFEASIBLE:
+                if full:
+                    # The pinned subproblem itself is infeasible (the
+                    # delta broke the incumbent's row map); repair does
+                    # not apply — the caller re-solves from scratch.
+                    root.annotate(outcome="pinned_infeasible")
+                    return None
+                mask = sub_full.copy()
+                continue
+            if not restricted.ok or restricted.x is None:
+                root.annotate(outcome=restricted.status.value)
+                if best is not None:
+                    return _done(best)
+                return None
+            solution = MilpSolution(
+                status=restricted.status,
+                x=srm.to_dense_x(restricted.x),
+                objective=restricted.objective,
+                nodes=restricted.nodes,
+                runtime_s=restricted.runtime_s,
+            )
+            best = solution
+            observe(
+                "rap.sparse.eco",
+                round=stats.rounds,
+                n_candidates=stats.n_candidates,
+                objective=solution.objective,
+                admitted=stats.admitted_columns,
+            )
+            if full:
+                stats.certified = solution.status is MilpStatus.OPTIMAL
+                root.annotate(
+                    outcome="full", objective=solution.objective
+                )
+                return _done(solution)
+            if solution.status is not MilpStatus.OPTIMAL:
+                root.annotate(outcome="uncertified")
+                return _done(solution)
+
+            # Pricing against the row-frozen subproblem's LP bound.
+            z = solution.objective
+            if lp_bound is None and not spent():
+                lp_bound = _masked_lp(
+                    f, cluster_width, pair_capacity, n_rows, sub_full,
+                    left(),
+                )
+                if lp_bound is not None:
+                    stats.lp_bound = lp_bound[0]
+            if lp_bound is None:
+                if spent():
+                    root.annotate(outcome="budget", objective=z)
+                    return _done(solution)
+                # No pricing bound: solve the full subproblem directly.
+                mask = sub_full.copy()
+                continue
+            z_lp, rc = lp_bound
+            tol = 1e-6 * max(1.0, abs(z))
+            admit = sub_full & ~mask & (z_lp + rc <= z + tol)
+            if not admit.any():
+                stats.certified = True
+                root.annotate(outcome="certified", objective=z)
+                return _done(solution)
+            if spent():
+                root.annotate(outcome="budget", objective=z)
+                return _done(solution)
+            stats.admitted_columns += int(admit.sum())
+            mask = mask | admit
+
+
 def solve_rap_sparse(
     f: np.ndarray,
     cluster_width: np.ndarray,
@@ -992,6 +1218,7 @@ def solve_rap_sparse(
     candidate_k: int | None = None,
     workers: int = 1,
     cancel: object | None = None,
+    dirty_clusters: np.ndarray | None = None,
 ) -> tuple[MilpSolution, SparseSolveStats]:
     """Solve the RAP through the sparse engine.
 
@@ -1017,6 +1244,15 @@ def solve_rap_sparse(
     down to every iterative sub-solve, including component sub-MILPs in
     pool workers; a cancelled solve stops early with its incumbent, like
     a time-limit expiry.
+
+    ``dirty_clusters`` switches the engine into ECO repair: with a
+    feasible ``warm_assignment`` it solves only the row-frozen dirty
+    subproblem (:func:`_solve_eco_repair`) — clean clusters pinned,
+    dirty ones re-assigned among the incumbent's used pairs — and
+    certifies against that subproblem's LP bound.  When repair cannot
+    apply (no usable incumbent, or the pinned subproblem is infeasible)
+    the call falls through to the full engine below, so the result is
+    never worse than a cold solve.
     """
     f = np.asarray(f, dtype=float)
     cluster_width = np.asarray(cluster_width, dtype=float)
@@ -1080,6 +1316,15 @@ def solve_rap_sparse(
             x=dense,
             objective=_assignment_cost(f, warm),
         )
+
+    if dirty_clusters is not None and not forced:
+        eco = _solve_eco_repair(
+            f, cluster_width, pair_capacity, n_minority_rows,
+            dirty_clusters, warm, backend, _left, _spent, stats,
+            cancel=cancel,
+        )
+        if eco is not None:
+            return eco
 
     if not forced and stats.n_dense_variables <= SMALL_PROBLEM_VARIABLES:
         return _solve_small_dense(

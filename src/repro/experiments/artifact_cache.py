@@ -90,6 +90,32 @@ def initial_placement_key(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def eco_result_key(
+    incumbent_fingerprint: str, delta_fingerprint: str
+) -> str:
+    """Content hash identifying one streaming-ECO repair result.
+
+    The key pairs the incumbent artifact's fingerprint (typically its
+    :func:`initial_placement_key`) with a
+    :meth:`repro.eco.NetlistDelta.fingerprint`, so a repeated ECO
+    request — same incumbent, same delta — hits the cache instead of
+    re-running the repair.  Schema and package version participate, like
+    every other cache key, so layout changes can never resurrect stale
+    entries.
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": __version__,
+            "kind": "eco_result",
+            "incumbent": incumbent_fingerprint,
+            "delta": delta_fingerprint,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/corruption counters of one :class:`ArtifactCache`."""

@@ -74,6 +74,17 @@ class NetTopology:
         self._scratch_f = np.empty(self.n_pins)
         self._scratch_i = np.empty(self.n_pins, dtype=np.int64)
 
+    def describes(self, net_ptr: np.ndarray, n_pins: int) -> bool:
+        """True iff this topology was built from exactly these arrays.
+
+        Identity (not equality) on ``net_ptr``: structural edits are
+        required to allocate a new offsets array (``PlacedDesign``
+        freezes its ``net_ptr``), so object identity plus the pin count
+        is a complete staleness check — and it costs O(1), which is what
+        lets the owning cache validate on every access.
+        """
+        return self.net_ptr is net_ptr and self.n_pins == int(n_pins)
+
     def active_nets(self, net_weight: np.ndarray) -> np.ndarray:
         """Nets that contribute to wirelength: ``degree >= 2`` and weighted.
 

@@ -96,6 +96,9 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     "shm.unlink": ("segment",),
     "shm.census": ("segments",),
     "sweep.job": ("testcase", "flow", "status"),
+    "eco.start": ("n_ops",),
+    "eco.repaired": ("seconds", "hpwl", "certified"),
+    "eco.fallback": ("reason",),
 }
 
 

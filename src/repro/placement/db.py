@@ -214,6 +214,11 @@ class PlacedDesign:
                     self.pin_dx[k] = pin.offset.x
                     self.pin_dy[k] = pin.offset.y
                 k += 1
+        # Structural edits must allocate a NEW net_ptr (see topology):
+        # freezing the array turns an in-place mutation — which would
+        # leave a stale cached NetTopology observable — into a hard
+        # error at the mutation site.
+        self.net_ptr.flags.writeable = False
         self._port_pin_mask = self.pin_inst < 0
         self._topology: NetTopology | None = None
 
@@ -236,6 +241,34 @@ class PlacedDesign:
                     self.pin_dy[k] = pin.offset.y
                 k += 1
 
+    def patch_pins(
+        self,
+        slots: np.ndarray,
+        pin_inst: np.ndarray,
+        pin_dx: np.ndarray,
+        pin_dy: np.ndarray,
+    ) -> None:
+        """Degree-preserving in-place patch of the CSR pin arrays.
+
+        The ECO fast path for deltas that rebind a handful of pins
+        without changing any net's degree: only ``pin_inst`` /
+        ``pin_dx`` / ``pin_dy`` entries at ``slots`` change, ``net_ptr``
+        is untouched, and the cached :class:`~repro.kernels.NetTopology`
+        — derived solely from ``net_ptr`` and the pin count — stays
+        valid by construction, so there is nothing to invalidate or
+        rebuild.  Degree-*changing* edits must rebuild the CSR arrays
+        instead (allocating a new ``net_ptr``; see :meth:`topology`).
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        if len(slots) == 0:
+            return
+        if slots.min() < 0 or slots.max() >= len(self.pin_inst):
+            raise ValidationError("pin patch slot outside the pin arrays")
+        self.pin_inst[slots] = np.asarray(pin_inst, dtype=np.int64)
+        self.pin_dx[slots] = np.asarray(pin_dx, dtype=float)
+        self.pin_dy[slots] = np.asarray(pin_dy, dtype=float)
+        self._port_pin_mask[slots] = self.pin_inst[slots] < 0
+
     # -- cached net topology ------------------------------------------------
 
     @property
@@ -247,8 +280,18 @@ class PlacedDesign:
         The cache depends only on the CSR *structure* — net weights are
         passed per call — so it survives re-weighting and master swaps;
         it is dropped automatically when the CSR arrays are rebuilt.
+
+        A stale cache is impossible to observe: ``net_ptr`` is frozen
+        (structural edits allocate a new array), and the cached topology
+        is discarded whenever it no longer describes *this* ``net_ptr``
+        object and pin count — so even a caller that forgets
+        :meth:`invalidate_topology` after rebinding the arrays gets a
+        fresh build, never a stale one.
         """
-        if self._topology is None:
+        cached = self._topology
+        if cached is None or not cached.describes(
+            self.net_ptr, len(self.pin_inst)
+        ):
             self._topology = NetTopology(self.net_ptr, len(self.pin_inst))
         return self._topology
 
@@ -313,6 +356,7 @@ class PlacedDesign:
             "_port_pin_mask",
         ):
             setattr(out, name, getattr(self, name).copy())
+        out.net_ptr.flags.writeable = False  # same freeze as _build_csr
         out._topology = None  # rebuilt lazily against the copied arrays
         return out
 

@@ -27,7 +27,130 @@ from repro.core.fence import FenceRegions
 from repro.obs.convergence import observe, recording_convergence
 from repro.obs.trace import span
 from repro.placement.db import PlacedDesign
-from repro.utils.errors import ValidationError
+from repro.utils.errors import CapacityError, ValidationError
+
+
+def affected_nets(placed: PlacedDesign, cells: np.ndarray) -> np.ndarray:
+    """Signal nets with at least one pin on ``cells`` (sorted, unique).
+
+    Clock-weighted (weight 0) and single-pin nets are dropped: neither
+    contributes to HPWL, so the delta evaluator never has to visit them.
+    """
+    topo = placed.topology
+    cells = np.asarray(cells, dtype=np.int64)
+    hit = np.isin(placed.pin_inst, cells)
+    nets = np.unique(topo.net_ids[hit])
+    return nets[(placed.net_weight[nets] > 0) & topo.multi_pin[nets]]
+
+
+def subset_hpwl(
+    placed: PlacedDesign,
+    nets: np.ndarray,
+    x: np.ndarray | None = None,
+    y: np.ndarray | None = None,
+) -> float:
+    """Weighted HPWL summed over ``nets`` only (O(pins of those nets)).
+
+    Same weighting convention as :func:`repro.placement.hpwl.hpwl_total`,
+    so ``hpwl_total == subset_hpwl(all nets)`` and a move's effect on the
+    total is exactly its effect on the affected subset.
+    """
+    nets = np.asarray(nets, dtype=np.int64)
+    if len(nets) == 0:
+        return 0.0
+    topo = placed.topology
+    px, py = placed.pin_positions(x, y)
+    counts = topo.degrees[nets]
+    total = int(counts.sum())
+    seg = np.zeros(len(nets), dtype=np.int64)
+    np.cumsum(counts[:-1], out=seg[1:])
+    idx = np.repeat(topo.net_ptr[nets] - seg, counts) + np.arange(total)
+    sx = px[idx]
+    sy = py[idx]
+    spans = (
+        np.maximum.reduceat(sx, seg)
+        - np.minimum.reduceat(sx, seg)
+        + np.maximum.reduceat(sy, seg)
+        - np.minimum.reduceat(sy, seg)
+    )
+    return float(spans @ placed.net_weight[nets])
+
+
+def hpwl_delta(
+    placed: PlacedDesign,
+    moved: np.ndarray,
+    x_before: np.ndarray,
+    y_before: np.ndarray,
+) -> float:
+    """HPWL change from moving ``moved`` cells off (x_before, y_before).
+
+    Evaluates only the nets incident to the moved cells — the ECO path's
+    replacement for a second full :func:`~repro.placement.hpwl.hpwl_total`
+    pass: ``total_after = total_before + hpwl_delta(...)`` exactly,
+    because nets without a moved pin have identical spans in both
+    placements.
+    """
+    nets = affected_nets(placed, moved)
+    return subset_hpwl(placed, nets) - subset_hpwl(
+        placed, nets, x_before, y_before
+    )
+
+
+def legalize_row_windows(
+    placed: PlacedDesign,
+    rows: list,
+    class_indices: np.ndarray,
+    affected: np.ndarray,
+    window: int = 2,
+) -> float:
+    """Re-legalize only the rows around ``affected`` cells.
+
+    ``rows`` is one height class's row list and ``class_indices`` that
+    class's cells; cells already sitting on a row outside every window
+    are never touched.  On a :class:`CapacityError` (a window too full
+    to absorb the disturbance) the window doubles, escalating to one
+    full-class Abacus pass — the correctness backstop — when it grows
+    past the row count.  Returns the summed Abacus displacement.
+    """
+    class_indices = np.asarray(class_indices, dtype=np.int64)
+    affected = np.asarray(affected, dtype=np.int64)
+    if len(affected) == 0:
+        return 0.0
+    from repro.placement.legalize import abacus_legalize
+
+    order = np.argsort([r.y for r in rows])
+    rows = [rows[i] for i in order]
+    row_y = np.array([r.y for r in rows], dtype=float)
+    height = float(rows[0].height)
+    # Nearest row per cell (rows are uniform-pitch within a class).
+    def nearest(ys: np.ndarray) -> np.ndarray:
+        lo = np.clip(np.searchsorted(row_y, ys) - 1, 0, len(rows) - 1)
+        hi = np.clip(lo + 1, 0, len(rows) - 1)
+        return np.where(
+            np.abs(row_y[hi] - ys) < np.abs(row_y[lo] - ys), hi, lo
+        )
+
+    anchor = np.unique(nearest(placed.y[affected]))
+    class_row = nearest(placed.y[class_indices])
+    on_row = np.abs(placed.y[class_indices] - row_y[class_row]) < 0.25 * height
+    while True:
+        span_lo = np.clip(anchor - window, 0, len(rows) - 1)
+        span_hi = np.clip(anchor + window, 0, len(rows) - 1)
+        widx = np.unique(
+            np.concatenate(
+                [np.arange(lo, hi + 1) for lo, hi in zip(span_lo, span_hi)]
+            )
+        )
+        inside = on_row & np.isin(class_row, widx)
+        members = np.union1d(class_indices[inside], affected)
+        try:
+            return abacus_legalize(placed, [rows[i] for i in widx], members)
+        except CapacityError:
+            if len(widx) >= len(rows):
+                # Full class in play and still over capacity: let the
+                # caller's fallback (a cold re-run) deal with it.
+                raise
+            window *= 2
 
 
 def median_target_positions(
